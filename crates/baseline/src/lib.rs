@@ -1,0 +1,18 @@
+//! # smache-baseline — the paper's comparison design
+//!
+//! A cycle-accurate model of the baseline HDL design of §IV: **no stencil
+//! buffering at all**. Every grid point reads each of its stencil
+//! neighbours directly from global memory — "each grid-point requires 4
+//! words to be read from the global memory, which is 4× more than what is
+//! required for the Smache architecture" — then computes the kernel and
+//! writes the result back.
+//!
+//! The design shares the DRAM model, kernels, metrics and golden reference
+//! with the Smache system, so the Fig. 2 comparison is apples-to-apples:
+//! same workload, same memory substrate, same measurement.
+
+#![warn(missing_docs)]
+
+pub mod system;
+
+pub use system::{BaselineConfig, BaselineReport, BaselineSystem};

@@ -1,0 +1,498 @@
+//! The unbuffered baseline system.
+
+use std::collections::VecDeque;
+
+use smache::arch::kernel::Kernel;
+use smache::cost::{FreqModel, SynthesisModel};
+use smache::error::CoreError;
+use smache::system::metrics::DesignMetrics;
+use smache::CoreResult;
+use smache_mem::{Dram, DramConfig, Word};
+use smache_sim::ResourceUsage;
+use smache_stencil::{resolve, Access, BoundarySpec, GridSpec, StencilShape};
+
+/// Tunables of the baseline simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// DRAM timing/geometry (use the same as the Smache run for a fair
+    /// Fig. 2 comparison).
+    pub dram: DramConfig,
+    /// Elements whose reads may be in flight concurrently. The paper's
+    /// baseline is a simple design: a small gather buffer (2) reproduces
+    /// its ~5.3 cycles/point; 1 models a fully serial FSM.
+    pub max_inflight_elements: usize,
+    /// Watchdog limit, cycles per element per instance.
+    pub watchdog_cycles_per_element: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            dram: DramConfig::default(),
+            max_inflight_elements: 2,
+            watchdog_cycles_per_element: 256,
+        }
+    }
+}
+
+/// One tuple slot of an in-flight element (positional: one per shape point).
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Boundary-skipped point (never read; masked out for the kernel).
+    Missing,
+    /// Value already known (constant boundary).
+    Value(Word),
+    /// Awaiting a DRAM response.
+    Await,
+    /// Filled by a response.
+    Filled(Word),
+}
+
+/// An element whose stencil reads are in flight.
+#[derive(Debug)]
+struct Pending {
+    e: usize,
+    slots: Vec<Slot>,
+    /// Next slot a response fills (responses arrive in issue order).
+    fill_ptr: usize,
+}
+
+impl Pending {
+    fn complete(&self) -> bool {
+        self.slots.iter().all(|s| !matches!(s, Slot::Await))
+    }
+
+    /// Positional values and presence mask for the kernel.
+    fn values(&self) -> (Vec<Word>, u64) {
+        let mut mask = 0u64;
+        let values = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(p, s)| match s {
+                Slot::Missing => 0,
+                Slot::Value(w) | Slot::Filled(w) => {
+                    mask |= 1 << p;
+                    *w
+                }
+                Slot::Await => unreachable!("values() on incomplete element"),
+            })
+            .collect();
+        (values, mask)
+    }
+}
+
+/// What a completed baseline run produced.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// The final grid contents.
+    pub output: Vec<Word>,
+    /// Fig. 2 metrics.
+    pub metrics: DesignMetrics,
+}
+
+/// The cycle-accurate baseline system.
+pub struct BaselineSystem {
+    grid: GridSpec,
+    bounds: BoundarySpec,
+    shape: StencilShape,
+    kernel: Box<dyn Kernel>,
+    config: BaselineConfig,
+    dram: Dram,
+    n: usize,
+    base: [usize; 2],
+    in_region: usize,
+
+    /// Next element to start issuing reads for.
+    issue_elem: usize,
+    /// Reads still to issue for the element currently being issued:
+    /// grid addresses in tuple order.
+    issue_reads: VecDeque<usize>,
+    inflight: VecDeque<Pending>,
+    /// Kernel pipeline: (remaining latency, element, result).
+    kernel_pipe: VecDeque<(u64, usize, Word)>,
+    write_queue: VecDeque<(usize, Word)>,
+    writes_done: usize,
+    instances_left: u64,
+    cycle: u64,
+    read_staged: bool,
+}
+
+impl BaselineSystem {
+    /// Builds the baseline for a problem.
+    pub fn new(
+        grid: GridSpec,
+        shape: StencilShape,
+        bounds: BoundarySpec,
+        kernel: Box<dyn Kernel>,
+        config: BaselineConfig,
+    ) -> CoreResult<Self> {
+        if shape.ndim() != grid.ndim() || bounds.ndim() != grid.ndim() {
+            return Err(CoreError::Config(
+                "shape/bounds dimensionality mismatch".into(),
+            ));
+        }
+        if config.max_inflight_elements == 0 {
+            return Err(CoreError::Config(
+                "max_inflight_elements must be >= 1".into(),
+            ));
+        }
+        if kernel.latency() == 0 {
+            return Err(CoreError::Config("kernel latency must be >= 1".into()));
+        }
+        let n = grid.len();
+        let row = config.dram.row_words;
+        let region = n.div_ceil(row) * row;
+        let dram = Dram::new(2 * region + row, config.dram)?;
+        Ok(BaselineSystem {
+            grid,
+            bounds,
+            shape,
+            kernel,
+            config,
+            dram,
+            n,
+            base: [0, region],
+            in_region: 0,
+            issue_elem: 0,
+            issue_reads: VecDeque::new(),
+            inflight: VecDeque::new(),
+            kernel_pipe: VecDeque::new(),
+            write_queue: VecDeque::new(),
+            writes_done: 0,
+            instances_left: 0,
+            cycle: 0,
+            read_staged: false,
+        })
+    }
+
+    /// Prepares the pending entry and read list for element `e`.
+    fn open_element(&mut self, e: usize) -> CoreResult<()> {
+        let coords = self.grid.coords(e)?;
+        let mut slots = Vec::with_capacity(self.shape.len());
+        for off in self.shape.offsets() {
+            match resolve(&self.grid, &self.bounds, &coords, off)? {
+                Access::Inside(idx) => {
+                    slots.push(Slot::Await);
+                    self.issue_reads.push_back(idx);
+                }
+                Access::Skip => slots.push(Slot::Missing),
+                Access::Constant(v) => slots.push(Slot::Value(v)),
+            }
+        }
+        self.inflight.push_back(Pending {
+            e,
+            slots,
+            fill_ptr: 0,
+        });
+        Ok(())
+    }
+
+    /// Advances one clock cycle.
+    pub fn step(&mut self) -> CoreResult<()> {
+        // Open a new element's gather when there is room and its reads can
+        // start queueing (one issue stream, element order). The open costs
+        // the FSM one cycle — the paper's baseline is a simple state
+        // machine that computes the neighbour addresses before issuing,
+        // which is what puts it at ~5 cycles per point rather than 4.
+        let mut just_opened = false;
+        if self.issue_reads.is_empty()
+            && self.issue_elem < self.n
+            && self.inflight.len() < self.config.max_inflight_elements
+        {
+            let e = self.issue_elem;
+            self.open_element(e)?;
+            self.issue_elem += 1;
+            just_opened = true;
+        }
+
+        // Stage the read channel with the next neighbour address.
+        let in_base = self.base[self.in_region];
+        if just_opened {
+            self.dram.cancel_read();
+            self.read_staged = false;
+        } else if let Some(&addr) = self.issue_reads.front() {
+            self.dram.hold_read(in_base + addr)?;
+            self.read_staged = true;
+        } else {
+            self.dram.cancel_read();
+            self.read_staged = false;
+        }
+
+        // Stage the write channel.
+        if let Some(&(addr, w)) = self.write_queue.front() {
+            self.dram.hold_write(addr, w)?;
+        } else {
+            self.dram.cancel_write();
+        }
+
+        let report = self.dram.tick();
+        if report.read_accepted.is_some() {
+            debug_assert!(self.read_staged);
+            self.issue_reads.pop_front();
+        }
+        if let Some((_, w)) = report.response {
+            // Responses arrive in issue order: fill the front-most element
+            // that still awaits data.
+            let entry = self
+                .inflight
+                .iter_mut()
+                .find(|p| !p.complete())
+                .ok_or_else(|| CoreError::Config("response with no awaiting element".into()))?;
+            while !matches!(entry.slots[entry.fill_ptr], Slot::Await) {
+                entry.fill_ptr += 1;
+            }
+            entry.slots[entry.fill_ptr] = Slot::Filled(w);
+            entry.fill_ptr += 1;
+        }
+        if report.write_accepted.is_some() {
+            self.write_queue.pop_front();
+            self.writes_done += 1;
+        }
+
+        // Completed front elements enter the kernel pipeline (one per
+        // cycle — a single kernel instance).
+        if self.inflight.front().is_some_and(|p| p.complete()) {
+            let p = self.inflight.pop_front().expect("checked front");
+            let (values, mask) = p.values();
+            let result = self.kernel.apply(&values, mask);
+            self.kernel_pipe
+                .push_back((self.kernel.latency(), p.e, result));
+        }
+
+        for entry in self.kernel_pipe.iter_mut() {
+            entry.0 -= 1;
+        }
+        while self.kernel_pipe.front().is_some_and(|e| e.0 == 0) {
+            let (_, e, w) = self.kernel_pipe.pop_front().expect("checked front");
+            let out_base = self.base[1 - self.in_region];
+            self.write_queue.push_back((out_base + e, w));
+        }
+
+        // Instance boundary.
+        if self.instances_left > 0
+            && self.writes_done == self.n
+            && self.issue_elem == self.n
+            && self.inflight.is_empty()
+            && self.kernel_pipe.is_empty()
+            && self.write_queue.is_empty()
+        {
+            self.instances_left -= 1;
+            self.writes_done = 0;
+            self.issue_elem = 0;
+            self.in_region = 1 - self.in_region;
+        }
+
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Resets all run state (called automatically by [`BaselineSystem::run`]).
+    pub fn reset(&mut self) {
+        self.in_region = 0;
+        self.issue_elem = 0;
+        self.issue_reads.clear();
+        self.inflight.clear();
+        self.kernel_pipe.clear();
+        self.write_queue.clear();
+        self.writes_done = 0;
+        self.cycle = 0;
+        self.read_staged = false;
+    }
+
+    /// Loads `input`, runs `instances` work-instances, returns the output
+    /// grid and metrics (counters restart per run).
+    pub fn run(&mut self, input: &[Word], instances: u64) -> CoreResult<BaselineReport> {
+        if input.len() != self.n {
+            return Err(CoreError::Config(format!(
+                "input length {} does not match grid size {}",
+                input.len(),
+                self.n
+            )));
+        }
+        self.reset();
+        self.dram.preload(self.base[0], input)?;
+        self.dram.reset_stats();
+        self.instances_left = instances;
+
+        let budget = (instances + 2)
+            * (self.n as u64 * self.config.watchdog_cycles_per_element + 512)
+            + 4096;
+        while self.instances_left > 0 {
+            if self.cycle >= budget {
+                return Err(CoreError::Sim(smache_sim::SimError::Watchdog {
+                    budget,
+                    waiting_for: "baseline run completion".into(),
+                }));
+            }
+            self.step()?;
+        }
+
+        let out_region = (instances % 2) as usize;
+        let output = self.dram.dump(self.base[out_region], self.n)?;
+        Ok(BaselineReport {
+            output,
+            metrics: self.metrics(instances),
+        })
+    }
+
+    fn metrics(&self, instances: u64) -> DesignMetrics {
+        let n = self.n as u64;
+        let n_points = self.shape.len() as u64;
+        let kernel_res = self.kernel.resources();
+        DesignMetrics {
+            name: "Baseline".into(),
+            cycles: self.cycle,
+            fmax_mhz: FreqModel.baseline_fmax(n),
+            dram: *self.dram.stats(),
+            ops: self.shape.ops_per_point() * n * instances,
+            resources: ResourceUsage {
+                alms: SynthesisModel.baseline_alms(n, n_points, kernel_res.alms),
+                registers: SynthesisModel.baseline_registers(n, n_points, 32),
+                bram_bits: 0,
+                dsps: kernel_res.dsps,
+            },
+        }
+    }
+
+    /// Synthesised resources of the baseline design.
+    pub fn resources(&self) -> ResourceUsage {
+        self.metrics(0).resources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smache::arch::kernel::AverageKernel;
+    use smache::functional::golden::golden_run;
+
+    fn paper_baseline() -> BaselineSystem {
+        BaselineSystem::new(
+            GridSpec::d2(11, 11).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::paper_case(),
+            Box::new(AverageKernel),
+            BaselineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn golden(input: &[Word], instances: u64) -> Vec<Word> {
+        golden_run(
+            &GridSpec::d2(11, 11).unwrap(),
+            &BoundarySpec::paper_case(),
+            &StencilShape::four_point_2d(),
+            &AverageKernel,
+            input,
+            instances,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_instance_matches_golden() {
+        let mut sys = paper_baseline();
+        let input: Vec<Word> = (0..121).map(|i| i * 3 + 1).collect();
+        let report = sys.run(&input, 1).unwrap();
+        assert_eq!(report.output, golden(&input, 1));
+    }
+
+    #[test]
+    fn many_instances_match_golden() {
+        let mut sys = paper_baseline();
+        let input: Vec<Word> = (0..121).map(|i| (i * 17) % 103).collect();
+        let report = sys.run(&input, 7).unwrap();
+        assert_eq!(report.output, golden(&input, 7));
+    }
+
+    #[test]
+    fn hundred_instances_land_in_paper_cycle_regime() {
+        let mut sys = paper_baseline();
+        let input: Vec<Word> = (0..121).collect();
+        let report = sys.run(&input, 100).unwrap();
+        // Paper: 64001 cycles. Our pipelined-but-small-gather model must
+        // land in the same regime (±25%).
+        let cycles = report.metrics.cycles as f64;
+        assert!(
+            (cycles - 64001.0).abs() / 64001.0 < 0.25,
+            "cycles {cycles} vs paper 64001"
+        );
+        // Paper traffic: 236.3 KB.
+        let kb = report.metrics.traffic_kb();
+        assert!(
+            (kb - 236.3).abs() / 236.3 < 0.05,
+            "traffic {kb} KB vs paper 236.3"
+        );
+    }
+
+    #[test]
+    fn redundant_reads_are_really_issued() {
+        let mut sys = paper_baseline();
+        let input: Vec<Word> = (0..121).collect();
+        let report = sys.run(&input, 1).unwrap();
+        // 4 reads per interior/top/bottom point, 3 per open-edge point:
+        // 484 − 22 = 462 reads, plus 121 writes.
+        assert_eq!(report.metrics.dram.reads, 462);
+        assert_eq!(report.metrics.dram.writes, 121);
+    }
+
+    #[test]
+    fn serial_configuration_is_slower() {
+        let input: Vec<Word> = (0..121).collect();
+        let mut pipelined = paper_baseline();
+        let fast = pipelined.run(&input, 5).unwrap();
+        let mut serial = BaselineSystem::new(
+            GridSpec::d2(11, 11).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::paper_case(),
+            Box::new(AverageKernel),
+            BaselineConfig {
+                max_inflight_elements: 1,
+                ..BaselineConfig::default()
+            },
+        )
+        .unwrap();
+        let slow = serial.run(&input, 5).unwrap();
+        assert_eq!(slow.output, fast.output);
+        assert!(slow.metrics.cycles > fast.metrics.cycles);
+    }
+
+    #[test]
+    fn resources_match_paper_prose() {
+        let sys = paper_baseline();
+        let r = sys.resources();
+        assert_eq!(r.alms, 79);
+        assert_eq!(r.registers, 262);
+        assert_eq!(r.bram_bits, 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(BaselineSystem::new(
+            GridSpec::d2(4, 4).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::all_open(1).unwrap(),
+            Box::new(AverageKernel),
+            BaselineConfig::default(),
+        )
+        .is_err());
+        assert!(BaselineSystem::new(
+            GridSpec::d2(4, 4).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::all_open(2).unwrap(),
+            Box::new(AverageKernel),
+            BaselineConfig {
+                max_inflight_elements: 0,
+                ..BaselineConfig::default()
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn wrong_input_length_rejected() {
+        let mut sys = paper_baseline();
+        assert!(sys.run(&[0; 3], 1).is_err());
+    }
+}

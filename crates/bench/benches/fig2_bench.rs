@@ -1,0 +1,72 @@
+//! Criterion benchmark regenerating the Fig. 2 comparison.
+//!
+//! Each benchmark runs the complete cycle-accurate simulation of one
+//! design on the paper's workload; the interesting output is the custom
+//! metric lines printed once per design (cycles, traffic), while Criterion
+//! tracks host-side simulation throughput for regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smache::HybridMode;
+use smache_baseline::BaselineConfig;
+use smache_bench::workloads::paper_problem;
+
+fn fig2_smache(c: &mut Criterion) {
+    let workload = paper_problem(11, 11, 100);
+    let input = workload.ramp_input();
+
+    // Print the headline numbers once, so `cargo bench` output documents
+    // the experiment alongside the timing.
+    let mut sys = workload.smache(HybridMode::default());
+    let report = sys.run(&input, workload.instances).expect("run");
+    println!(
+        "[fig2] smache-h: {} cycles, {:.1} KB DRAM, {:.1} us, {:.1} MOPS",
+        report.metrics.cycles,
+        report.metrics.traffic_kb(),
+        report.metrics.exec_us(),
+        report.metrics.mops()
+    );
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("smache_11x11_100inst", |b| {
+        b.iter(|| {
+            let mut sys = workload.smache(HybridMode::default());
+            sys.run(&input, workload.instances)
+                .expect("run")
+                .metrics
+                .cycles
+        })
+    });
+    group.finish();
+}
+
+fn fig2_baseline(c: &mut Criterion) {
+    let workload = paper_problem(11, 11, 100);
+    let input = workload.ramp_input();
+
+    let mut sys = workload.baseline(BaselineConfig::default());
+    let report = sys.run(&input, workload.instances).expect("run");
+    println!(
+        "[fig2] baseline: {} cycles, {:.1} KB DRAM, {:.1} us, {:.1} MOPS",
+        report.metrics.cycles,
+        report.metrics.traffic_kb(),
+        report.metrics.exec_us(),
+        report.metrics.mops()
+    );
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("baseline_11x11_100inst", |b| {
+        b.iter(|| {
+            let mut sys = workload.baseline(BaselineConfig::default());
+            sys.run(&input, workload.instances)
+                .expect("run")
+                .metrics
+                .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2_smache, fig2_baseline);
+criterion_main!(benches);

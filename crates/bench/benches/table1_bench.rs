@@ -1,0 +1,62 @@
+//! Criterion benchmark regenerating Table I (plan analysis + cost models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smache::cost::{CostEstimate, SynthesisModel};
+use smache::{HybridMode, SmacheBuilder};
+use smache_stencil::GridSpec;
+
+fn table1_rows(c: &mut Criterion) {
+    // Print the four rows once so the bench log carries the experiment.
+    for (dim, hybrid, label) in [
+        (11usize, HybridMode::CaseR, "11x11r"),
+        (11, HybridMode::default(), "11x11h"),
+        (1024, HybridMode::CaseR, "1024x1024r"),
+        (1024, HybridMode::default(), "1024x1024h"),
+    ] {
+        let plan = SmacheBuilder::new(GridSpec::d2(dim, dim).expect("valid"))
+            .hybrid(hybrid)
+            .plan()
+            .expect("plan");
+        let est = CostEstimate.memory(&plan);
+        let act = SynthesisModel.memory(&plan);
+        println!(
+            "[table1] {label}: est Rsm={} Bsm={} Bsc={} | act Rsm={} Bsm={} Bsc={} Rtot={} Btot={}",
+            est.r_stream,
+            est.b_stream,
+            est.b_static,
+            act.r_stream,
+            act.b_stream,
+            act.b_static,
+            act.r_total(),
+            act.b_total()
+        );
+    }
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for dim in [11usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("plan_analysis", dim), &dim, |b, &dim| {
+            b.iter(|| {
+                SmacheBuilder::new(GridSpec::d2(dim, dim).expect("valid"))
+                    .plan()
+                    .expect("plan")
+                    .capacity
+            })
+        });
+    }
+    // Cost evaluation alone is cheap; bench it on a prebuilt plan.
+    let plan = SmacheBuilder::new(GridSpec::d2(1024, 1024).expect("valid"))
+        .plan()
+        .expect("plan");
+    group.bench_function("cost_models_1024x1024", |b| {
+        b.iter(|| {
+            let e = CostEstimate.memory(&plan);
+            let a = SynthesisModel.memory(&plan);
+            e.r_total() + a.r_total()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1_rows);
+criterion_main!(benches);

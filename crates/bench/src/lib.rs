@@ -1,0 +1,29 @@
+//! # smache-bench — experiment harnesses for every table and figure
+//!
+//! Regenerates the paper's evaluation artefacts on the simulated substrate:
+//!
+//! * `fig2` binary — the Fig. 2 comparison (baseline vs Smache on the
+//!   11×11 / 4-point / circular-boundary workload, 100 work-instances):
+//!   cycle count, Fmax, DRAM traffic, simulated execution time, MOPS,
+//!   absolute and normalised, with the paper's numbers alongside.
+//! * `table1` binary — Table I: estimated vs actual on-chip memory for
+//!   {11×11, 1024×1024} × {Case-R, Case-H}.
+//! * `ablations` binary — design-space studies motivated by §III: hybrid
+//!   stretch-threshold sweep, grid-size scaling of the baseline/Smache
+//!   gap, planning-strategy comparison, baseline pipelining depth, and
+//!   DRAM row-miss-penalty sensitivity.
+//! * Criterion benches (`cargo bench`) — micro and macro benchmarks of the
+//!   same components, for regression tracking.
+//!
+//! The library part holds the shared workload generators, the parallel
+//! sweep driver, and plain-text table rendering.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod sweep;
+pub mod workloads;
+
+pub use report::Table;
+pub use sweep::parallel_map;
+pub use workloads::{paper_problem, PaperWorkload};

@@ -1,0 +1,80 @@
+//! Parallel parameter-sweep driver.
+//!
+//! Each simulation point is independent, so sweeps parallelise across
+//! crossbeam scoped threads. Results come back in input order regardless
+//! of completion order.
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `items` using up to `threads` worker threads, preserving
+/// input order in the result.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = Mutex::new(work);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let next = queue.lock().pop();
+                let Some((idx, item)) = next else { break };
+                let result = f(&item);
+                slots.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(items, 8, |&x| x * x);
+        assert_eq!(out, (0..50).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = parallel_map((0..100).collect::<Vec<i32>>(), 4, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![7], 16, |&x| x * 2);
+        assert_eq!(out, vec![14]);
+    }
+}

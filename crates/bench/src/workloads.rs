@@ -1,0 +1,117 @@
+//! Workload generators shared by the experiment binaries and benches.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smache::arch::kernel::AverageKernel;
+use smache::system::smache_system::{SmacheSystem, SystemConfig};
+use smache::{HybridMode, SmacheBuilder};
+use smache_baseline::{BaselineConfig, BaselineSystem};
+use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+
+/// The paper's validation problem at a chosen grid size.
+#[derive(Debug, Clone)]
+pub struct PaperWorkload {
+    /// Grid (height × width).
+    pub grid: GridSpec,
+    /// 4-point stencil.
+    pub shape: StencilShape,
+    /// Circular rows, open columns.
+    pub bounds: BoundarySpec,
+    /// Work-instances to run.
+    pub instances: u64,
+}
+
+/// Builds the paper's workload: `h×w` grid, 4-point stencil, circular
+/// top/bottom + open left/right boundaries.
+pub fn paper_problem(h: usize, w: usize, instances: u64) -> PaperWorkload {
+    PaperWorkload {
+        grid: GridSpec::d2(h, w).expect("positive dims"),
+        shape: StencilShape::four_point_2d(),
+        bounds: BoundarySpec::paper_case(),
+        instances,
+    }
+}
+
+impl PaperWorkload {
+    /// Deterministic pseudo-random input grid.
+    pub fn input(&self, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..self.grid.len())
+            .map(|_| rng.gen_range(0..1u64 << 20))
+            .collect()
+    }
+
+    /// A ramp input (the kind used in the paper-regime assertions).
+    pub fn ramp_input(&self) -> Vec<u64> {
+        (0..self.grid.len() as u64).collect()
+    }
+
+    /// Instantiates the Smache system for this workload.
+    pub fn smache(&self, hybrid: HybridMode) -> SmacheSystem {
+        SmacheBuilder::new(self.grid.clone())
+            .shape(self.shape.clone())
+            .boundaries(self.bounds.clone())
+            .hybrid(hybrid)
+            .build()
+            .expect("valid paper workload")
+    }
+
+    /// Instantiates the Smache system with custom system tunables.
+    pub fn smache_with(&self, hybrid: HybridMode, config: SystemConfig) -> SmacheSystem {
+        SmacheBuilder::new(self.grid.clone())
+            .shape(self.shape.clone())
+            .boundaries(self.bounds.clone())
+            .hybrid(hybrid)
+            .system_config(config)
+            .build()
+            .expect("valid paper workload")
+    }
+
+    /// Instantiates the baseline system for this workload.
+    pub fn baseline(&self, config: BaselineConfig) -> BaselineSystem {
+        BaselineSystem::new(
+            self.grid.clone(),
+            self.shape.clone(),
+            self.bounds.clone(),
+            Box::new(AverageKernel),
+            config,
+        )
+        .expect("valid paper workload")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_problem_shape() {
+        let w = paper_problem(11, 11, 100);
+        assert_eq!(w.grid.len(), 121);
+        assert_eq!(w.instances, 100);
+        assert_eq!(w.input(1).len(), 121);
+        assert_eq!(w.ramp_input()[120], 120);
+    }
+
+    #[test]
+    fn input_is_deterministic_per_seed() {
+        let w = paper_problem(8, 8, 1);
+        assert_eq!(w.input(42), w.input(42));
+        assert_ne!(w.input(42), w.input(43));
+    }
+
+    #[test]
+    fn systems_instantiate_and_agree() {
+        let w = paper_problem(8, 8, 1);
+        let input = w.input(7);
+        let mut s = w.smache(HybridMode::default());
+        let mut b = w.baseline(BaselineConfig::default());
+        let rs = s.run(&input, 2).unwrap();
+        let rb = b.run(&input, 2).unwrap();
+        assert_eq!(
+            rs.output, rb.output,
+            "both designs compute the same function"
+        );
+        assert!(rb.metrics.cycles > rs.metrics.cycles);
+    }
+}

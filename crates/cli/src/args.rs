@@ -1,0 +1,175 @@
+//! A small, dependency-free argument parser.
+//!
+//! Grammar: `smache <command> [--key value]... [--flag]...`. Keys are
+//! declared by the caller, so unknown options are reported rather than
+//! silently ignored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No command word was given.
+    MissingCommand,
+    /// `--key` appeared at the end with no value.
+    MissingValue(String),
+    /// An option not in the declared set.
+    UnknownOption(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing command (try `smache help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::UnknownOption(k) => write!(f, "unknown option --{k}"),
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "--{key} {value}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The command word (e.g. `plan`).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name). `valued` lists
+    /// options that take a value; `flags` lists boolean switches.
+    pub fn parse(raw: &[String], valued: &[&str], flags: &[&str]) -> Result<Args, ArgError> {
+        let mut iter = raw.iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?.clone();
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnknownOption(tok.clone()));
+            };
+            if flags.contains(&key) {
+                args.flags.push(key.to_string());
+            } else if valued.contains(&key) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                args.options.insert(key.to_string(), value.clone());
+            } else {
+                return Err(ArgError::UnknownOption(key.to_string()));
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parsed numeric option with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+                expected: "a number".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = Args::parse(
+            &raw("simulate --grid 11x11 --instances 100 --verify"),
+            &["grid", "instances"],
+            &["verify"],
+        )
+        .unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get("grid"), Some("11x11"));
+        assert_eq!(a.get_num::<u64>("instances", 1).unwrap(), 100);
+        assert!(a.flag("verify"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&raw("plan"), &["grid"], &[]).unwrap();
+        assert_eq!(a.get_or("grid", "11x11"), "11x11");
+        assert_eq!(a.get_num::<u32>("depth", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let e = Args::parse(&raw("plan --bogus 3"), &["grid"], &[]).unwrap_err();
+        assert_eq!(e, ArgError::UnknownOption("bogus".into()));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = Args::parse(&raw("plan --grid"), &["grid"], &[]).unwrap_err();
+        assert_eq!(e, ArgError::MissingValue("grid".into()));
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        let e = Args::parse(&[], &[], &[]).unwrap_err();
+        assert_eq!(e, ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let a = Args::parse(&raw("x --n abc"), &["n"], &[]).unwrap();
+        let e = a.get_num::<u64>("n", 0).unwrap_err();
+        assert!(matches!(e, ArgError::BadValue { .. }));
+        assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        let e = Args::parse(&raw("plan stray"), &["grid"], &[]).unwrap_err();
+        assert!(matches!(e, ArgError::UnknownOption(_)));
+    }
+}

@@ -1,0 +1,489 @@
+//! The CLI commands. Each command writes its report into a `String` so it
+//! is unit-testable; `main` prints it.
+
+use std::fmt::Write as _;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smache::arch::kernel::AverageKernel;
+use smache::arch::kernel::Kernel as _;
+use smache::cost::{CostEstimate, CycleModel, FreqModel, SynthesisModel};
+use smache::functional::golden::golden_run;
+use smache_baseline::{BaselineConfig, BaselineSystem};
+use smache_codegen::{lint_verilog, VerilogGen};
+
+use crate::args::{ArgError, Args};
+use crate::spec::ProblemSpec;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// Library errors.
+    Core(smache::CoreError),
+    /// I/O problems (codegen output).
+    Io(std::io::Error),
+    /// Unknown command word.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}` (try `smache help`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<smache::CoreError> for CliError {
+    fn from(e: smache::CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+const VALUED: &[&str] = &[
+    "grid",
+    "shape",
+    "rows",
+    "cols",
+    "bounds",
+    "hybrid",
+    "strategy",
+    "statics",
+    "word-bits",
+    "instances",
+    "seed",
+    "design",
+    "out",
+    "budget-bits",
+    "lanes",
+];
+const FLAGS: &[&str] = &["verify", "quiet"];
+
+/// Usage text.
+pub fn usage() -> String {
+    "\
+smache — Smart-Cache architecture explorer (paper reproduction)
+
+USAGE:
+  smache <command> [options]
+
+COMMANDS:
+  plan       analyse a problem and print the buffer plan
+  cost       print estimated vs synthesised on-chip memory (Table I style)
+  predict    closed-form cycle/time prediction (no simulation)
+  simulate   run the cycle-accurate system (and optionally the baseline)
+  codegen    generate Verilog for the configured instance
+  help       this text
+
+PROBLEM OPTIONS (all commands):
+  --grid HxW | N | DxHxW   grid size                [11x11]
+  --shape four|five|nine|seven|<k>                  [four]
+  --rows / --cols open|circular|mirror|const:<v>    [circular / open]
+  --bounds <word>          boundary for 1D/3D grids [open]
+  --hybrid r|h|h:<thr>     stream-buffer style      [h]
+  --strategy global|greedy|exact                    [global]
+  --statics bram|reg       static-buffer placement  [bram]
+  --word-bits N            logical word width       [32]
+
+SIMULATE OPTIONS:
+  --instances N            work-instances           [100]
+  --seed S                 input generator seed     [1]
+  --design smache|baseline|both                     [smache]
+  --lanes P                multi-lane Smache (P elements/cycle) [1]
+  --verify                 check against the golden reference
+
+CODEGEN OPTIONS:
+  --out DIR                output directory         [smache_rtl]
+"
+    .to_string()
+}
+
+/// Entry point: parses `raw` and runs the command, returning the report.
+pub fn run(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw, VALUED, FLAGS)?;
+    match args.command.as_str() {
+        "plan" => cmd_plan(&args),
+        "cost" => cmd_cost(&args),
+        "predict" => cmd_predict(&args),
+        "simulate" | "sim" => cmd_simulate(&args),
+        "codegen" => cmd_codegen(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn cmd_plan(args: &Args) -> Result<String, CliError> {
+    let spec = ProblemSpec::from_args(args)?;
+    let mut builder = spec.builder();
+    if let Some(b) = args.get("budget-bits") {
+        let bits: u64 = b.parse().map_err(|_| ArgError::BadValue {
+            key: "budget-bits".into(),
+            value: b.into(),
+            expected: "bits".into(),
+        })?;
+        builder = builder.on_chip_budget_bits(bits);
+    }
+    let plan = builder.plan()?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "problem: grid {:?}, {} stencil points, {} stencil cases",
+        plan.grid.dims(),
+        plan.shape.len(),
+        plan.n_cases
+    );
+    let _ = writeln!(
+        out,
+        "stream buffer: {} words (lookahead {}, lookback {}, mode {})",
+        plan.capacity,
+        plan.lookahead,
+        plan.lookback,
+        plan.hybrid.label()
+    );
+    let _ = writeln!(
+        out,
+        "taps at window positions {:?} (centre {})",
+        plan.taps,
+        plan.centre_pos()
+    );
+    if plan.static_buffers.is_empty() {
+        let _ = writeln!(out, "static buffers: none needed");
+    } else {
+        for b in &plan.static_buffers {
+            let _ = writeln!(out,
+                "static buffer {}: {} words, offset {:+}, contents = grid[{}..{}], serves elements {}..{}",
+                b.name, b.len, b.offset, b.region_start, b.region_start + b.len,
+                b.range_start, b.range_start + b.len);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "formal-model cost: {} words (stream window + statics)",
+        plan.model_words()
+    );
+    let _ = writeln!(
+        out,
+        "estimated Fmax: {:.1} MHz",
+        FreqModel.smache_fmax(&plan)
+    );
+    Ok(out)
+}
+
+fn cmd_cost(args: &Args) -> Result<String, CliError> {
+    let spec = ProblemSpec::from_args(args)?;
+    let plan = spec.builder().plan()?;
+    let est = CostEstimate.memory(&plan);
+    let act = SynthesisModel.memory(&plan);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "", "Rsc", "Bsc", "Rsm", "Bsm", "Rtotal", "Btotal"
+    );
+    for (tag, m) in [("Estimate", est), ("Actual", act)] {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            tag,
+            m.r_static,
+            m.b_static,
+            m.r_stream,
+            m.b_stream,
+            m.r_total(),
+            m.b_total()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ntotal estimate: {} bits on-chip",
+        CostEstimate.total_bits(&plan)
+    );
+    Ok(out)
+}
+
+fn cmd_predict(args: &Args) -> Result<String, CliError> {
+    let spec = ProblemSpec::from_args(args)?;
+    let instances: u64 = args.get_num("instances", 100)?;
+    let plan = spec.builder().plan()?;
+    let dram = smache_mem::DramConfig::default();
+    let kernel = smache::arch::kernel::AverageKernel;
+
+    let sm = CycleModel.smache(&plan, &dram, kernel.latency(), instances);
+    let avg_reads = CycleModel.avg_reads(&plan);
+    let bl = CycleModel.baseline(plan.grid.len() as u64, avg_reads, 0.0, &dram, instances);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "closed-form prediction, {instances} work-instances (no simulation):"
+    );
+    let _ = writeln!(
+        out,
+        "  smache:   {:>12} cycles @ {:>6.1} MHz = {:>10.1} us (warm-up {})",
+        sm.cycles,
+        sm.fmax_mhz,
+        sm.exec_us(),
+        sm.warmup_cycles
+    );
+    let _ = writeln!(
+        out,
+        "  baseline: {:>12} cycles @ {:>6.1} MHz = {:>10.1} us ({:.2} reads/point)",
+        bl.cycles,
+        bl.fmax_mhz,
+        bl.exec_us(),
+        avg_reads
+    );
+    let _ = writeln!(
+        out,
+        "  predicted speed-up: {:.2}x",
+        bl.exec_us() / sm.exec_us()
+    );
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let spec = ProblemSpec::from_args(args)?;
+    let instances: u64 = args.get_num("instances", 100)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let design = args.get_or("design", "smache");
+    if !["smache", "baseline", "both"].contains(&design) {
+        return Err(ArgError::BadValue {
+            key: "design".into(),
+            value: design.into(),
+            expected: "smache|baseline|both".into(),
+        }
+        .into());
+    }
+
+    let n = spec.grid.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect();
+
+    let golden = if args.flag("verify") {
+        Some(golden_run(
+            &spec.grid,
+            &spec.bounds,
+            &spec.shape,
+            &AverageKernel,
+            &input,
+            instances,
+        )?)
+    } else {
+        None
+    };
+
+    let lanes: usize = args.get_num("lanes", 1)?;
+    let mut out = String::new();
+    if design == "smache" || design == "both" {
+        let (metrics, output, warmup) = if lanes > 1 {
+            let plan = spec.builder().plan()?;
+            let mut system = smache::system::multilane::MultilaneSystem::new(
+                plan,
+                Box::new(AverageKernel),
+                lanes,
+                smache::system::smache_system::SystemConfig::default(),
+            )?;
+            let report = system.run(&input, instances)?;
+            (report.metrics, report.output, 0)
+        } else {
+            let mut system = spec.builder().build()?;
+            let report = system.run(&input, instances)?;
+            (report.metrics, report.output, report.warmup_cycles)
+        };
+        let _ = writeln!(out, "{metrics}");
+        let _ = writeln!(
+            out,
+            "  warm-up {} cycles; resources: {}",
+            warmup, metrics.resources
+        );
+        if let Some(g) = &golden {
+            if &output == g {
+                let _ = writeln!(out, "  verified against golden reference");
+            } else {
+                return Err(smache::CoreError::Mismatch {
+                    index: output.iter().zip(g).position(|(a, b)| a != b).unwrap_or(0),
+                    expected: 0,
+                    actual: 0,
+                }
+                .into());
+            }
+        }
+    }
+    if design == "baseline" || design == "both" {
+        let mut baseline = BaselineSystem::new(
+            spec.grid.clone(),
+            spec.shape.clone(),
+            spec.bounds.clone(),
+            Box::new(AverageKernel),
+            BaselineConfig::default(),
+        )?;
+        let report = baseline.run(&input, instances)?;
+        let _ = writeln!(out, "{}", report.metrics);
+        let _ = writeln!(out, "  resources: {}", report.metrics.resources);
+        if let Some(g) = &golden {
+            if &report.output == g {
+                let _ = writeln!(out, "  verified against golden reference");
+            } else {
+                return Err(smache::CoreError::Mismatch {
+                    index: 0,
+                    expected: 0,
+                    actual: 0,
+                }
+                .into());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_codegen(args: &Args) -> Result<String, CliError> {
+    let spec = ProblemSpec::from_args(args)?;
+    let out_dir = args.get_or("out", "smache_rtl");
+    let plan = spec.builder().plan()?;
+    let design = VerilogGen::new(&plan).generate()?;
+    let mut out = String::new();
+    for (name, src) in &design.files {
+        let issues = lint_verilog(src);
+        if !issues.is_empty() {
+            return Err(
+                smache::CoreError::Config(format!("{name} lints dirty: {issues:?}")).into(),
+            );
+        }
+        let _ = writeln!(out, "{name}: {} lines", src.lines().count());
+    }
+    design.write_to_dir(std::path::Path::new(out_dir))?;
+    let _ = writeln!(out, "wrote {} files to {out_dir}/", design.files.len());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let raw: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(&raw)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("simulate"));
+    }
+
+    #[test]
+    fn plan_defaults_describe_paper_case() {
+        let out = run_str("plan").unwrap();
+        assert!(out.contains("25 words"), "{out}");
+        assert!(out.contains("static buffer B"));
+        assert!(out.contains("static buffer T"));
+        assert!(out.contains("9 stencil cases"));
+    }
+
+    #[test]
+    fn predict_reports_both_designs() {
+        let out = run_str("predict --grid 11x11 --instances 100").unwrap();
+        assert!(out.contains("smache:"), "{out}");
+        assert!(out.contains("baseline:"));
+        assert!(out.contains("speed-up"));
+        // The closed-form numbers land in the Fig. 2 regime.
+        assert!(out.contains("1394") || out.contains("1395"), "{out}");
+    }
+
+    #[test]
+    fn cost_prints_table1_row() {
+        let out = run_str("cost --grid 1024x1024 --hybrid h").unwrap();
+        assert!(out.contains("131072"), "{out}");
+        assert!(out.contains("65280"));
+        assert!(out.contains("196736"));
+    }
+
+    #[test]
+    fn simulate_verifies_both_designs() {
+        let out = run_str("simulate --grid 8x8 --instances 3 --design both --verify").unwrap();
+        assert_eq!(
+            out.matches("verified against golden reference").count(),
+            2,
+            "{out}"
+        );
+        assert!(out.contains("Baseline"));
+        assert!(out.contains("Smache"));
+    }
+
+    #[test]
+    fn simulate_smache_only_default() {
+        let out = run_str("simulate --grid 8x8 --instances 2").unwrap();
+        assert!(out.contains("Smache"));
+        assert!(!out.contains("Baseline"));
+    }
+
+    #[test]
+    fn multilane_simulation_verifies() {
+        let out = run_str("simulate --grid 8x8 --instances 3 --lanes 2 --verify").unwrap();
+        assert!(out.contains("Smache-x2"), "{out}");
+        assert!(out.contains("verified against golden reference"));
+    }
+
+    #[test]
+    fn codegen_writes_files() {
+        let dir = std::env::temp_dir().join("smache_cli_codegen_test");
+        let out = run_str(&format!("codegen --grid 8x8 --out {}", dir.display())).unwrap();
+        assert!(out.contains("smache_top.v"));
+        assert!(dir.join("smache_top.v").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_bad_options() {
+        assert!(matches!(
+            run_str("frobnicate"),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert!(matches!(run_str("plan --nope 1"), Err(CliError::Args(_))));
+        assert!(matches!(
+            run_str("simulate --design weird"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn budget_flows_to_planner() {
+        let err = run_str("plan --budget-bits 10").unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Core(smache::CoreError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn one_dimensional_problem() {
+        let out = run_str("plan --grid 64 --shape 2 --bounds circular").unwrap();
+        assert!(out.contains("stream buffer"), "{out}");
+    }
+
+    #[test]
+    fn three_dimensional_problem() {
+        let out = run_str("plan --grid 4x6x8 --shape seven --bounds circular").unwrap();
+        assert!(out.contains("static buffer"), "{out}");
+    }
+}

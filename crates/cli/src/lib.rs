@@ -1,0 +1,22 @@
+//! # smache-cli — command-line front end for the Smache reproduction
+//!
+//! ```text
+//! smache plan     --grid 11x11 --rows circular --cols open
+//! smache cost     --grid 1024x1024 --hybrid h
+//! smache simulate --grid 11x11 --instances 100 --design both --verify
+//! smache codegen  --grid 11x11 --out smache_rtl
+//! ```
+//!
+//! The library half holds the argument parser and the command
+//! implementations (so they are unit-testable); `src/main.rs` is a thin
+//! shim.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod spec;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};
+pub use spec::ProblemSpec;

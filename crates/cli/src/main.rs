@@ -1,0 +1,17 @@
+//! `smache` — the command-line front end (see `smache help`).
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let argv = if raw.is_empty() {
+        vec!["help".to_string()]
+    } else {
+        raw
+    };
+    match smache_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Indentation-aware source writer.
+
+use std::fmt::Write as _;
+
+/// A small helper accumulating indented source text.
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    buf: String,
+    indent: usize,
+}
+
+impl CodeWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits one line at the current indentation.
+    pub fn line(&mut self, s: &str) {
+        if s.is_empty() {
+            self.buf.push('\n');
+            return;
+        }
+        for _ in 0..self.indent {
+            self.buf.push_str("  ");
+        }
+        let _ = writeln!(self.buf, "{s}");
+    }
+
+    /// Emits a blank line.
+    pub fn blank(&mut self) {
+        self.buf.push('\n');
+    }
+
+    /// Increases indentation for the duration of `f`.
+    pub fn indented<F: FnOnce(&mut Self)>(&mut self, f: F) {
+        self.indent += 1;
+        f(self);
+        self.indent -= 1;
+    }
+
+    /// Opens a block: emits `head`, indents, runs `f`, emits `tail`.
+    pub fn block<F: FnOnce(&mut Self)>(&mut self, head: &str, tail: &str, f: F) {
+        self.line(head);
+        self.indented(f);
+        self.line(tail);
+    }
+
+    /// The accumulated text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Current length in bytes (for tests).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_indented() {
+        let mut w = CodeWriter::new();
+        w.line("module m;");
+        w.indented(|w| w.line("wire x;"));
+        w.line("endmodule");
+        assert_eq!(w.finish(), "module m;\n  wire x;\nendmodule\n");
+    }
+
+    #[test]
+    fn block_helper_brackets_content() {
+        let mut w = CodeWriter::new();
+        w.block("always @(posedge clk) begin", "end", |w| {
+            w.line("q <= d;");
+        });
+        let s = w.finish();
+        assert!(s.contains("begin\n  q <= d;\nend"));
+    }
+
+    #[test]
+    fn empty_line_has_no_indent() {
+        let mut w = CodeWriter::new();
+        w.indented(|w| {
+            w.line("");
+            w.blank();
+        });
+        assert_eq!(w.finish(), "\n\n");
+        let w2 = CodeWriter::new();
+        assert!(w2.is_empty());
+        assert_eq!(w2.len(), 0);
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let mut w = CodeWriter::new();
+        w.block("a", "z", |w| {
+            w.block("b", "y", |w| w.line("core"));
+        });
+        assert_eq!(w.finish(), "a\n  b\n    core\n  y\nz\n");
+    }
+}

@@ -1,0 +1,36 @@
+//! # smache-codegen — automated Verilog generation for Smache instances
+//!
+//! The paper's stated future work: "completely automate the creation of
+//! the Smache architecture given a problem with a particular stencil shape
+//! and boundary conditions". This crate implements that step: given a
+//! [`BufferPlan`](smache::BufferPlan), it emits a self-contained
+//! synthesisable-style Verilog-2001 design:
+//!
+//! * `smache_top` — AXI4-Stream-like top level (data/index/valid/stall),
+//!   wiring the controller, buffers and kernel;
+//! * `stream_buffer` — the tapped delay line with the plan's exact
+//!   segmentation (register chains + BRAM FIFO stretches);
+//! * `bram_fifo` — a depth-parameterised synchronous FIFO;
+//! * `static_buffer` — the double-buffered static store with write-through
+//!   and bank swap;
+//! * `gather_unit` — the per-case tuple multiplexer generated from the
+//!   plan's range decisions;
+//! * `kernel_avg` — the 4-point averaging kernel (or a stub for custom
+//!   kernels);
+//! * `smache_ctrl` — the three FSMs.
+//!
+//! The output is deterministic (golden-tested) and structurally checked
+//! (balanced `module`/`endmodule`, `begin`/`end`, declared-before-used
+//! identifiers at module granularity).
+
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod generate;
+pub mod lint;
+pub mod testbench;
+
+pub use emit::CodeWriter;
+pub use generate::{VerilogDesign, VerilogGen};
+pub use lint::{lint_verilog, LintIssue};
+pub use testbench::{generate_testbench, Testbench};

@@ -1,0 +1,237 @@
+//! Structural checks over generated Verilog.
+//!
+//! Not a parser — a linter catching the classes of generator bugs that
+//! matter: unbalanced `module`/`endmodule`, `begin`/`end` and `case`/
+//! `endcase`, unbalanced parentheses/brackets, and duplicate module names.
+
+use std::collections::BTreeSet;
+
+/// One structural problem found in generated source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintIssue {
+    /// `module` and `endmodule` counts differ.
+    UnbalancedModules {
+        /// Count of `module` keywords.
+        opens: usize,
+        /// Count of `endmodule` keywords.
+        closes: usize,
+    },
+    /// `begin` and `end` counts differ.
+    UnbalancedBeginEnd {
+        /// Count of `begin`.
+        opens: usize,
+        /// Count of `end` (excluding `endmodule`/`endcase`/`endfunction`).
+        closes: usize,
+    },
+    /// `case` and `endcase` counts differ.
+    UnbalancedCase {
+        /// Count of `case`/`casez`/`casex`.
+        opens: usize,
+        /// Count of `endcase`.
+        closes: usize,
+    },
+    /// Parentheses or brackets do not balance.
+    UnbalancedDelimiters {
+        /// The delimiter character.
+        delimiter: char,
+        /// Net open count at end of input.
+        depth: i64,
+    },
+    /// The same module name is declared twice.
+    DuplicateModule {
+        /// The repeated name.
+        name: String,
+    },
+}
+
+/// Tokenises enough of Verilog to count keywords outside comments/strings.
+fn keywords(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut word = String::new();
+    let mut in_line_comment = false;
+    let mut in_block_comment = false;
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_line_comment {
+            if c == '\n' {
+                in_line_comment = false;
+            }
+            continue;
+        }
+        if in_block_comment {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if in_string {
+            if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => {
+                chars.next();
+                in_line_comment = true;
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                in_block_comment = true;
+            }
+            '"' => in_string = true,
+            c if c.is_alphanumeric() || c == '_' => word.push(c),
+            c => {
+                if !word.is_empty() {
+                    out.push(std::mem::take(&mut word));
+                }
+                if "()[]".contains(c) {
+                    out.push(c.to_string());
+                }
+            }
+        }
+    }
+    if !word.is_empty() {
+        out.push(word);
+    }
+    out
+}
+
+/// Runs all structural checks; empty result means clean.
+pub fn lint_verilog(src: &str) -> Vec<LintIssue> {
+    let toks = keywords(src);
+    let mut issues = Vec::new();
+
+    let count = |kw: &str| toks.iter().filter(|t| t.as_str() == kw).count();
+
+    let modules = count("module");
+    let endmodules = count("endmodule");
+    if modules != endmodules {
+        issues.push(LintIssue::UnbalancedModules {
+            opens: modules,
+            closes: endmodules,
+        });
+    }
+
+    let begins = count("begin");
+    let ends = count("end");
+    if begins != ends {
+        issues.push(LintIssue::UnbalancedBeginEnd {
+            opens: begins,
+            closes: ends,
+        });
+    }
+
+    let cases = count("case") + count("casez") + count("casex");
+    let endcases = count("endcase");
+    if cases != endcases {
+        issues.push(LintIssue::UnbalancedCase {
+            opens: cases,
+            closes: endcases,
+        });
+    }
+
+    for (open, close) in [("(", ")"), ("[", "]")] {
+        let depth = count(open) as i64 - count(close) as i64;
+        if depth != 0 {
+            issues.push(LintIssue::UnbalancedDelimiters {
+                delimiter: open.chars().next().expect("nonempty"),
+                depth,
+            });
+        }
+    }
+
+    // Duplicate module declarations.
+    let mut seen = BTreeSet::new();
+    let mut iter = toks.iter().peekable();
+    while let Some(t) = iter.next() {
+        if t == "module" {
+            if let Some(name) = iter.peek() {
+                if !seen.insert((*name).clone()) {
+                    issues.push(LintIssue::DuplicateModule {
+                        name: (*name).clone(),
+                    });
+                }
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_module_passes() {
+        let src = "module m(input clk);\nalways @(posedge clk) begin end\nendmodule\n";
+        assert!(lint_verilog(src).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_module_detected() {
+        let issues = lint_verilog("module m(); module n(); endmodule");
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            LintIssue::UnbalancedModules {
+                opens: 2,
+                closes: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn unbalanced_begin_end_detected() {
+        let issues = lint_verilog("module m(); always begin begin end endmodule");
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            LintIssue::UnbalancedBeginEnd {
+                opens: 2,
+                closes: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn case_balance() {
+        let ok = "module m(); always @* case (x) default: ; endcase endmodule";
+        assert!(lint_verilog(ok).is_empty());
+        let bad = "module m(); always @* case (x) default: ; endmodule";
+        assert!(!lint_verilog(bad).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_ignored() {
+        let src = "module m();\n// begin begin (\n/* case [ */\ninitial $display(\"begin (\");\nendmodule";
+        assert!(lint_verilog(src).is_empty());
+    }
+
+    #[test]
+    fn paren_balance() {
+        let issues = lint_verilog("module m(input x; endmodule");
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            LintIssue::UnbalancedDelimiters {
+                delimiter: '(',
+                depth: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn duplicate_modules_detected() {
+        let src = "module m(); endmodule\nmodule m(); endmodule";
+        assert!(lint_verilog(src)
+            .iter()
+            .any(|i| matches!(i, LintIssue::DuplicateModule { name } if name == "m")));
+    }
+
+    #[test]
+    fn endmodule_not_counted_as_end() {
+        // `end` inside `endmodule` must not leak into begin/end counting.
+        let src = "module m(); always begin x <= 1; end endmodule";
+        assert!(lint_verilog(src).is_empty());
+    }
+}

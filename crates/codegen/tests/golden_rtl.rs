@@ -1,0 +1,46 @@
+//! Golden snapshot of the generated RTL for the paper's validation
+//! configuration. Any intentional generator change is blessed by running
+//! with `BLESS_RTL=1`; unintentional drift fails here.
+
+use smache::arch::kernel::AverageKernel;
+use smache::SmacheBuilder;
+use smache_codegen::{generate_testbench, VerilogGen};
+use smache_stencil::GridSpec;
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+#[test]
+fn generated_rtl_matches_golden_snapshot() {
+    let plan = SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+        .plan()
+        .expect("plan");
+    let design = VerilogGen::new(&plan).generate().expect("codegen");
+    let input: Vec<u64> = (0..121).collect();
+    let tb = generate_testbench(&plan, &AverageKernel, &input).expect("testbench");
+
+    let mut files: Vec<(String, String)> = design.files.clone();
+    files.push(("smache_tb.v".into(), tb.source.clone()));
+    files.push(("stimulus.hex".into(), tb.stimulus_hex.clone()));
+    files.push(("expected.hex".into(), tb.expected_hex.clone()));
+
+    let bless = std::env::var("BLESS_RTL").is_ok();
+    let dir = golden_dir();
+    for (name, content) in &files {
+        let path = dir.join(name);
+        if bless {
+            std::fs::create_dir_all(&dir).expect("golden dir");
+            std::fs::write(&path, content).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!("missing golden file {path:?}; run with BLESS_RTL=1 to create")
+        });
+        assert_eq!(
+            content, &golden,
+            "{name} drifted from the golden snapshot; re-run with BLESS_RTL=1 \
+             if the change is intentional"
+        );
+    }
+}

@@ -1,0 +1,553 @@
+//! The Smache module: buffers plus the three concurrent FSMs.
+//!
+//! §III of the paper: "The Smache controller orchestrates the data movement
+//! across the buffers and creates the stencil tuple for the kernel. It is
+//! implemented as three concurrent finite state machines:
+//!
+//! * **FSM-1** pre-fetches data into the static buffers (the warm-up).
+//! * **FSM-2** gathers data from the static and streaming buffers, and
+//!   emits the stencil tuple for the computation kernel.
+//! * **FSM-3** reads relevant data from the computation kernel, and updates
+//!   static buffers (write-through into the shadow banks).
+//!
+//! This module owns the buffers and the FSM state; the enclosing system
+//! (see `crate::system`) owns the DRAM and the kernel pipeline and calls
+//! into the controller once per cycle.
+//!
+//! ## Window timeline
+//!
+//! With `A = lookahead` and one staging position at each window end, after
+//! `k` shifts the newest element `k−1` sits at position 0 and element `e`
+//! at position `k−1−e`. Element `e` is emitted when it reaches the centre
+//! position `A+1`, i.e. when `k = e + A + 2`; the tap for stream offset `o`
+//! then reads position `A+1−o`. After the last real element the controller
+//! flushes zeros until every element has passed the centre.
+
+use smache_sim::{ResourceUsage, SimResult, Word};
+
+use crate::arch::static_buffer::StaticBank;
+use crate::arch::stream_buffer::StreamBuffer;
+use crate::config::{BufferPlan, SourceRef};
+use crate::cost::SynthesisModel;
+use crate::CoreResult;
+
+/// The controller's top-level phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerPhase {
+    /// FSM-1 is prefetching the static buffers (before instance 0).
+    Warmup,
+    /// A work-instance is streaming.
+    Streaming,
+    /// All requested instances have completed.
+    Done,
+}
+
+/// Per-module resource breakdown used by the Table I harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmacheResourceBreakdown {
+    /// Stream buffer (Rsm/Bsm).
+    pub stream: ResourceUsage,
+    /// Static buffers (Rsc/Bsc).
+    pub statics: ResourceUsage,
+    /// Controller state and fanout (registers + ALMs, no memory).
+    pub controller: ResourceUsage,
+}
+
+impl SmacheResourceBreakdown {
+    /// Sum of all parts.
+    pub fn total(&self) -> ResourceUsage {
+        self.stream + self.statics + self.controller
+    }
+}
+
+/// The Smache module proper.
+pub struct SmacheModule {
+    plan: BufferPlan,
+    stream: StreamBuffer,
+    banks: Vec<StaticBank>,
+    phase: ControllerPhase,
+    /// FSM-1: number of prefetch words received so far.
+    prefetched: usize,
+    /// Map from prefetch sequence number to (bank, slot).
+    prefetch_map: Vec<(usize, usize)>,
+    /// Grid addresses the warm-up must read, in sequence order.
+    prefetch_addrs: Vec<usize>,
+    /// FSM-2: words *staged* for shifting this instance (incl. flush zeros).
+    pushed: u64,
+    /// FSM-2: words whose shift has been *applied* (clock edges taken)
+    /// this instance — the count emission readiness is judged against.
+    applied: u64,
+    /// FSM-2: next element index to emit.
+    next_emit: usize,
+    /// Current work-instance number.
+    instance: u64,
+    scratch_sources: Vec<Option<SourceRef>>,
+}
+
+impl SmacheModule {
+    /// Instantiates buffers and FSMs for a plan.
+    pub fn new(plan: BufferPlan) -> CoreResult<Self> {
+        let stream = StreamBuffer::from_plan(&plan)?;
+        let mut banks = Vec::with_capacity(plan.static_buffers.len());
+        let mut prefetch_map = Vec::new();
+        let mut prefetch_addrs = Vec::new();
+        for spec in &plan.static_buffers {
+            for slot in 0..spec.len {
+                prefetch_map.push((spec.id, slot));
+                prefetch_addrs.push(spec.region_start + slot);
+            }
+            banks.push(StaticBank::new(spec.clone(), plan.word_bits)?);
+        }
+        let phase = if prefetch_map.is_empty() {
+            ControllerPhase::Streaming
+        } else {
+            ControllerPhase::Warmup
+        };
+        Ok(SmacheModule {
+            plan,
+            stream,
+            banks,
+            phase,
+            prefetched: 0,
+            prefetch_map,
+            prefetch_addrs,
+            pushed: 0,
+            applied: 0,
+            next_emit: 0,
+            instance: 0,
+            scratch_sources: Vec::new(),
+        })
+    }
+
+    /// The plan this module implements.
+    pub fn plan(&self) -> &BufferPlan {
+        &self.plan
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> ControllerPhase {
+        self.phase
+    }
+
+    /// Current work-instance number.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// Grid addresses FSM-1 needs, in the order it consumes them.
+    pub fn prefetch_addrs(&self) -> &[usize] {
+        &self.prefetch_addrs
+    }
+
+    /// FSM-1: accepts the next prefetch word (words arrive in the order of
+    /// [`SmacheModule::prefetch_addrs`]). Transitions to streaming when the
+    /// last word lands.
+    pub fn prefetch_word(&mut self, word: Word) -> SimResult<()> {
+        let (bank, slot) = self.prefetch_map[self.prefetched];
+        self.banks[bank].stage_prefetch(slot, word)?;
+        self.prefetched += 1;
+        if self.prefetched == self.prefetch_map.len() {
+            self.phase = ControllerPhase::Streaming;
+        }
+        Ok(())
+    }
+
+    /// Number of words FSM-1 still awaits.
+    pub fn prefetch_remaining(&self) -> usize {
+        self.prefetch_map.len() - self.prefetched
+    }
+
+    /// FSM-2: true while this instance still needs words shifted in
+    /// (real data first, then flush zeros).
+    pub fn wants_shift(&self) -> bool {
+        self.phase == ControllerPhase::Streaming
+            && self.pushed < self.plan.grid.len() as u64 + self.plan.lookahead as u64 + 1
+    }
+
+    /// Number of *real* words this instance still needs from DRAM.
+    pub fn real_words_remaining(&self) -> u64 {
+        (self.plan.grid.len() as u64).saturating_sub(self.pushed)
+    }
+
+    /// FSM-2: stages a shift of the next word (a DRAM word while real data
+    /// remains, a flush zero afterwards — the caller passes the right one).
+    pub fn shift_in(&mut self, word: Word) {
+        debug_assert!(self.wants_shift());
+        self.stream.stage_shift(word);
+        self.pushed += 1;
+    }
+
+    /// FSM-2: the element whose tuple is complete *this* cycle, if any.
+    ///
+    /// Element `e` is ready in the cycle after its window position reaches
+    /// the centre, i.e. when `applied ≥ e + lookahead + 2` (applied counts
+    /// clock edges taken, so gather reads the settled register outputs).
+    /// `next_emit` advances one per gather, so emission proceeds at most
+    /// one element per cycle and can never skip an element.
+    pub fn emit_ready(&self) -> Option<usize> {
+        if self.phase != ControllerPhase::Streaming {
+            return None;
+        }
+        let e = self.next_emit;
+        if e < self.plan.grid.len() && self.applied >= e as u64 + self.plan.lookahead as u64 + 2 {
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// FSM-2: gathers the tuple of element `e` from the stream taps and
+    /// the (pre-issued) static bank outputs, positionally: `values[p]` is
+    /// shape point `p` and the returned mask has bit `p` set when present.
+    /// Call only when [`SmacheModule::emit_ready`] returned `Some(e)` this
+    /// cycle.
+    pub fn gather(&mut self, e: usize, values: &mut Vec<Word>) -> CoreResult<u64> {
+        values.clear();
+        let mut sources = std::mem::take(&mut self.scratch_sources);
+        self.plan.sources_for(e, &mut sources)?;
+        let mut mask = 0u64;
+        for (p, src) in sources.iter().enumerate() {
+            match *src {
+                None => values.push(0),
+                Some(SourceRef::Tap { pos }) => {
+                    values.push(self.stream.read_pos(pos)?);
+                    mask |= 1 << p;
+                }
+                Some(SourceRef::Static {
+                    buffer,
+                    slot: _,
+                    port,
+                }) => {
+                    values.push(self.banks[buffer].out_port(port));
+                    mask |= 1 << p;
+                }
+                Some(SourceRef::Constant(v)) => {
+                    values.push(v);
+                    mask |= 1 << p;
+                }
+            }
+        }
+        self.scratch_sources = sources;
+        self.next_emit = e + 1;
+        Ok(mask)
+    }
+
+    /// FSM-2: pre-issues the static-bank reads for the element that will be
+    /// emitted next cycle (bank reads have one cycle of latency). Call once
+    /// per cycle, before [`SmacheModule::tick`].
+    pub fn preissue_static_reads(&mut self) -> CoreResult<()> {
+        if self.phase != ControllerPhase::Streaming || self.next_emit >= self.plan.grid.len() {
+            return Ok(());
+        }
+        let mut sources = std::mem::take(&mut self.scratch_sources);
+        self.plan.sources_for(self.next_emit, &mut sources)?;
+        for src in sources.iter().flatten() {
+            if let SourceRef::Static { buffer, slot, port } = *src {
+                self.banks[buffer].stage_read_port(port, slot)?;
+            }
+        }
+        self.scratch_sources = sources;
+        Ok(())
+    }
+
+    /// FSM-3: write-through capture of the kernel output for grid index `g`
+    /// into whichever shadow banks cover it.
+    pub fn capture(&mut self, g: usize, word: Word) -> SimResult<()> {
+        // Bank regions are few; linear scan is the hardware reality too
+        // (one comparator pair per bank).
+        for bank in &mut self.banks {
+            if bank.spec().contains_region(g) {
+                let slot = g - bank.spec().region_start;
+                bank.stage_capture(slot, word)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every element of the current instance has been emitted.
+    pub fn instance_emitted(&self) -> bool {
+        self.next_emit >= self.plan.grid.len()
+    }
+
+    /// Ends the instance: swaps the static banks (shadow→active), resets
+    /// FSM-2 counters. The caller invokes this once the last output has
+    /// been captured and written.
+    pub fn end_instance(&mut self, remaining_instances: u64) {
+        for bank in &mut self.banks {
+            bank.stage_swap();
+        }
+        self.pushed = 0;
+        self.applied = 0;
+        self.next_emit = 0;
+        self.instance += 1;
+        if remaining_instances == 0 {
+            self.phase = ControllerPhase::Done;
+        }
+    }
+
+    /// Ends the instance *without* the transparent bank swap, returning to
+    /// the warm-up phase instead: the next instance re-prefetches every
+    /// static buffer from DRAM. This is the architecture the paper's
+    /// double buffering removes; it exists for the ablation comparing the
+    /// two.
+    pub fn end_instance_without_double_buffering(&mut self, remaining_instances: u64) {
+        self.pushed = 0;
+        self.applied = 0;
+        self.next_emit = 0;
+        self.instance += 1;
+        self.prefetched = 0;
+        if remaining_instances == 0 {
+            self.phase = ControllerPhase::Done;
+        } else if !self.prefetch_map.is_empty() {
+            self.phase = ControllerPhase::Warmup;
+        }
+    }
+
+    /// Resets all FSM state for a fresh run. Buffer contents are left
+    /// stale: the warm-up prefetch rewrites every active static slot, the
+    /// first instance's captures rewrite every shadow slot before the
+    /// swap, and stream-window reads are gated by the applied-shift count,
+    /// so stale data is unreachable.
+    pub fn reset(&mut self) {
+        self.phase = if self.prefetch_map.is_empty() {
+            ControllerPhase::Streaming
+        } else {
+            ControllerPhase::Warmup
+        };
+        self.prefetched = 0;
+        self.pushed = 0;
+        self.applied = 0;
+        self.next_emit = 0;
+        self.instance = 0;
+    }
+
+    /// Clocks the buffers. Call exactly once per cycle after staging.
+    pub fn tick(&mut self) -> SimResult<()> {
+        if self.stream.shift_staged() {
+            self.applied += 1;
+        }
+        self.stream.tick()?;
+        for bank in &mut self.banks {
+            bank.tick();
+        }
+        Ok(())
+    }
+
+    /// Per-part synthesised resources (Table I "actual" columns come from
+    /// walking this instantiated design).
+    pub fn resource_breakdown(&self) -> SmacheResourceBreakdown {
+        let statics = self.banks.iter().map(|b| b.resources()).sum();
+        let controller = ResourceUsage {
+            alms: SynthesisModel.smache_alms(&self.plan, 0),
+            registers: SynthesisModel.controller_registers(&self.plan),
+            bram_bits: 0,
+            dsps: 0,
+        };
+        SmacheResourceBreakdown {
+            stream: self.stream.resources(),
+            statics,
+            controller,
+        }
+    }
+
+    /// Testbench access to a static bank.
+    pub fn bank(&self, id: usize) -> &StaticBank {
+        &self.banks[id]
+    }
+
+    /// Testbench access to the stream buffer.
+    pub fn stream_buffer(&self) -> &StreamBuffer {
+        &self.stream
+    }
+}
+
+#[cfg(test)]
+impl SmacheModule {
+    /// Test-only: stage a read on a bank.
+    fn bank_read_for_test(&mut self, bank: usize, slot: usize) {
+        self.banks[bank].stage_read(slot).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HybridMode, PlanStrategy};
+    use smache_mem::MemKind;
+    use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+
+    fn module() -> SmacheModule {
+        let plan = BufferPlan::analyse(
+            GridSpec::d2(11, 11).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::paper_case(),
+            PlanStrategy::GlobalWindow,
+            HybridMode::default(),
+            MemKind::Bram,
+            32,
+        )
+        .unwrap();
+        SmacheModule::new(plan).unwrap()
+    }
+
+    #[test]
+    fn warmup_covers_both_static_regions_in_order() {
+        let m = module();
+        assert_eq!(m.phase(), ControllerPhase::Warmup);
+        let addrs = m.prefetch_addrs().to_vec();
+        assert_eq!(addrs.len(), 22);
+        // Buffer B (bottom row) then buffer T (top row), each contiguous.
+        assert_eq!(&addrs[..11], &(110..121).collect::<Vec<_>>()[..]);
+        assert_eq!(&addrs[11..], &(0..11).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn prefetch_transitions_to_streaming() {
+        let mut m = module();
+        for i in 0..22u64 {
+            assert_eq!(m.phase(), ControllerPhase::Warmup);
+            m.prefetch_word(i).unwrap();
+        }
+        assert_eq!(m.phase(), ControllerPhase::Streaming);
+        assert_eq!(m.prefetch_remaining(), 0);
+        m.tick().unwrap();
+        // B got values 0..11 in slots 0..11 (active bank 0).
+        assert_eq!(m.bank(0).peek(0, 5), 5);
+        assert_eq!(m.bank(1).peek(0, 5), 16);
+    }
+
+    #[test]
+    fn no_static_buffers_means_no_warmup() {
+        let plan = BufferPlan::analyse(
+            GridSpec::d2(8, 8).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::all_open(2).unwrap(),
+            PlanStrategy::GlobalWindow,
+            HybridMode::default(),
+            MemKind::Bram,
+            32,
+        )
+        .unwrap();
+        let m = SmacheModule::new(plan).unwrap();
+        assert_eq!(m.phase(), ControllerPhase::Streaming);
+        assert!(m.prefetch_addrs().is_empty());
+    }
+
+    #[test]
+    fn emission_timeline_matches_window_geometry() {
+        let mut m = module();
+        for i in 0..22u64 {
+            m.prefetch_word(i).unwrap();
+        }
+        m.tick().unwrap();
+        // Element 0 becomes ready exactly at pushed == lookahead + 2 == 13.
+        let mut values = Vec::new();
+        for k in 1..=13u64 {
+            assert!(m.wants_shift());
+            assert_eq!(m.emit_ready(), None, "not ready before 13 pushes (k={k})");
+            m.preissue_static_reads().unwrap();
+            m.shift_in(100 + k - 1);
+            m.tick().unwrap();
+        }
+        assert_eq!(m.emit_ready(), Some(0));
+        let mask = m.gather(0, &mut values).unwrap();
+        // Element 0 = NW corner: north (static B slot 0 = prefetch word 0),
+        // east (element 1 = 101), south (element 11 = 111). West (point 1)
+        // skipped: slot zeroed, mask bit clear.
+        assert_eq!(values, vec![0, 0, 101, 111]);
+        assert_eq!(mask, 0b1101);
+    }
+
+    #[test]
+    fn full_instance_emits_every_element() {
+        let mut m = module();
+        for i in 0..22u64 {
+            m.prefetch_word(i).unwrap();
+        }
+        m.tick().unwrap();
+        let n = 121u64;
+        let mut emitted = Vec::new();
+        let mut values = Vec::new();
+        let mut guard = 0;
+        while !m.instance_emitted() {
+            m.preissue_static_reads().unwrap();
+            if m.wants_shift() {
+                let w = if m.real_words_remaining() > 0 {
+                    500 + m.stream_buffer().pushed()
+                } else {
+                    0
+                };
+                m.shift_in(w);
+            }
+            if let Some(e) = m.emit_ready() {
+                let mask = m.gather(e, &mut values).unwrap();
+                assert!(mask != 0);
+                emitted.push(e);
+            }
+            m.tick().unwrap();
+            guard += 1;
+            assert!(guard < 400, "instance must finish in bounded cycles");
+        }
+        assert_eq!(emitted.len(), n as usize);
+        assert_eq!(emitted, (0..n as usize).collect::<Vec<_>>());
+        // Total cycles ≈ N + lookahead + 2: the paper's one-tuple-per-cycle
+        // streaming with a bounded fill/flush overhead.
+        assert!(guard as u64 <= n + 14, "took {guard} cycles");
+    }
+
+    #[test]
+    fn capture_routes_to_shadow_banks_only_for_regions() {
+        let mut m = module();
+        m.capture(0, 42).unwrap(); // top row => bank T (id 1) slot 0
+        m.capture(60, 9).unwrap(); // interior => nowhere
+        m.capture(115, 7).unwrap(); // bottom row => bank B (id 0) slot 5
+        m.tick().unwrap();
+        assert_eq!(m.bank(1).peek(1, 0), 42, "shadow bank of T");
+        assert_eq!(m.bank(0).peek(1, 5), 7, "shadow bank of B");
+    }
+
+    #[test]
+    fn end_instance_swaps_banks_and_resets() {
+        let mut m = module();
+        for i in 0..22u64 {
+            m.prefetch_word(i).unwrap();
+        }
+        m.tick().unwrap();
+        m.capture(0, 77).unwrap();
+        m.end_instance(1);
+        m.tick().unwrap();
+        assert_eq!(m.instance(), 1);
+        assert_eq!(m.phase(), ControllerPhase::Streaming);
+        // After the swap the captured value is in the active bank of T.
+        assert_eq!(m.bank(1).peek(1, 0), 77);
+        // Read it through the architectural path.
+        let mut mm = m;
+        mm.bank_read_for_test(1, 0);
+        mm.tick().unwrap();
+        assert_eq!(mm.bank(1).out(), 77);
+    }
+
+    #[test]
+    fn done_after_last_instance() {
+        let mut m = module();
+        for i in 0..22u64 {
+            m.prefetch_word(i).unwrap();
+        }
+        m.end_instance(0);
+        assert_eq!(m.phase(), ControllerPhase::Done);
+        assert!(!m.wants_shift());
+        assert_eq!(m.emit_ready(), None);
+    }
+
+    #[test]
+    fn resource_breakdown_sums_parts() {
+        let m = module();
+        let b = m.resource_breakdown();
+        assert_eq!(b.stream.registers, 355);
+        assert_eq!(b.statics.bram_bits, 1536);
+        assert_eq!(b.controller.registers, 70);
+        let t = b.total();
+        assert_eq!(t.registers, 355 + 70);
+        assert_eq!(t.bram_bits, 1536 + 512);
+    }
+}

@@ -1,0 +1,21 @@
+//! The Smache hardware architecture (§III of the paper).
+//!
+//! * [`kernel`] — the computation kernel contract and the paper's 4-point
+//!   averaging filter.
+//! * [`static_buffer`] — double-buffered static buffer banks with
+//!   write-through capture.
+//! * [`stream_buffer`] — the stream buffer: a tapped delay line built from
+//!   register segments (Case-R) or register segments plus BRAM FIFO
+//!   stretches (Case-H).
+//! * [`controller`] — the Smache module proper: the three concurrent FSMs
+//!   orchestrating prefetch, gather/emit and write-back capture.
+
+pub mod controller;
+pub mod kernel;
+pub mod static_buffer;
+pub mod stream_buffer;
+
+pub use controller::{ControllerPhase, SmacheModule};
+pub use kernel::{AverageKernel, Kernel, MaxKernel, SumKernel};
+pub use static_buffer::StaticBank;
+pub use stream_buffer::StreamBuffer;

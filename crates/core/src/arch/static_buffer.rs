@@ -1,0 +1,170 @@
+//! Static buffer banks: the fixed-contents stores for large-reach offsets.
+
+use smache_mem::{DoubleBuffer, Word};
+use smache_sim::{ResourceUsage, SimResult};
+
+use crate::config::StaticBufferSpec;
+use crate::CoreResult;
+
+/// One static buffer: a [`DoubleBuffer`] bound to its plan spec.
+///
+/// The *active* bank holds the contents region of the **current**
+/// work-instance's input grid; the *shadow* bank absorbs FSM-3's
+/// write-through captures of the current instance's outputs (which are the
+/// next instance's inputs); the banks swap between instances.
+pub struct StaticBank {
+    spec: StaticBufferSpec,
+    buf: DoubleBuffer,
+}
+
+impl StaticBank {
+    /// Instantiates the bank described by `spec` with `word_bits` words.
+    pub fn new(spec: StaticBufferSpec, word_bits: u32) -> CoreResult<Self> {
+        let buf = DoubleBuffer::new(&spec.name, spec.len, word_bits, spec.kind)?;
+        Ok(StaticBank { spec, buf })
+    }
+
+    /// The plan spec this bank implements.
+    pub fn spec(&self) -> &StaticBufferSpec {
+        &self.spec
+    }
+
+    /// Stages a read of `slot` from the active bank on port 0 (data on
+    /// [`StaticBank::out`] after the next tick) — FSM-2's pre-issue.
+    pub fn stage_read(&mut self, slot: usize) -> SimResult<()> {
+        self.buf.stage_read(slot)
+    }
+
+    /// Stages a read on one of the bank's two BRAM ports (merged-region
+    /// buffers can serve two tuple points of one element concurrently).
+    pub fn stage_read_port(&mut self, port: usize, slot: usize) -> SimResult<()> {
+        self.buf.stage_read_port(port, slot)
+    }
+
+    /// The registered read output of port 0.
+    pub fn out(&self) -> Word {
+        self.buf.out()
+    }
+
+    /// The registered read output of `port`.
+    pub fn out_port(&self, port: usize) -> Word {
+        self.buf.out_port(port)
+    }
+
+    /// Stages a warm-up prefetch write into the *active* bank (FSM-1).
+    pub fn stage_prefetch(&mut self, slot: usize, word: Word) -> SimResult<()> {
+        self.buf.stage_write_active(slot, word)
+    }
+
+    /// Stages a write-through capture into the *shadow* bank (FSM-3): the
+    /// kernel's output for grid index `g` inside this bank's region.
+    pub fn stage_capture(&mut self, slot: usize, word: Word) -> SimResult<()> {
+        self.buf.stage_write_shadow(slot, word)
+    }
+
+    /// Stages the between-instances bank swap.
+    pub fn stage_swap(&mut self) {
+        self.buf.stage_swap()
+    }
+
+    /// Clocks the bank.
+    pub fn tick(&mut self) {
+        self.buf.tick()
+    }
+
+    /// Synthesised resources (both banks).
+    pub fn resources(&self) -> ResourceUsage {
+        self.buf.resources()
+    }
+
+    /// Estimate-level bits (both banks, no synthesis overhead).
+    pub fn ideal_bits(&self) -> u64 {
+        self.buf.ideal_bits()
+    }
+
+    /// Testbench backdoor into a bank.
+    pub fn peek(&self, bank: usize, slot: usize) -> Word {
+        self.buf.peek(bank, slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smache_mem::MemKind;
+
+    fn spec() -> StaticBufferSpec {
+        StaticBufferSpec {
+            id: 0,
+            name: "B".into(),
+            range_start: 0,
+            len: 11,
+            offset: 110,
+            region_start: 110,
+            kind: MemKind::Bram,
+        }
+    }
+
+    #[test]
+    fn prefetch_then_read_roundtrip() {
+        let mut bank = StaticBank::new(spec(), 32).unwrap();
+        bank.stage_prefetch(3, 42).unwrap();
+        bank.tick();
+        bank.stage_read(3).unwrap();
+        bank.tick();
+        assert_eq!(bank.out(), 42);
+    }
+
+    #[test]
+    fn capture_visible_only_after_swap() {
+        let mut bank = StaticBank::new(spec(), 32).unwrap();
+        bank.stage_capture(5, 7).unwrap();
+        bank.tick();
+        bank.stage_read(5).unwrap();
+        bank.tick();
+        assert_eq!(bank.out(), 0, "capture went to the shadow bank");
+        bank.stage_swap();
+        bank.tick();
+        bank.stage_read(5).unwrap();
+        bank.tick();
+        assert_eq!(bank.out(), 7);
+    }
+
+    #[test]
+    fn concurrent_read_and_capture() {
+        let mut bank = StaticBank::new(spec(), 32).unwrap();
+        bank.stage_prefetch(2, 11).unwrap();
+        bank.tick();
+        // The paper's double-buffering: read old while capturing new.
+        bank.stage_read(2).unwrap();
+        bank.stage_capture(2, 99).unwrap();
+        bank.tick();
+        assert_eq!(bank.out(), 11);
+        assert_eq!(bank.peek(1, 2), 99);
+    }
+
+    #[test]
+    fn resources_match_double_buffer_calibration() {
+        let bank = StaticBank::new(spec(), 32).unwrap();
+        assert_eq!(bank.resources().bram_bits, 2 * 12 * 32);
+        assert_eq!(bank.ideal_bits(), 2 * 11 * 32);
+        assert_eq!(bank.spec().name, "B");
+    }
+
+    #[test]
+    fn register_kind_bank() {
+        let mut s = spec();
+        s.kind = MemKind::Reg;
+        let bank = StaticBank::new(s, 32).unwrap();
+        assert_eq!(bank.resources().registers, 2 * 11 * 32);
+        assert_eq!(bank.resources().bram_bits, 0);
+    }
+
+    #[test]
+    fn out_of_range_slot_rejected() {
+        let mut bank = StaticBank::new(spec(), 32).unwrap();
+        assert!(bank.stage_read(11).is_err());
+        assert!(bank.stage_prefetch(11, 0).is_err());
+        assert!(bank.stage_capture(11, 0).is_err());
+    }
+}

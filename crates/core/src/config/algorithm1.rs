@@ -1,0 +1,329 @@
+//! Algorithm 1 of the paper: optimal buffer-size calculation.
+//!
+//! For each stream range `r_j` with tuple `t_j` the algorithm splits the
+//! tuple's offsets between the single shared **stream buffer** (cost: the
+//! anchored window of the offsets kept in stream) and per-offset **static
+//! buffers** (cost: `R_j` words each — one word per element of the range).
+//! The total on-chip cost is
+//!
+//! ```text
+//! tot = max_j(stream_j) + Σ_j static_j
+//! ```
+//!
+//! because "we only ever need a single stream buffer, the one with the
+//! largest reach" (§II).
+//!
+//! Two optimisers are provided:
+//!
+//! * [`Algorithm1::Greedy`] — the paper's formulation: offsets sorted by
+//!   distance from the element, the `i` farthest moved to static buffers,
+//!   scan over `i`.
+//! * [`Algorithm1::Exact`] — since the stream cost depends only on the
+//!   extreme offsets kept, an optimal split always statifies a prefix of
+//!   the lowest and a suffix of the highest sorted offsets; enumerating
+//!   every `(prefix, suffix)` pair is exact in `O(n_j²)`.
+//!
+//! The exact optimiser is never worse than the greedy one (property-tested)
+//! and both match on the paper's validation case.
+
+use smache_stencil::{RangeSpec, TupleSpec};
+
+/// Which optimiser to run per range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm1 {
+    /// The paper's greedy scan (statify the farthest offsets first).
+    Greedy,
+    /// Exact prefix/suffix enumeration.
+    #[default]
+    Exact,
+}
+
+/// Cost of one candidate split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitCost {
+    /// Words the stream buffer must span for the kept offsets (anchored:
+    /// the window always includes the element itself).
+    pub stream_words: u64,
+    /// Words of static buffering (number of statified offsets × range len).
+    pub static_words: u64,
+}
+
+impl SplitCost {
+    /// Combined words (the per-range `total_i` of Algorithm 1).
+    pub fn total(&self) -> u64 {
+        self.stream_words + self.static_words
+    }
+}
+
+/// The chosen split for one range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeDecision {
+    /// The range this decision covers.
+    pub range: RangeSpec,
+    /// Offsets served by static buffers (each becomes one static buffer of
+    /// `range.len` words).
+    pub static_offsets: Vec<i64>,
+    /// Offsets served by the stream buffer.
+    pub stream_offsets: Vec<i64>,
+    /// The costs of this split.
+    pub cost: SplitCost,
+}
+
+impl RangeDecision {
+    /// The stream-buffer tuple after statification.
+    pub fn stream_tuple(&self) -> TupleSpec {
+        TupleSpec::new(self.stream_offsets.clone())
+    }
+}
+
+/// Anchored window size in words for a set of kept offsets: the buffer must
+/// hold everything from the most-behind offset to the most-ahead offset
+/// *including the element itself* (offset 0), inclusive of both ends.
+fn stream_words(kept: &[i64]) -> u64 {
+    let lo = kept.iter().copied().min().unwrap_or(0).min(0);
+    let hi = kept.iter().copied().max().unwrap_or(0).max(0);
+    (hi - lo) as u64 + 1
+}
+
+impl Algorithm1 {
+    /// Decides the split for one range.
+    pub fn decide(&self, range: &RangeSpec) -> RangeDecision {
+        let offsets = range.tuple.offsets();
+        match self {
+            Algorithm1::Greedy => greedy(range, offsets),
+            Algorithm1::Exact => exact(range, offsets),
+        }
+    }
+
+    /// Decides every range and returns the plan-level total:
+    /// `max(stream) + Σ static`.
+    pub fn decide_all(&self, ranges: &[RangeSpec]) -> (Vec<RangeDecision>, SplitCost) {
+        let decisions: Vec<RangeDecision> = ranges.iter().map(|r| self.decide(r)).collect();
+        let stream = decisions
+            .iter()
+            .map(|d| d.cost.stream_words)
+            .max()
+            .unwrap_or(1);
+        let statics = decisions.iter().map(|d| d.cost.static_words).sum();
+        (
+            decisions,
+            SplitCost {
+                stream_words: stream,
+                static_words: statics,
+            },
+        )
+    }
+}
+
+/// The paper's greedy scan: sort offsets by |distance|, consider keeping
+/// the `n−i` nearest in stream and statifying the `i` farthest, for every
+/// `i`; pick the cheapest.
+fn greedy(range: &RangeSpec, offsets: &[i64]) -> RangeDecision {
+    let mut by_distance: Vec<i64> = offsets.to_vec();
+    by_distance.sort_by_key(|o| (o.unsigned_abs(), *o));
+
+    let mut best: Option<(usize, SplitCost)> = None;
+    for statified in 0..=offsets.len() {
+        let kept = &by_distance[..offsets.len() - statified];
+        let cost = SplitCost {
+            stream_words: stream_words(kept),
+            static_words: statified as u64 * range.len as u64,
+        };
+        if best.is_none_or(|(_, b)| cost.total() < b.total()) {
+            best = Some((statified, cost));
+        }
+    }
+    let (statified, cost) = best.expect("at least i=0 evaluated");
+    let stream_offsets = by_distance[..offsets.len() - statified].to_vec();
+    let static_offsets = by_distance[offsets.len() - statified..].to_vec();
+    RangeDecision {
+        range: range.clone(),
+        static_offsets: sorted(static_offsets),
+        stream_offsets: sorted(stream_offsets),
+        cost,
+    }
+}
+
+/// Exact optimiser: statified offsets are always extremes of the sorted
+/// tuple (removing an interior offset never shrinks the window), so
+/// enumerate every (low prefix, high suffix) removal.
+fn exact(range: &RangeSpec, offsets: &[i64]) -> RangeDecision {
+    let sorted_offsets: Vec<i64> = {
+        let mut v = offsets.to_vec();
+        v.sort_unstable();
+        v
+    };
+    let n = sorted_offsets.len();
+    let mut best: Option<(usize, usize, SplitCost)> = None;
+    for lo_cut in 0..=n {
+        for hi_cut in 0..=(n - lo_cut) {
+            let kept = &sorted_offsets[lo_cut..n - hi_cut];
+            let cost = SplitCost {
+                stream_words: stream_words(kept),
+                static_words: (lo_cut + hi_cut) as u64 * range.len as u64,
+            };
+            if best.is_none_or(|(_, _, b)| cost.total() < b.total()) {
+                best = Some((lo_cut, hi_cut, cost));
+            }
+        }
+    }
+    let (lo_cut, hi_cut, cost) = best.expect("at least (0,0) evaluated");
+    let stream_offsets = sorted_offsets[lo_cut..n - hi_cut].to_vec();
+    let mut static_offsets = sorted_offsets[..lo_cut].to_vec();
+    static_offsets.extend_from_slice(&sorted_offsets[n - hi_cut..]);
+    RangeDecision {
+        range: range.clone(),
+        static_offsets: sorted(static_offsets),
+        stream_offsets,
+        cost,
+    }
+}
+
+fn sorted(mut v: Vec<i64>) -> Vec<i64> {
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smache_stencil::{analysed_ranges, BoundarySpec, GridSpec, StencilShape};
+
+    fn range(start: usize, len: usize, offsets: &[i64]) -> RangeSpec {
+        RangeSpec {
+            start,
+            len,
+            tuple: TupleSpec::new(offsets.to_vec()),
+        }
+    }
+
+    #[test]
+    fn near_offsets_stay_in_stream() {
+        let r = range(0, 100, &[-1, 1]);
+        for alg in [Algorithm1::Greedy, Algorithm1::Exact] {
+            let d = alg.decide(&r);
+            assert!(d.static_offsets.is_empty());
+            assert_eq!(d.cost.stream_words, 3);
+            assert_eq!(d.cost.static_words, 0);
+        }
+    }
+
+    #[test]
+    fn far_wrap_offset_is_statified() {
+        // Paper's top row: wrap +110 with range length 11: static (11 words)
+        // beats stream (window 112 words).
+        let r = range(0, 11, &[-1, 1, 11, 110]);
+        for alg in [Algorithm1::Greedy, Algorithm1::Exact] {
+            let d = alg.decide(&r);
+            assert_eq!(d.static_offsets, vec![110]);
+            assert_eq!(d.stream_offsets, vec![-1, 1, 11]);
+            assert_eq!(d.cost.stream_words, 13); // window -1..=11
+            assert_eq!(d.cost.static_words, 11);
+        }
+    }
+
+    #[test]
+    fn statification_not_worth_it_for_long_ranges() {
+        // Same offsets but a range of 1000 elements: a 1000-word static
+        // buffer loses to a 112-word stream window.
+        let r = range(0, 1000, &[-1, 1, 11, 110]);
+        for alg in [Algorithm1::Greedy, Algorithm1::Exact] {
+            let d = alg.decide(&r);
+            assert!(d.static_offsets.is_empty(), "{alg:?}: {d:?}");
+            assert_eq!(d.cost.stream_words, 112);
+        }
+    }
+
+    #[test]
+    fn both_extremes_can_be_statified() {
+        let r = range(0, 4, &[-500, -1, 1, 500]);
+        let d = Algorithm1::Exact.decide(&r);
+        assert_eq!(d.static_offsets, vec![-500, 500]);
+        assert_eq!(d.cost.stream_words, 3);
+        assert_eq!(d.cost.static_words, 8);
+    }
+
+    #[test]
+    fn plan_level_total_takes_max_stream_and_sum_static() {
+        let ranges = vec![
+            range(0, 11, &[-1, 1, 11, 110]),
+            range(11, 99, &[-11, -1, 1, 11]),
+            range(110, 11, &[-110, -11, -1, 1]),
+        ];
+        let (decisions, total) = Algorithm1::Exact.decide_all(&ranges);
+        assert_eq!(decisions.len(), 3);
+        // Interior window −11..=11 = 23 words dominates; two static buffers
+        // of 11 words each.
+        assert_eq!(total.stream_words, 23);
+        assert_eq!(total.static_words, 22);
+        assert_eq!(total.total(), 45);
+    }
+
+    #[test]
+    fn paper_validation_case_derives_t_and_b_buffers() {
+        let g = GridSpec::d2(11, 11).unwrap();
+        let ranges = analysed_ranges(
+            &g,
+            &BoundarySpec::paper_case(),
+            &StencilShape::four_point_2d(),
+        )
+        .unwrap();
+        let (decisions, total) = Algorithm1::Exact.decide_all(&ranges);
+        // Top-row range statifies +110 (bottom row => buffer B),
+        // bottom-row range statifies −110 (top row => buffer T).
+        assert_eq!(decisions[0].static_offsets, vec![110]);
+        assert_eq!(decisions[1].static_offsets, Vec::<i64>::new());
+        assert_eq!(decisions[2].static_offsets, vec![-110]);
+        assert_eq!(total.stream_words, 23);
+        assert_eq!(total.static_words, 22);
+    }
+
+    #[test]
+    fn exact_never_beats_greedy_backwards() {
+        // Exact must be <= greedy on assorted tuples.
+        let cases: Vec<(usize, Vec<i64>)> = vec![
+            (11, vec![-1, 1, 11, 110]),
+            (5, vec![-100, -1, 0, 1, 100]),
+            (50, vec![-7, -3, 2, 9, 40]),
+            (1, vec![-1000, 1000]),
+            (200, vec![0]),
+            (8, vec![-64, -8, -1, 1, 8, 64]),
+        ];
+        for (len, offs) in cases {
+            let r = range(0, len, &offs);
+            let e = Algorithm1::Exact.decide(&r).cost.total();
+            let g = Algorithm1::Greedy.decide(&r).cost.total();
+            assert!(e <= g, "exact {e} > greedy {g} for {offs:?} len {len}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_removal_beats_symmetric_greedy() {
+        // Offsets where greedy's distance ordering is suboptimal: one far
+        // positive offset and a moderate negative one, short range.
+        let r = range(0, 2, &[-10, 9, 100]);
+        let e = Algorithm1::Exact.decide(&r);
+        let g = Algorithm1::Greedy.decide(&r);
+        assert!(e.cost.total() <= g.cost.total());
+        // Exact statifies both ±far: window collapses to the element.
+        assert_eq!(e.cost.total(), e.cost.stream_words + e.cost.static_words);
+    }
+
+    #[test]
+    fn empty_tuple_costs_one_word() {
+        let r = range(0, 10, &[]);
+        let d = Algorithm1::Exact.decide(&r);
+        assert_eq!(
+            d.cost.stream_words, 1,
+            "the element itself still flows through"
+        );
+        assert_eq!(d.cost.static_words, 0);
+    }
+
+    #[test]
+    fn stream_tuple_reflects_kept_offsets() {
+        let r = range(0, 11, &[-1, 1, 11, 110]);
+        let d = Algorithm1::Exact.decide(&r);
+        assert_eq!(d.stream_tuple().offsets(), &[-1, 1, 11]);
+    }
+}

@@ -1,0 +1,7 @@
+//! Buffer configuration: Algorithm 1 and the resulting [`BufferPlan`].
+
+pub mod algorithm1;
+pub mod plan;
+
+pub use algorithm1::{Algorithm1, RangeDecision, SplitCost};
+pub use plan::{BufferPlan, HybridMode, PlanStrategy, Segment, SourceRef, StaticBufferSpec};

@@ -1,0 +1,113 @@
+//! Error type for the Smache core crate.
+
+use std::fmt;
+
+use smache_sim::SimError;
+use smache_stencil::ModelError;
+
+/// Errors from configuration, planning or simulation of a Smache design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Propagated formal-model error.
+    Model(ModelError),
+    /// Propagated simulation error.
+    Sim(SimError),
+    /// Planning failed: the design cannot fit the given on-chip budget.
+    BudgetExceeded {
+        /// Bits required by the best plan found.
+        required_bits: u64,
+        /// Bits available.
+        budget_bits: u64,
+    },
+    /// The design configuration is inconsistent.
+    Config(String),
+    /// A verification mismatch between two models (golden vs simulated).
+    Mismatch {
+        /// First differing element index.
+        index: usize,
+        /// Expected word.
+        expected: u64,
+        /// Actual word.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::BudgetExceeded {
+                required_bits,
+                budget_bits,
+            } => write!(
+                f,
+                "on-chip budget exceeded: need {required_bits} bits, have {budget_bits}"
+            ),
+            CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+            CoreError::Mismatch {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "output mismatch at element {index}: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let m: CoreError = ModelError::BadGrid("x".into()).into();
+        assert!(matches!(m, CoreError::Model(_)));
+        let s: CoreError = SimError::Config("y".into()).into();
+        assert!(matches!(s, CoreError::Sim(_)));
+        use std::error::Error;
+        assert!(m.source().is_some());
+        assert!(s.source().is_some());
+    }
+
+    #[test]
+    fn display_messages() {
+        use std::error::Error;
+        let e = CoreError::BudgetExceeded {
+            required_bits: 100,
+            budget_bits: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = CoreError::Mismatch {
+            index: 3,
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("element 3"));
+        assert!(CoreError::Config("bad".into()).source().is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! The golden software reference.
+
+use smache_sim::Word;
+use smache_stencil::{gather_masked, BoundarySpec, GridSpec, StencilShape};
+
+use crate::arch::kernel::Kernel;
+use crate::error::CoreError;
+use crate::CoreResult;
+
+/// Evaluates one work-instance: `out[e] = kernel(tuple values of e)` for
+/// every grid element, with boundary resolution done directly in software.
+pub fn golden_instance(
+    grid: &GridSpec,
+    bounds: &BoundarySpec,
+    shape: &StencilShape,
+    kernel: &dyn Kernel,
+    input: &[Word],
+) -> CoreResult<Vec<Word>> {
+    if input.len() != grid.len() {
+        return Err(CoreError::Config(format!(
+            "input length {} does not match grid size {}",
+            input.len(),
+            grid.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(grid.len());
+    for coords in grid.iter_coords() {
+        let (values, mask) = gather_masked(grid, bounds, shape, input, &coords)?;
+        out.push(kernel.apply(&values, mask));
+    }
+    Ok(out)
+}
+
+/// Runs `instances` work-instances, feeding each instance's output to the
+/// next (the paper's outer time loop).
+pub fn golden_run(
+    grid: &GridSpec,
+    bounds: &BoundarySpec,
+    shape: &StencilShape,
+    kernel: &dyn Kernel,
+    input: &[Word],
+    instances: u64,
+) -> CoreResult<Vec<Word>> {
+    let mut state = input.to_vec();
+    for _ in 0..instances {
+        state = golden_instance(grid, bounds, shape, kernel, &state)?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::kernel::{AverageKernel, SumKernel};
+
+    #[test]
+    fn four_point_average_on_paper_grid() {
+        let grid = GridSpec::d2(11, 11).unwrap();
+        let bounds = BoundarySpec::paper_case();
+        let shape = StencilShape::four_point_2d();
+        let input: Vec<Word> = (0..121).collect();
+        let out = golden_instance(&grid, &bounds, &shape, &AverageKernel, &input).unwrap();
+        // Interior (5,5)=60: neighbours 49,59,61,71 → mean 60.
+        assert_eq!(out[60], 60);
+        // Top row (0,5)=5: north wraps to 115; (115+4+6+16)/4 = 35.
+        assert_eq!(out[5], 35);
+        // NW corner 0: north 110, east 1, south 11 → 122/3 = 40.
+        assert_eq!(out[0], 40);
+    }
+
+    #[test]
+    fn instances_chain_outputs() {
+        let grid = GridSpec::d2(4, 4).unwrap();
+        let bounds = BoundarySpec::all_open(2).unwrap();
+        let shape = StencilShape::four_point_2d();
+        let input: Vec<Word> = (0..16).collect();
+        let two = golden_run(&grid, &bounds, &shape, &AverageKernel, &input, 2).unwrap();
+        let once = golden_instance(&grid, &bounds, &shape, &AverageKernel, &input).unwrap();
+        let twice = golden_instance(&grid, &bounds, &shape, &AverageKernel, &once).unwrap();
+        assert_eq!(two, twice);
+    }
+
+    #[test]
+    fn zero_instances_is_identity() {
+        let grid = GridSpec::d2(3, 3).unwrap();
+        let bounds = BoundarySpec::all_open(2).unwrap();
+        let shape = StencilShape::four_point_2d();
+        let input: Vec<Word> = (0..9).collect();
+        let out = golden_run(&grid, &bounds, &shape, &AverageKernel, &input, 0).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn sum_kernel_differs_from_average() {
+        let grid = GridSpec::d2(3, 3).unwrap();
+        let bounds = BoundarySpec::all_open(2).unwrap();
+        let shape = StencilShape::four_point_2d();
+        let input: Vec<Word> = vec![1; 9];
+        let avg = golden_instance(&grid, &bounds, &shape, &AverageKernel, &input).unwrap();
+        let sum = golden_instance(&grid, &bounds, &shape, &SumKernel, &input).unwrap();
+        assert_eq!(avg[4], 1);
+        assert_eq!(sum[4], 4);
+        assert_eq!(sum[0], 2, "corner has two open-boundary neighbours");
+    }
+
+    #[test]
+    fn wrong_input_length_rejected() {
+        let grid = GridSpec::d2(3, 3).unwrap();
+        let bounds = BoundarySpec::all_open(2).unwrap();
+        let shape = StencilShape::four_point_2d();
+        assert!(golden_instance(&grid, &bounds, &shape, &AverageKernel, &[0; 4]).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Fast functional models used for verification.
+//!
+//! * [`golden`] — the ground truth: direct software evaluation of the
+//!   stencil over the grid under the boundary conditions. Every simulated
+//!   design must produce bit-identical output.
+//! * [`model`] — the *architectural* functional model: executes the buffer
+//!   plan's data movement (window + static banks + write-through capture)
+//!   without cycle timing, proving the plan supplies every tuple value
+//!   from on-chip state. Sits between the golden reference and the
+//!   cycle-accurate design in the verification stack.
+
+pub mod golden;
+pub mod model;
+
+pub use golden::{golden_instance, golden_run};
+pub use model::FunctionalSmache;

@@ -1,0 +1,286 @@
+//! The architectural functional model.
+//!
+//! Executes a [`BufferPlan`]'s data movement — sliding window, static
+//! banks, write-through capture, bank swap — element by element but
+//! without cycle timing. Every tuple value must come from on-chip state
+//! (the window or a static bank), never from the full input array; if the
+//! plan under-provisions the window or a static region, this model fails
+//! loudly. It therefore verifies the *plan*, while the cycle-accurate
+//! system additionally verifies the *timing*.
+
+use std::collections::VecDeque;
+
+use smache_sim::Word;
+
+use crate::arch::kernel::Kernel;
+use crate::config::{BufferPlan, SourceRef};
+use crate::error::CoreError;
+use crate::CoreResult;
+
+/// The untimed architectural model.
+pub struct FunctionalSmache {
+    plan: BufferPlan,
+    /// Sliding window: front = newest element.
+    window: VecDeque<Word>,
+    /// Active static bank contents, indexed by buffer id.
+    active: Vec<Vec<Word>>,
+    /// Shadow static bank contents (captures for the next instance).
+    shadow: Vec<Vec<Word>>,
+}
+
+impl FunctionalSmache {
+    /// Builds the model for a plan.
+    pub fn new(plan: BufferPlan) -> Self {
+        let active = plan.static_buffers.iter().map(|b| vec![0; b.len]).collect();
+        let shadow = plan.static_buffers.iter().map(|b| vec![0; b.len]).collect();
+        FunctionalSmache {
+            plan,
+            window: VecDeque::new(),
+            active,
+            shadow,
+        }
+    }
+
+    /// The plan under execution.
+    pub fn plan(&self) -> &BufferPlan {
+        &self.plan
+    }
+
+    /// Warm-up (FSM-1 equivalent): fills the active banks from the input.
+    fn prefetch(&mut self, input: &[Word]) {
+        for (b, bank) in self.plan.static_buffers.iter().zip(self.active.iter_mut()) {
+            bank.copy_from_slice(&input[b.region_start..b.region_start + b.len]);
+        }
+    }
+
+    /// Runs one work-instance using only window + bank state.
+    pub fn run_instance(&mut self, kernel: &dyn Kernel, input: &[Word]) -> CoreResult<Vec<Word>> {
+        let n = self.plan.grid.len();
+        if input.len() != n {
+            return Err(CoreError::Config(format!(
+                "input length {} does not match grid size {}",
+                input.len(),
+                n
+            )));
+        }
+        let capacity = self.plan.capacity;
+        let lookahead = self.plan.lookahead;
+        self.window.clear();
+
+        let mut out = vec![0u64; n];
+        let mut sources: Vec<Option<SourceRef>> = Vec::new();
+        let mut values = Vec::new();
+        let mut pushed = 0usize;
+
+        // Stream words in; emit element e once `e + lookahead + 2` words
+        // (real or flush zeros) have entered — the same timeline as the
+        // cycle-accurate controller, minus the clock.
+        #[allow(clippy::needless_range_loop)]
+        for e in 0..n {
+            while pushed < e + lookahead + 2 {
+                let w = if pushed < n { input[pushed] } else { 0 };
+                self.window.push_front(w);
+                self.window.truncate(capacity);
+                pushed += 1;
+            }
+            values.clear();
+            self.plan.sources_for(e, &mut sources)?;
+            let mut mask = 0u64;
+            for (p, src) in sources.iter().enumerate() {
+                match *src {
+                    None => values.push(0),
+                    Some(SourceRef::Tap { pos }) => {
+                        let w = *self.window.get(pos).ok_or_else(|| {
+                            CoreError::Config(format!(
+                                "window under-provisioned: element {e} tap {pos} beyond fill"
+                            ))
+                        })?;
+                        // Cross-check against the input the tap must mirror:
+                        // position pos holds element pushed-1-pos.
+                        debug_assert_eq!(w, input[pushed - 1 - pos]);
+                        values.push(w);
+                        mask |= 1 << p;
+                    }
+                    Some(SourceRef::Static {
+                        buffer,
+                        slot,
+                        port: _,
+                    }) => {
+                        values.push(self.active[buffer][slot]);
+                        mask |= 1 << p;
+                    }
+                    Some(SourceRef::Constant(v)) => {
+                        values.push(v);
+                        mask |= 1 << p;
+                    }
+                }
+            }
+            let result = kernel.apply(&values, mask);
+            out[e] = result;
+            // FSM-3 equivalent: write-through capture into the shadow banks.
+            let mut caps = Vec::new();
+            self.plan.captures_for(e, &mut caps);
+            for (buffer, slot) in caps {
+                self.shadow[buffer][slot] = result;
+            }
+        }
+        // Instance boundary: swap banks.
+        std::mem::swap(&mut self.active, &mut self.shadow);
+        Ok(out)
+    }
+
+    /// Runs a chain of instances from `input`, with warm-up prefetch.
+    pub fn run(
+        &mut self,
+        kernel: &dyn Kernel,
+        input: &[Word],
+        instances: u64,
+    ) -> CoreResult<Vec<Word>> {
+        self.prefetch(input);
+        let mut state = input.to_vec();
+        for _ in 0..instances {
+            state = self.run_instance(kernel, &state)?;
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::kernel::{AverageKernel, MaxKernel};
+    use crate::config::{HybridMode, PlanStrategy};
+    use crate::functional::golden::golden_run;
+    use smache_mem::MemKind;
+    use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+
+    fn plan(h: usize, w: usize, bounds: BoundarySpec, shape: StencilShape) -> BufferPlan {
+        BufferPlan::analyse(
+            GridSpec::d2(h, w).unwrap(),
+            shape,
+            bounds,
+            PlanStrategy::GlobalWindow,
+            HybridMode::default(),
+            MemKind::Bram,
+            32,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_golden_on_paper_case_single_instance() {
+        let p = plan(
+            11,
+            11,
+            BoundarySpec::paper_case(),
+            StencilShape::four_point_2d(),
+        );
+        let input: Vec<Word> = (0..121).map(|i| i * 3 + 7).collect();
+        let golden = golden_run(
+            &p.grid.clone(),
+            &p.bounds.clone(),
+            &p.shape.clone(),
+            &AverageKernel,
+            &input,
+            1,
+        )
+        .unwrap();
+        let mut f = FunctionalSmache::new(p);
+        let got = f.run(&AverageKernel, &input, 1).unwrap();
+        assert_eq!(got, golden);
+    }
+
+    #[test]
+    fn matches_golden_over_many_instances() {
+        // Multi-instance correctness proves the write-through capture and
+        // bank swap: instance k's boundary reads come from k−1's outputs.
+        let p = plan(
+            7,
+            9,
+            BoundarySpec::paper_case(),
+            StencilShape::four_point_2d(),
+        );
+        let input: Vec<Word> = (0..63).map(|i| (i * 13 + 5) % 97).collect();
+        let golden = golden_run(
+            &p.grid.clone(),
+            &p.bounds.clone(),
+            &p.shape.clone(),
+            &AverageKernel,
+            &input,
+            10,
+        )
+        .unwrap();
+        let mut f = FunctionalSmache::new(p);
+        let got = f.run(&AverageKernel, &input, 10).unwrap();
+        assert_eq!(got, golden);
+    }
+
+    #[test]
+    fn matches_golden_on_full_torus() {
+        let p = plan(
+            8,
+            8,
+            BoundarySpec::all_circular(2).unwrap(),
+            StencilShape::four_point_2d(),
+        );
+        let input: Vec<Word> = (0..64).map(|i| i * i % 251).collect();
+        let golden = golden_run(
+            &p.grid.clone(),
+            &p.bounds.clone(),
+            &p.shape.clone(),
+            &AverageKernel,
+            &input,
+            4,
+        )
+        .unwrap();
+        let mut f = FunctionalSmache::new(p);
+        assert_eq!(f.run(&AverageKernel, &input, 4).unwrap(), golden);
+    }
+
+    #[test]
+    fn matches_golden_with_nine_point_shape_and_max_kernel() {
+        let p = plan(
+            6,
+            6,
+            BoundarySpec::paper_case(),
+            StencilShape::nine_point_2d(),
+        );
+        let input: Vec<Word> = (0..36).map(|i| (i * 7) % 31).collect();
+        let golden = golden_run(
+            &p.grid.clone(),
+            &p.bounds.clone(),
+            &p.shape.clone(),
+            &MaxKernel,
+            &input,
+            3,
+        )
+        .unwrap();
+        let mut f = FunctionalSmache::new(p);
+        assert_eq!(f.run(&MaxKernel, &input, 3).unwrap(), golden);
+    }
+
+    #[test]
+    fn zero_instances_returns_input() {
+        let p = plan(
+            4,
+            4,
+            BoundarySpec::all_open(2).unwrap(),
+            StencilShape::four_point_2d(),
+        );
+        let input: Vec<Word> = (0..16).collect();
+        let mut f = FunctionalSmache::new(p);
+        assert_eq!(f.run(&AverageKernel, &input, 0).unwrap(), input);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let p = plan(
+            4,
+            4,
+            BoundarySpec::all_open(2).unwrap(),
+            StencilShape::four_point_2d(),
+        );
+        let mut f = FunctionalSmache::new(p);
+        assert!(f.run(&AverageKernel, &[1, 2, 3], 1).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Design metrics — the five columns of the paper's Fig. 2.
+
+use std::fmt;
+
+use smache_mem::DramStats;
+use smache_sim::ResourceUsage;
+
+/// Measured metrics of one design on one workload.
+#[derive(Debug, Clone)]
+pub struct DesignMetrics {
+    /// Design name ("Baseline" / "Smache").
+    pub name: String,
+    /// Simulated clock cycles for the whole run.
+    pub cycles: u64,
+    /// Modelled synthesis frequency in MHz.
+    pub fmax_mhz: f64,
+    /// DRAM traffic counters.
+    pub dram: DramStats,
+    /// Arithmetic operations performed (the paper counts one per stencil
+    /// point per element per instance: 4 × N × T for the 4-point filter).
+    pub ops: u64,
+    /// Synthesised resource footprint.
+    pub resources: ResourceUsage,
+}
+
+impl DesignMetrics {
+    /// Simulated execution time in microseconds: `cycles / fmax`.
+    pub fn exec_us(&self) -> f64 {
+        self.cycles as f64 / self.fmax_mhz
+    }
+
+    /// Performance in MOPS: `ops / exec_us`.
+    pub fn mops(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.exec_us()
+        }
+    }
+
+    /// DRAM traffic in the paper's KB units.
+    pub fn traffic_kb(&self) -> f64 {
+        self.dram.total_kb()
+    }
+
+    /// Normalises `self` against a baseline (the paper's Fig. 2 bars).
+    pub fn normalised_against(&self, baseline: &DesignMetrics) -> NormalisedMetrics {
+        NormalisedMetrics {
+            cycles: ratio(self.cycles as f64, baseline.cycles as f64),
+            fmax: ratio(self.fmax_mhz, baseline.fmax_mhz),
+            traffic: ratio(self.traffic_kb(), baseline.traffic_kb()),
+            exec_time: ratio(self.exec_us(), baseline.exec_us()),
+            mops: ratio(self.mops(), baseline.mops()),
+        }
+    }
+
+    /// One row of the Fig. 2 table.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<10} {:>12} {:>10.1} {:>14.1} {:>16.1} {:>14.2}",
+            self.name,
+            self.cycles,
+            self.fmax_mhz,
+            self.traffic_kb(),
+            self.exec_us(),
+            self.mops()
+        )
+    }
+
+    /// Header matching [`DesignMetrics::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<10} {:>12} {:>10} {:>14} {:>16} {:>14}",
+            "Design", "Cycle-count", "Freq(MHz)", "DRAM-traffic(KB)", "Exec-time(us)", "Perf(MOPS)"
+        )
+    }
+}
+
+impl fmt::Display for DesignMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles @ {:.1} MHz, {:.1} KB DRAM, {:.1} us, {:.2} MOPS",
+            self.name,
+            self.cycles,
+            self.fmax_mhz,
+            self.traffic_kb(),
+            self.exec_us(),
+            self.mops()
+        )
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+/// Metrics normalised against a baseline design (Fig. 2's bar heights).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalisedMetrics {
+    /// Cycle-count ratio.
+    pub cycles: f64,
+    /// Frequency ratio.
+    pub fmax: f64,
+    /// DRAM-traffic ratio.
+    pub traffic: f64,
+    /// Execution-time ratio.
+    pub exec_time: f64,
+    /// MOPS ratio (the paper's overall speed-up when > 1).
+    pub mops: f64,
+}
+
+impl NormalisedMetrics {
+    /// The overall speed-up factor (inverse execution-time ratio).
+    pub fn speedup(&self) -> f64 {
+        if self.exec_time == 0.0 {
+            0.0
+        } else {
+            1.0 / self.exec_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(name: &str, cycles: u64, fmax: f64, bytes: u64, ops: u64) -> DesignMetrics {
+        DesignMetrics {
+            name: name.into(),
+            cycles,
+            fmax_mhz: fmax,
+            dram: DramStats {
+                bytes_read: bytes,
+                ..DramStats::default()
+            },
+            ops,
+            resources: ResourceUsage::ZERO,
+        }
+    }
+
+    #[test]
+    fn paper_fig2_arithmetic_reproduces() {
+        // Plugging the paper's own numbers through the derived columns
+        // must reproduce its exec time and MOPS.
+        let baseline = metrics("Baseline", 64_001, 372.9, 0, 48_400);
+        assert!((baseline.exec_us() - 171.6).abs() < 0.1);
+        assert!((baseline.mops() - 282.01).abs() < 0.5);
+        let smache = metrics("Smache", 14_039, 235.3, 0, 48_400);
+        assert!((smache.exec_us() - 59.7).abs() < 0.1);
+        assert!((smache.mops() - 811.21).abs() < 1.0);
+    }
+
+    #[test]
+    fn normalisation_against_baseline() {
+        let baseline = metrics("Baseline", 1000, 400.0, 4000, 100);
+        let fast = metrics("Smache", 200, 200.0, 1600, 100);
+        let n = fast.normalised_against(&baseline);
+        assert!((n.cycles - 0.2).abs() < 1e-12);
+        assert!((n.fmax - 0.5).abs() < 1e-12);
+        assert!((n.traffic - 0.4).abs() < 1e-12);
+        // exec: 200/200=1us vs 1000/400=2.5us → 0.4; speedup 2.5×.
+        assert!((n.exec_time - 0.4).abs() < 1e-12);
+        assert!((n.speedup() - 2.5).abs() < 1e-12);
+        assert!((n.mops - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rows_align_with_header() {
+        let m = metrics("Smache", 14039, 235.3, 95_500, 48_400);
+        let header = DesignMetrics::table_header();
+        let row = m.table_row();
+        assert_eq!(header.split_whitespace().count(), 6);
+        assert!(row.contains("14039"));
+        assert!(m.to_string().contains("Smache"));
+    }
+
+    #[test]
+    fn zero_cycle_edge_cases() {
+        let m = metrics("x", 0, 100.0, 0, 10);
+        assert_eq!(m.mops(), 0.0);
+        let n = m.normalised_against(&m);
+        assert_eq!(n.speedup(), 0.0);
+    }
+}

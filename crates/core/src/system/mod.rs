@@ -1,0 +1,13 @@
+//! The full cycle-accurate Smache system and its metrics.
+
+pub mod axi;
+pub mod cascade;
+pub mod metrics;
+pub mod multilane;
+pub mod smache_system;
+
+pub use axi::AxiSmache;
+pub use cascade::{CascadeReport, CascadeSystem};
+pub use metrics::{DesignMetrics, NormalisedMetrics};
+pub use multilane::{MultilaneReport, MultilaneSystem};
+pub use smache_system::{RunReport, SmacheSystem, SystemConfig};

@@ -1,0 +1,733 @@
+//! The complete cycle-accurate Smache system:
+//! DRAM → Smache module → kernel pipeline → DRAM.
+//!
+//! One instance of this struct is the simulated analogue of the paper's
+//! Fig. 1(b) block diagram plus its testbench: the off-chip DRAM holds the
+//! grid in two ping-pong regions; a read engine streams the input region
+//! one word per cycle into the Smache module; FSM-2 emits one stencil
+//! tuple per cycle to the kernel; the kernel's pipelined results are
+//! written back to the output region while FSM-3 write-through-captures
+//! the static-buffer rows; regions and static banks swap every
+//! work-instance.
+
+use std::collections::VecDeque;
+
+use smache_mem::{Dram, DramConfig, Word};
+use smache_sim::{Beat, ResourceUsage};
+
+use crate::arch::controller::{ControllerPhase, SmacheModule, SmacheResourceBreakdown};
+use crate::arch::kernel::Kernel;
+use crate::config::BufferPlan;
+use crate::cost::FreqModel;
+use crate::error::CoreError;
+use crate::system::metrics::DesignMetrics;
+use crate::CoreResult;
+
+/// Tunables of the simulated system.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// DRAM timing/geometry.
+    pub dram: DramConfig,
+    /// Skid-buffer depth between DRAM responses and the stream shift; the
+    /// read engine pauses issuing above this level (absorbs stalls).
+    pub resp_high_water: usize,
+    /// Watchdog: maximum cycles per element per instance before the run is
+    /// declared hung.
+    pub watchdog_cycles_per_element: u64,
+    /// Transparent double buffering of the static buffers (the paper's
+    /// architecture). With `false`, every instance boundary returns to the
+    /// FSM-1 warm-up and re-prefetches the static buffers from DRAM — the
+    /// design double buffering makes unnecessary (ablation).
+    pub double_buffering: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            dram: DramConfig::default(),
+            resp_high_water: 8,
+            watchdog_cycles_per_element: 64,
+            double_buffering: true,
+        }
+    }
+}
+
+/// What a completed run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The final grid contents after the last work-instance.
+    pub output: Vec<Word>,
+    /// The Fig. 2 metrics of the run.
+    pub metrics: DesignMetrics,
+    /// Cycles spent in the FSM-1 warm-up prefetch.
+    pub warmup_cycles: u64,
+    /// Per-module resource breakdown (Table I's columns).
+    pub breakdown: SmacheResourceBreakdown,
+}
+
+/// What the system stages on the DRAM read channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadKind {
+    None,
+    Prefetch,
+    Stream,
+}
+
+/// The simulated system.
+pub struct SmacheSystem {
+    module: SmacheModule,
+    kernel: Box<dyn Kernel>,
+    config: SystemConfig,
+    dram: Dram,
+    n: usize,
+    base: [usize; 2],
+    /// Region index the current instance reads from.
+    in_region: usize,
+
+    // Engines.
+    prefetch_issue: usize,
+    prefetch_resp_remaining: usize,
+    read_ptr: usize,
+    issued_kind: ReadKind,
+    resp_queue: VecDeque<Word>,
+    /// Kernel pipeline entries: (remaining latency, element, result).
+    kernel_pipe: VecDeque<(u64, usize, Word)>,
+    write_queue: VecDeque<(usize, Word)>,
+    writes_done: usize,
+    instances_left: u64,
+    total_instances: u64,
+    cycle: u64,
+    warmup_cycles: u64,
+    stall: Option<Box<dyn FnMut(u64) -> bool>>,
+    /// Observer invoked for every kernel result (the AXI output stream).
+    result_tap: Option<Box<dyn FnMut(Beat)>>,
+    /// Optional waveform tracer (phase, handshakes, stalls).
+    tracer: Option<smache_sim::Tracer>,
+    scratch_values: Vec<Word>,
+}
+
+impl SmacheSystem {
+    /// Builds the system around a plan and a kernel.
+    pub fn new(
+        plan: BufferPlan,
+        kernel: Box<dyn Kernel>,
+        config: SystemConfig,
+    ) -> CoreResult<Self> {
+        if kernel.latency() == 0 {
+            return Err(CoreError::Config("kernel latency must be >= 1".into()));
+        }
+        let n = plan.grid.len();
+        // Ping-pong regions aligned to DRAM rows so reads and writes of one
+        // instance live in distinct rows.
+        let row = config.dram.row_words;
+        let region = n.div_ceil(row) * row;
+        let dram = Dram::new(2 * region + row, config.dram)?;
+        let module = SmacheModule::new(plan)?;
+        Ok(SmacheSystem {
+            module,
+            kernel,
+            config,
+            dram,
+            n,
+            base: [0, region],
+            in_region: 0,
+            prefetch_issue: 0,
+            prefetch_resp_remaining: 0,
+            read_ptr: 0,
+            issued_kind: ReadKind::None,
+            resp_queue: VecDeque::new(),
+            kernel_pipe: VecDeque::new(),
+            write_queue: VecDeque::new(),
+            writes_done: 0,
+            instances_left: 0,
+            total_instances: 0,
+            cycle: 0,
+            warmup_cycles: 0,
+            stall: None,
+            result_tap: None,
+            tracer: None,
+            scratch_values: Vec::new(),
+        })
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &BufferPlan {
+        self.module.plan()
+    }
+
+    /// Installs an external stall schedule (`true` = datapath frozen that
+    /// cycle) — the paper's AXI4-Stream stall integration, as a testbench
+    /// hook.
+    pub fn set_stall_schedule(&mut self, stall: Box<dyn FnMut(u64) -> bool>) {
+        self.stall = Some(stall);
+    }
+
+    /// Installs an observer receiving every kernel result as a [`Beat`]
+    /// (data, element index, work-instance) — the module's output stream.
+    pub fn set_result_tap(&mut self, tap: Box<dyn FnMut(Beat)>) {
+        self.result_tap = Some(tap);
+    }
+
+    /// Attaches a waveform tracer recording the controller phase, the
+    /// DRAM handshakes, the emission pulse and the stall signal.
+    pub fn attach_tracer(&mut self, config: smache_sim::TracerConfig) {
+        self.tracer = Some(smache_sim::Tracer::new(config));
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&smache_sim::Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current controller phase.
+    pub fn phase(&self) -> ControllerPhase {
+        self.module.phase()
+    }
+
+    /// Arms the system for a run: resets all state, loads the input grid
+    /// and sets the instance count, without stepping the clock.
+    pub fn arm(&mut self, input: &[Word], instances: u64) -> CoreResult<()> {
+        if input.len() != self.n {
+            return Err(CoreError::Config(format!(
+                "input length {} does not match grid size {}",
+                input.len(),
+                self.n
+            )));
+        }
+        self.reset();
+        self.dram.preload(self.base[0], input)?;
+        self.dram.reset_stats();
+        self.instances_left = instances;
+        self.total_instances = instances;
+        Ok(())
+    }
+
+    /// Advances the system by one clock cycle.
+    pub fn step(&mut self) -> CoreResult<()> {
+        self.step_external(false)
+    }
+
+    /// Advances one clock cycle with an externally supplied stall signal
+    /// (OR-ed with the installed stall schedule) — the AXI integration
+    /// point.
+    pub fn step_external(&mut self, external_stall: bool) -> CoreResult<()> {
+        let stalled = external_stall
+            || match self.stall.as_mut() {
+                Some(f) => f(self.cycle),
+                None => false,
+            };
+
+        // --- Stage DRAM read channel -----------------------------------
+        let in_base = self.base[self.in_region];
+        match self.module.phase() {
+            ControllerPhase::Warmup => {
+                let addrs = self.module.prefetch_addrs();
+                if self.prefetch_issue < addrs.len() {
+                    self.dram.hold_read(in_base + addrs[self.prefetch_issue])?;
+                    self.issued_kind = ReadKind::Prefetch;
+                } else {
+                    self.dram.cancel_read();
+                    self.issued_kind = ReadKind::None;
+                }
+            }
+            ControllerPhase::Streaming => {
+                if self.read_ptr < self.n && self.resp_queue.len() < self.config.resp_high_water {
+                    self.dram.hold_read(in_base + self.read_ptr)?;
+                    self.issued_kind = ReadKind::Stream;
+                } else {
+                    self.dram.cancel_read();
+                    self.issued_kind = ReadKind::None;
+                }
+            }
+            ControllerPhase::Done => {
+                self.dram.cancel_read();
+                self.issued_kind = ReadKind::None;
+            }
+        }
+
+        // --- Stage DRAM write channel -----------------------------------
+        if let Some(&(addr, w)) = self.write_queue.front() {
+            self.dram.hold_write(addr, w)?;
+        } else {
+            self.dram.cancel_write();
+        }
+
+        // --- Clock the DRAM ---------------------------------------------
+        let report = self.dram.tick();
+        if report.read_accepted.is_some() {
+            match self.issued_kind {
+                ReadKind::Prefetch => {
+                    self.prefetch_issue += 1;
+                    self.prefetch_resp_remaining += 1;
+                }
+                ReadKind::Stream => self.read_ptr += 1,
+                ReadKind::None => {
+                    return Err(CoreError::Config(
+                        "DRAM accepted a read the system did not stage".into(),
+                    ))
+                }
+            }
+        }
+        if let Some((_, w)) = report.response {
+            if self.prefetch_resp_remaining > 0 {
+                self.module.prefetch_word(w)?;
+                self.prefetch_resp_remaining -= 1;
+            } else {
+                self.resp_queue.push_back(w);
+            }
+        }
+        if report.write_accepted.is_some() {
+            self.write_queue.pop_front();
+            self.writes_done += 1;
+        }
+
+        if self.module.phase() == ControllerPhase::Warmup {
+            self.warmup_cycles += 1;
+        }
+
+        // --- Smache datapath (FSM-2) ------------------------------------
+        let mut emitted = false;
+        if !stalled && self.module.phase() == ControllerPhase::Streaming {
+            // Emission reads the settled (pre-edge) window and bank state.
+            if let Some(e) = self.module.emit_ready() {
+                emitted = true;
+                let mut values = std::mem::take(&mut self.scratch_values);
+                let mask = self.module.gather(e, &mut values)?;
+                let result = self.kernel.apply(&values, mask);
+                self.scratch_values = values;
+                self.kernel_pipe
+                    .push_back((self.kernel.latency(), e, result));
+            }
+            // Shift in the next word (real data, then flush zeros).
+            if self.module.wants_shift() {
+                if self.module.real_words_remaining() > 0 {
+                    if let Some(w) = self.resp_queue.pop_front() {
+                        self.module.shift_in(w);
+                    }
+                } else {
+                    self.module.shift_in(0);
+                }
+            }
+            // Pre-issue next element's static reads (1-cycle bank latency).
+            self.module.preissue_static_reads()?;
+        }
+
+        // --- Kernel pipeline & FSM-3 write-back --------------------------
+        if !stalled {
+            for entry in self.kernel_pipe.iter_mut() {
+                entry.0 -= 1;
+            }
+            while self.kernel_pipe.front().is_some_and(|e| e.0 == 0) {
+                let (_, e, w) = self.kernel_pipe.pop_front().expect("checked front");
+                self.module.capture(e, w)?;
+                let out_base = self.base[1 - self.in_region];
+                self.write_queue.push_back((out_base + e, w));
+                if let Some(tap) = self.result_tap.as_mut() {
+                    tap(Beat {
+                        data: w,
+                        index: e as u64,
+                        instance: self.module.instance(),
+                    });
+                }
+            }
+        }
+
+        // --- Instance boundary -------------------------------------------
+        if self.module.phase() == ControllerPhase::Streaming
+            && self.module.instance_emitted()
+            && self.writes_done == self.n
+            && self.kernel_pipe.is_empty()
+            && self.write_queue.is_empty()
+        {
+            self.instances_left -= 1;
+            if self.config.double_buffering {
+                self.module.end_instance(self.instances_left);
+            } else {
+                self.module
+                    .end_instance_without_double_buffering(self.instances_left);
+                self.prefetch_issue = 0;
+            }
+            self.writes_done = 0;
+            self.read_ptr = 0;
+            self.in_region = 1 - self.in_region;
+        }
+
+        // --- Waveform probes ----------------------------------------------
+        if let Some(tracer) = self.tracer.as_mut() {
+            let phase = match self.module.phase() {
+                ControllerPhase::Warmup => 0,
+                ControllerPhase::Streaming => 1,
+                ControllerPhase::Done => 2,
+            };
+            tracer.sample(self.cycle, "ctrl.phase", phase);
+            tracer.sample(self.cycle, "ctrl.instance", self.module.instance());
+            tracer.sample(self.cycle, "ctrl.stall", stalled as u64);
+            tracer.sample(self.cycle, "fsm2.emit", emitted as u64);
+            tracer.sample(
+                self.cycle,
+                "dram.read_accept",
+                report.read_accepted.is_some() as u64,
+            );
+            tracer.sample(self.cycle, "dram.resp", report.response.is_some() as u64);
+            tracer.sample(
+                self.cycle,
+                "dram.write_accept",
+                report.write_accepted.is_some() as u64,
+            );
+        }
+
+        // --- Clock the module --------------------------------------------
+        self.module.tick()?;
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Resets all run state so the system can execute a fresh workload.
+    /// Called automatically at the start of [`SmacheSystem::run`].
+    pub fn reset(&mut self) {
+        self.module.reset();
+        self.in_region = 0;
+        self.prefetch_issue = 0;
+        self.prefetch_resp_remaining = 0;
+        self.read_ptr = 0;
+        self.issued_kind = ReadKind::None;
+        self.resp_queue.clear();
+        self.kernel_pipe.clear();
+        self.write_queue.clear();
+        self.writes_done = 0;
+        self.cycle = 0;
+        self.warmup_cycles = 0;
+    }
+
+    /// Loads `input` into DRAM, runs `instances` work-instances, and
+    /// returns the output grid with the measured metrics (per run: the
+    /// cycle counter and DRAM statistics restart from zero).
+    pub fn run(&mut self, input: &[Word], instances: u64) -> CoreResult<RunReport> {
+        self.arm(input, instances)?;
+
+        let budget = (instances + 2)
+            * (self.n as u64 * self.config.watchdog_cycles_per_element + 512)
+            + 4096;
+        if instances > 0 {
+            while self.module.phase() != ControllerPhase::Done {
+                if self.cycle >= budget {
+                    return Err(CoreError::Sim(smache_sim::SimError::Watchdog {
+                        budget,
+                        waiting_for: "smache run completion".into(),
+                    }));
+                }
+                self.step()?;
+            }
+        }
+
+        let out_region = (instances % 2) as usize;
+        let output = self.dram.dump(self.base[out_region], self.n)?;
+
+        let plan = self.module.plan();
+        let breakdown = self.module.resource_breakdown();
+        let resources = breakdown.total() + self.kernel.resources();
+        let metrics = DesignMetrics {
+            name: format!("Smache-{}", plan.hybrid.label()),
+            cycles: self.cycle,
+            fmax_mhz: FreqModel.smache_fmax(plan),
+            dram: *self.dram.stats(),
+            ops: plan.shape.ops_per_point() * self.n as u64 * instances,
+            resources,
+        };
+        Ok(RunReport {
+            output,
+            metrics,
+            warmup_cycles: self.warmup_cycles,
+            breakdown,
+        })
+    }
+
+    /// Synthesised resources of the full design (module + kernel).
+    pub fn resources(&self) -> ResourceUsage {
+        self.module.resource_breakdown().total() + self.kernel.resources()
+    }
+
+    /// Per-part resource breakdown.
+    pub fn resource_breakdown(&self) -> SmacheResourceBreakdown {
+        self.module.resource_breakdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::kernel::AverageKernel;
+    use crate::config::{HybridMode, PlanStrategy};
+    use crate::functional::golden::golden_run;
+    use smache_mem::MemKind;
+    use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+
+    fn paper_system(hybrid: HybridMode) -> SmacheSystem {
+        let plan = BufferPlan::analyse(
+            GridSpec::d2(11, 11).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::paper_case(),
+            PlanStrategy::GlobalWindow,
+            hybrid,
+            MemKind::Bram,
+            32,
+        )
+        .unwrap();
+        SmacheSystem::new(plan, Box::new(AverageKernel), SystemConfig::default()).unwrap()
+    }
+
+    fn golden_for(h: usize, w: usize, input: &[Word], instances: u64) -> Vec<Word> {
+        golden_run(
+            &GridSpec::d2(h, w).unwrap(),
+            &BoundarySpec::paper_case(),
+            &StencilShape::four_point_2d(),
+            &AverageKernel,
+            input,
+            instances,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_instance_matches_golden() {
+        let mut sys = paper_system(HybridMode::default());
+        let input: Vec<Word> = (0..121).map(|i| i * 7 + 3).collect();
+        let report = sys.run(&input, 1).unwrap();
+        assert_eq!(report.output, golden_for(11, 11, &input, 1));
+    }
+
+    #[test]
+    fn hundred_instances_match_golden_and_paper_cycle_regime() {
+        let mut sys = paper_system(HybridMode::default());
+        let input: Vec<Word> = (0..121).collect();
+        let report = sys.run(&input, 100).unwrap();
+        assert_eq!(report.output, golden_for(11, 11, &input, 100));
+        // The paper reports 14039 cycles for this workload; our simulated
+        // substrate must land in the same regime (±15%).
+        let cycles = report.metrics.cycles as f64;
+        assert!(
+            (cycles - 14039.0).abs() / 14039.0 < 0.15,
+            "cycles {cycles} vs paper 14039"
+        );
+        // Traffic regime: paper reports 95.5 KB.
+        let kb = report.metrics.traffic_kb();
+        assert!(
+            (kb - 95.5).abs() / 95.5 < 0.10,
+            "traffic {kb} KB vs paper 95.5"
+        );
+    }
+
+    #[test]
+    fn case_r_and_case_h_produce_identical_outputs_and_cycles() {
+        let input: Vec<Word> = (0..121).map(|i| (i * 31) % 255).collect();
+        let mut r = paper_system(HybridMode::CaseR);
+        let mut h = paper_system(HybridMode::default());
+        let rr = r.run(&input, 5).unwrap();
+        let rh = h.run(&input, 5).unwrap();
+        assert_eq!(rr.output, rh.output, "hybridisation must be transparent");
+        assert_eq!(rr.metrics.cycles, rh.metrics.cycles);
+        // But the resource split differs (the whole point of Case-H).
+        assert!(rr.metrics.resources.registers > rh.metrics.resources.registers);
+        assert!(rr.metrics.resources.bram_bits < rh.metrics.resources.bram_bits);
+    }
+
+    #[test]
+    fn stall_schedule_slows_but_preserves_output() {
+        let input: Vec<Word> = (0..121).map(|i| i + 1).collect();
+        let mut clean = paper_system(HybridMode::default());
+        let clean_report = clean.run(&input, 3).unwrap();
+
+        let mut stalled = paper_system(HybridMode::default());
+        stalled.set_stall_schedule(Box::new(|c| c % 4 == 1));
+        let stalled_report = stalled.run(&input, 3).unwrap();
+
+        assert_eq!(stalled_report.output, clean_report.output);
+        assert!(
+            stalled_report.metrics.cycles > clean_report.metrics.cycles,
+            "stalls must cost cycles: {} vs {}",
+            stalled_report.metrics.cycles,
+            clean_report.metrics.cycles
+        );
+    }
+
+    #[test]
+    fn open_boundary_grid_no_static_buffers() {
+        let plan = BufferPlan::analyse(
+            GridSpec::d2(9, 13).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::all_open(2).unwrap(),
+            PlanStrategy::GlobalWindow,
+            HybridMode::default(),
+            MemKind::Bram,
+            32,
+        )
+        .unwrap();
+        let mut sys =
+            SmacheSystem::new(plan, Box::new(AverageKernel), SystemConfig::default()).unwrap();
+        let input: Vec<Word> = (0..117).map(|i| i * 5).collect();
+        let report = sys.run(&input, 4).unwrap();
+        let golden = golden_run(
+            &GridSpec::d2(9, 13).unwrap(),
+            &BoundarySpec::all_open(2).unwrap(),
+            &StencilShape::four_point_2d(),
+            &AverageKernel,
+            &input,
+            4,
+        )
+        .unwrap();
+        assert_eq!(report.output, golden);
+        assert_eq!(report.warmup_cycles, 0, "no static buffers, no warm-up");
+    }
+
+    #[test]
+    fn full_torus_matches_golden() {
+        let plan = BufferPlan::analyse(
+            GridSpec::d2(8, 8).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::all_circular(2).unwrap(),
+            PlanStrategy::GlobalWindow,
+            HybridMode::default(),
+            MemKind::Bram,
+            32,
+        )
+        .unwrap();
+        let mut sys =
+            SmacheSystem::new(plan, Box::new(AverageKernel), SystemConfig::default()).unwrap();
+        let input: Vec<Word> = (0..64).map(|i| (i * i) % 101).collect();
+        let report = sys.run(&input, 6).unwrap();
+        let golden = golden_run(
+            &GridSpec::d2(8, 8).unwrap(),
+            &BoundarySpec::all_circular(2).unwrap(),
+            &StencilShape::four_point_2d(),
+            &AverageKernel,
+            &input,
+            6,
+        )
+        .unwrap();
+        assert_eq!(report.output, golden);
+    }
+
+    #[test]
+    fn zero_instances_returns_input() {
+        let mut sys = paper_system(HybridMode::default());
+        let input: Vec<Word> = (0..121).collect();
+        let report = sys.run(&input, 0).unwrap();
+        assert_eq!(report.output, input);
+        assert_eq!(report.metrics.ops, 0);
+    }
+
+    #[test]
+    fn throughput_is_one_tuple_per_cycle_steady_state() {
+        let mut sys = paper_system(HybridMode::default());
+        let input: Vec<Word> = (0..121).collect();
+        let report = sys.run(&input, 50).unwrap();
+        let per_instance = (report.metrics.cycles - report.warmup_cycles) as f64 / 50.0;
+        // N + window fill + kernel latency + small constant.
+        assert!(
+            per_instance < 121.0 + 25.0,
+            "per-instance cycles {per_instance} too high"
+        );
+        assert!(per_instance >= 121.0, "cannot beat one element per cycle");
+    }
+
+    #[test]
+    fn wrong_input_length_rejected() {
+        let mut sys = paper_system(HybridMode::default());
+        assert!(sys.run(&[1, 2, 3], 1).is_err());
+    }
+
+    #[test]
+    fn disabling_double_buffering_costs_cycles_but_not_correctness() {
+        let plan = || {
+            BufferPlan::analyse(
+                GridSpec::d2(11, 11).unwrap(),
+                StencilShape::four_point_2d(),
+                BoundarySpec::paper_case(),
+                PlanStrategy::GlobalWindow,
+                HybridMode::default(),
+                smache_mem::MemKind::Bram,
+                32,
+            )
+            .unwrap()
+        };
+        let input: Vec<Word> = (0..121).map(|i| i * 5 + 2).collect();
+
+        let mut with_db =
+            SmacheSystem::new(plan(), Box::new(AverageKernel), SystemConfig::default()).unwrap();
+        let db = with_db.run(&input, 10).unwrap();
+
+        let mut without_db = SmacheSystem::new(
+            plan(),
+            Box::new(AverageKernel),
+            SystemConfig {
+                double_buffering: false,
+                ..SystemConfig::default()
+            },
+        )
+        .unwrap();
+        let no_db = without_db.run(&input, 10).unwrap();
+
+        assert_eq!(
+            no_db.output, db.output,
+            "both architectures compute the same grids"
+        );
+        assert!(
+            no_db.metrics.cycles > db.metrics.cycles,
+            "re-prefetching every instance must cost cycles: {} vs {}",
+            no_db.metrics.cycles,
+            db.metrics.cycles
+        );
+        // The re-prefetch also costs DRAM reads: 22 extra per later instance.
+        assert_eq!(no_db.metrics.dram.reads, db.metrics.dram.reads + 22 * 9);
+        assert!(no_db.warmup_cycles > db.warmup_cycles);
+    }
+
+    #[test]
+    fn tracer_records_phase_and_handshakes() {
+        let mut sys = paper_system(HybridMode::default());
+        sys.attach_tracer(smache_sim::TracerConfig::default());
+        let input: Vec<Word> = (0..121).collect();
+        sys.run(&input, 2).unwrap();
+        let tracer = sys.tracer().expect("attached");
+        // The phase walked warmup (0) → streaming (1) → done (2).
+        let phases: Vec<u64> = tracer
+            .events_for("ctrl.phase")
+            .iter()
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(phases, vec![0, 1, 2]);
+        // Emission pulsed on and off at least once per instance.
+        assert!(tracer.events_for("fsm2.emit").len() >= 4);
+        // The instance counter reached 2.
+        let instances: Vec<u64> = tracer
+            .events_for("ctrl.instance")
+            .iter()
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(instances.last(), Some(&2));
+        // A waveform can be rendered.
+        let wave = tracer.render_wave(&["fsm2.emit"], 0, 80);
+        assert!(wave.contains("fsm2.emit"));
+    }
+
+    #[test]
+    fn metrics_fields_are_consistent() {
+        let mut sys = paper_system(HybridMode::default());
+        let input: Vec<Word> = (0..121).collect();
+        let report = sys.run(&input, 10).unwrap();
+        let m = &report.metrics;
+        assert_eq!(m.ops, 4 * 121 * 10);
+        assert!(m.fmax_mhz > 200.0 && m.fmax_mhz < 300.0);
+        assert!(m.exec_us() > 0.0);
+        assert!(m.mops() > 0.0);
+        assert_eq!(m.resources.registers, sys.resources().registers);
+        // Reads: warm-up 22 + 121/instance; writes 121/instance.
+        assert_eq!(m.dram.reads, 22 + 121 * 10);
+        assert_eq!(m.dram.writes, 121 * 10);
+    }
+}

@@ -1,0 +1,355 @@
+//! The transparently double-buffered static-buffer store.
+//!
+//! A static buffer in Smache holds a fixed set of stencil elements with very
+//! large reach (e.g. the wrapped-around top/bottom rows under circular
+//! boundary conditions). During work-instance `k` the *active* bank serves
+//! reads while the *shadow* bank concurrently absorbs write-through updates
+//! (the kernel's outputs that will be this buffer's contents for instance
+//! `k+1`); the banks swap between instances — the paper's "white and black
+//! buffers ... read and written concurrently, and swapped after every
+//! work-instance".
+
+use smache_sim::{ResourceUsage, SimError, SimResult, Word};
+
+/// Physical placement of a memory, selecting latency and resource type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Block RAM: synchronous read (1-cycle latency), costs BRAM bits.
+    Bram,
+    /// Distributed registers: combinational read, costs register bits.
+    Reg,
+}
+
+impl MemKind {
+    /// Lower-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemKind::Bram => "bram",
+            MemKind::Reg => "reg",
+        }
+    }
+}
+
+/// A ping-pong pair of equally sized on-chip buffers.
+pub struct DoubleBuffer {
+    name: String,
+    width_bits: u32,
+    kind: MemKind,
+    banks: [Vec<Word>; 2],
+    /// Index of the bank currently serving reads.
+    active: usize,
+    /// Two read ports (the native dual-port of a BRAM): staged addresses
+    /// and registered outputs.
+    staged_reads: [Option<usize>; 2],
+    /// Read output registers (model the BRAM registered outputs; for the
+    /// register kind they simply pipeline the combinational read, keeping
+    /// the controller interface uniform).
+    outs: [Word; 2],
+    staged_shadow_writes: Vec<(usize, Word)>,
+    staged_active_writes: Vec<(usize, Word)>,
+    swap_staged: bool,
+}
+
+impl DoubleBuffer {
+    /// Creates a zeroed double buffer of `depth` words per bank.
+    pub fn new(name: &str, depth: usize, width_bits: u32, kind: MemKind) -> SimResult<Self> {
+        if depth == 0 {
+            return Err(SimError::Config(format!(
+                "double buffer `{name}`: depth must be positive"
+            )));
+        }
+        if width_bits == 0 || width_bits > 64 {
+            return Err(SimError::Config(format!(
+                "double buffer `{name}`: width {width_bits} outside 1..=64"
+            )));
+        }
+        Ok(DoubleBuffer {
+            name: name.to_string(),
+            width_bits,
+            kind,
+            banks: [vec![0; depth], vec![0; depth]],
+            active: 0,
+            staged_reads: [None, None],
+            outs: [0, 0],
+            staged_shadow_writes: Vec::new(),
+            staged_active_writes: Vec::new(),
+            swap_staged: false,
+        })
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Words per bank.
+    pub fn depth(&self) -> usize {
+        self.banks[0].len()
+    }
+
+    /// Memory kind of both banks.
+    pub fn kind(&self) -> MemKind {
+        self.kind
+    }
+
+    fn check(&self, addr: usize) -> SimResult<()> {
+        if addr >= self.depth() {
+            return Err(SimError::AddressOutOfRange {
+                memory: self.name.clone(),
+                addr,
+                depth: self.depth(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Stages a read of the active bank on port 0; the data appears on
+    /// [`DoubleBuffer::out`] after the next [`DoubleBuffer::tick`].
+    pub fn stage_read(&mut self, addr: usize) -> SimResult<()> {
+        self.stage_read_port(0, addr)
+    }
+
+    /// Stages a read of the active bank on one of the two BRAM ports.
+    pub fn stage_read_port(&mut self, port: usize, addr: usize) -> SimResult<()> {
+        self.check(addr)?;
+        if port >= 2 {
+            return Err(SimError::PortConflict {
+                memory: self.name.clone(),
+                requested: port as u32 + 1,
+                available: 2,
+            });
+        }
+        self.staged_reads[port] = Some(addr);
+        Ok(())
+    }
+
+    /// The registered read output of port 0.
+    pub fn out(&self) -> Word {
+        self.outs[0]
+    }
+
+    /// The registered read output of `port`.
+    pub fn out_port(&self, port: usize) -> Word {
+        self.outs[port]
+    }
+
+    /// Combinational read of the active bank — only legal for the register
+    /// kind (BRAMs cannot serve same-cycle reads).
+    pub fn read_now(&self, addr: usize) -> SimResult<Word> {
+        if self.kind != MemKind::Reg {
+            return Err(SimError::Config(format!(
+                "double buffer `{}`: combinational read on a BRAM bank",
+                self.name
+            )));
+        }
+        self.check(addr)?;
+        Ok(self.banks[self.active][addr])
+    }
+
+    /// Stages a write-through update into the *shadow* bank (the contents
+    /// for the next work-instance).
+    pub fn stage_write_shadow(&mut self, addr: usize, data: Word) -> SimResult<()> {
+        self.check(addr)?;
+        stage(&mut self.staged_shadow_writes, addr, data);
+        Ok(())
+    }
+
+    /// Stages a write into the *active* bank — used by the warm-up prefetch
+    /// (FSM-1), which fills the buffer that the first instance will read.
+    pub fn stage_write_active(&mut self, addr: usize, data: Word) -> SimResult<()> {
+        self.check(addr)?;
+        stage(&mut self.staged_active_writes, addr, data);
+        Ok(())
+    }
+
+    /// Stages a bank swap at the end of this cycle (between instances).
+    pub fn stage_swap(&mut self) {
+        self.swap_staged = true;
+    }
+
+    /// Which bank currently serves reads (testing/reporting).
+    pub fn active_bank(&self) -> usize {
+        self.active
+    }
+
+    /// Applies staged reads, writes and swap. The read latches from the
+    /// pre-swap active bank; the swap happens last, modelling a registered
+    /// bank-select flag.
+    pub fn tick(&mut self) {
+        for port in 0..2 {
+            if let Some(addr) = self.staged_reads[port].take() {
+                self.outs[port] = self.banks[self.active][addr];
+            }
+        }
+        for (addr, data) in self.staged_shadow_writes.drain(..) {
+            let shadow = 1 - self.active;
+            self.banks[shadow][addr] = data;
+        }
+        for (addr, data) in self.staged_active_writes.drain(..) {
+            let active = self.active;
+            self.banks[active][addr] = data;
+        }
+        if self.swap_staged {
+            self.active = 1 - self.active;
+            self.swap_staged = false;
+        }
+    }
+
+    /// Testbench backdoor: write directly into a bank.
+    pub fn poke(&mut self, bank: usize, addr: usize, data: Word) {
+        self.banks[bank][addr] = data;
+    }
+
+    /// Testbench backdoor: read directly from a bank.
+    pub fn peek(&self, bank: usize, addr: usize) -> Word {
+        self.banks[bank][addr]
+    }
+
+    /// Resource report for both banks.
+    ///
+    /// BRAM kind: each bank is a physical BRAM buffer and carries the
+    /// synthesis output-register word — `(depth+1) × width` bits per bank,
+    /// matching the paper's Table I actuals. Register kind: exact bits.
+    pub fn resources(&self) -> ResourceUsage {
+        let per_bank = match self.kind {
+            MemKind::Bram => {
+                ResourceUsage::bram((self.depth() as u64 + 1) * self.width_bits as u64)
+            }
+            MemKind::Reg => ResourceUsage::regs(self.depth() as u64 * self.width_bits as u64),
+        };
+        per_bank + per_bank
+    }
+
+    /// Ideal (estimate-level) bits for both banks, no synthesis overhead.
+    pub fn ideal_bits(&self) -> u64 {
+        2 * self.depth() as u64 * self.width_bits as u64
+    }
+}
+
+fn stage(stages: &mut Vec<(usize, Word)>, addr: usize, data: Word) {
+    if let Some(slot) = stages.iter_mut().find(|(a, _)| *a == addr) {
+        slot.1 = data;
+    } else {
+        stages.push((addr, data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_come_from_active_bank() {
+        let mut db = DoubleBuffer::new("t", 4, 32, MemKind::Bram).unwrap();
+        db.poke(0, 2, 11);
+        db.poke(1, 2, 22);
+        db.stage_read(2).unwrap();
+        db.tick();
+        assert_eq!(db.out(), 11);
+        db.stage_swap();
+        db.tick();
+        db.stage_read(2).unwrap();
+        db.tick();
+        assert_eq!(db.out(), 22);
+    }
+
+    #[test]
+    fn shadow_writes_become_visible_after_swap() {
+        let mut db = DoubleBuffer::new("t", 2, 32, MemKind::Bram).unwrap();
+        db.stage_write_shadow(0, 77).unwrap();
+        db.tick();
+        db.stage_read(0).unwrap();
+        db.tick();
+        assert_eq!(db.out(), 0, "shadow write must not disturb the active bank");
+        db.stage_swap();
+        db.tick();
+        db.stage_read(0).unwrap();
+        db.tick();
+        assert_eq!(db.out(), 77);
+    }
+
+    #[test]
+    fn concurrent_read_and_shadow_write_same_address() {
+        // The paper's "read and written concurrently" property.
+        let mut db = DoubleBuffer::new("t", 2, 32, MemKind::Bram).unwrap();
+        db.poke(0, 1, 5);
+        db.stage_read(1).unwrap();
+        db.stage_write_shadow(1, 9).unwrap();
+        db.tick();
+        assert_eq!(db.out(), 5, "active data served");
+        assert_eq!(db.peek(1, 1), 9, "shadow updated in the same cycle");
+    }
+
+    #[test]
+    fn active_writes_serve_warmup_prefetch() {
+        let mut db = DoubleBuffer::new("t", 2, 32, MemKind::Bram).unwrap();
+        db.stage_write_active(1, 42).unwrap();
+        db.tick();
+        db.stage_read(1).unwrap();
+        db.tick();
+        assert_eq!(db.out(), 42);
+    }
+
+    #[test]
+    fn read_latches_pre_swap_bank_when_swap_same_cycle() {
+        let mut db = DoubleBuffer::new("t", 1, 32, MemKind::Bram).unwrap();
+        db.poke(0, 0, 1);
+        db.poke(1, 0, 2);
+        db.stage_read(0).unwrap();
+        db.stage_swap();
+        db.tick();
+        assert_eq!(
+            db.out(),
+            1,
+            "read uses the bank that was active when staged"
+        );
+        assert_eq!(db.active_bank(), 1);
+    }
+
+    #[test]
+    fn combinational_read_only_for_register_kind() {
+        let mut db = DoubleBuffer::new("t", 2, 32, MemKind::Reg).unwrap();
+        db.poke(0, 1, 3);
+        assert_eq!(db.read_now(1).unwrap(), 3);
+        let bram = DoubleBuffer::new("t", 2, 32, MemKind::Bram).unwrap();
+        assert!(bram.read_now(1).is_err());
+    }
+
+    #[test]
+    fn restaged_write_replaces_pending() {
+        let mut db = DoubleBuffer::new("t", 2, 32, MemKind::Bram).unwrap();
+        db.stage_write_shadow(0, 1).unwrap();
+        db.stage_write_shadow(0, 2).unwrap();
+        db.tick();
+        assert_eq!(db.peek(1, 0), 2);
+    }
+
+    #[test]
+    fn bounds_checked_everywhere() {
+        let mut db = DoubleBuffer::new("t", 2, 32, MemKind::Bram).unwrap();
+        assert!(db.stage_read(2).is_err());
+        assert!(db.stage_write_shadow(5, 0).is_err());
+        assert!(db.stage_write_active(5, 0).is_err());
+    }
+
+    #[test]
+    fn bram_resources_match_table1_calibration() {
+        // One static buffer of the 11-wide grid: 2 banks × (11+1) words.
+        let db = DoubleBuffer::new("T", 11, 32, MemKind::Bram).unwrap();
+        assert_eq!(db.resources().bram_bits, 2 * 12 * 32);
+        assert_eq!(db.ideal_bits(), 2 * 11 * 32);
+    }
+
+    #[test]
+    fn reg_resources_are_exact() {
+        let db = DoubleBuffer::new("T", 11, 32, MemKind::Reg).unwrap();
+        assert_eq!(db.resources().registers, 2 * 11 * 32);
+        assert_eq!(db.resources().bram_bits, 0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(DoubleBuffer::new("t", 0, 32, MemKind::Bram).is_err());
+        assert!(DoubleBuffer::new("t", 2, 0, MemKind::Bram).is_err());
+    }
+}

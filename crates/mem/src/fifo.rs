@@ -1,0 +1,350 @@
+//! FIFOs: BRAM-backed (for long stretches) and register-based (for short).
+//!
+//! In the hybrid (Case-H) stream buffer the stretches of the window between
+//! stencil taps never need concurrent random access — they are "accessed
+//! logically as a FIFO, but never require more than one concurrent read
+//! access" (paper, §III). A [`BramFifo`] models that: first-word
+//! fall-through semantics from a registered BRAM output.
+
+use smache_sim::{ResourceUsage, SimError, SimResult, Word};
+
+/// A synchronous first-word-fall-through FIFO backed by block RAM.
+///
+/// * [`BramFifo::head`] is combinationally valid whenever the FIFO is
+///   non-empty (the BRAM's registered output plus bypass — the classic FWFT
+///   wrapper).
+/// * Push and pop are staged during evaluation and applied at `tick`;
+///   simultaneous push+pop is allowed even at full depth (the pop frees the
+///   slot), which is exactly the steady-state delay-line behaviour the
+///   stream buffer relies on.
+///
+/// ## Resource accounting
+///
+/// `resources()` reports `next_power_of_two(capacity) × width` BRAM bits —
+/// synthesis rounds FIFO depths up to a power of two (this is what the
+/// paper's Table I shows: depth-7 FIFOs synthesise at 8 words, depth-1020
+/// at 1024). The read/write pointer and occupancy registers are owned by
+/// the enclosing controller in the Smache design (one shared counter for
+/// the lock-stepped FIFO pair), so they are *not* counted here; standalone
+/// users can add [`BramFifo::pointer_bits`].
+#[derive(Debug, Clone)]
+pub struct BramFifo {
+    name: String,
+    width_bits: u32,
+    cap: usize,
+    buf: Vec<Word>,
+    head: usize,
+    len: usize,
+    staged_push: Option<Word>,
+    staged_pop: bool,
+}
+
+impl BramFifo {
+    /// Creates an empty FIFO of `cap` words.
+    pub fn new(name: &str, cap: usize, width_bits: u32) -> SimResult<Self> {
+        if cap == 0 {
+            return Err(SimError::Config(format!(
+                "fifo `{name}`: capacity must be positive"
+            )));
+        }
+        if width_bits == 0 || width_bits > 64 {
+            return Err(SimError::Config(format!(
+                "fifo `{name}`: width {width_bits} outside 1..=64"
+            )));
+        }
+        Ok(BramFifo {
+            name: name.to_string(),
+            width_bits,
+            cap,
+            buf: vec![0; cap],
+            head: 0,
+            len: 0,
+            staged_push: None,
+            staged_pop: false,
+        })
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when full.
+    pub fn is_full(&self) -> bool {
+        self.len == self.cap
+    }
+
+    /// The oldest word, if any (first-word fall-through).
+    pub fn head(&self) -> Option<Word> {
+        (self.len > 0).then(|| self.buf[self.head])
+    }
+
+    /// Stages a push for this cycle (idempotent; replaces pending word).
+    pub fn stage_push(&mut self, word: Word) {
+        self.staged_push = Some(word);
+    }
+
+    /// Stages a pop for this cycle (idempotent).
+    pub fn stage_pop(&mut self) {
+        self.staged_pop = true;
+    }
+
+    /// Clears both staged operations.
+    pub fn cancel(&mut self) {
+        self.staged_push = None;
+        self.staged_pop = false;
+    }
+
+    /// Applies staged operations. Errors on overflow (push while full with
+    /// no pop) or underflow (pop while empty).
+    pub fn tick(&mut self) -> SimResult<()> {
+        let popping = self.staged_pop;
+        let pushing = self.staged_push.is_some();
+        self.staged_pop = false;
+
+        if popping && self.len == 0 {
+            self.staged_push = None;
+            return Err(SimError::Config(format!(
+                "fifo `{}`: pop while empty",
+                self.name
+            )));
+        }
+        if pushing && !popping && self.len == self.cap {
+            self.staged_push = None;
+            return Err(SimError::Config(format!(
+                "fifo `{}`: push while full",
+                self.name
+            )));
+        }
+        if popping {
+            self.head = (self.head + 1) % self.cap;
+            self.len -= 1;
+        }
+        if let Some(word) = self.staged_push.take() {
+            let tail = (self.head + self.len) % self.cap;
+            self.buf[tail] = word;
+            self.len += 1;
+        }
+        Ok(())
+    }
+
+    /// Register bits for pointers and occupancy, if the user wants to count
+    /// them locally instead of in the enclosing controller.
+    pub fn pointer_bits(&self) -> u64 {
+        let w = usize::BITS - (self.cap.max(1) - 1).leading_zeros();
+        // read ptr + write ptr + occupancy counter
+        (3 * w.max(1)) as u64
+    }
+
+    /// BRAM bits after synthesis depth rounding (see type docs).
+    pub fn resources(&self) -> ResourceUsage {
+        ResourceUsage::bram(self.cap.next_power_of_two() as u64 * self.width_bits as u64)
+    }
+
+    /// Ideal (estimate-level) bit count with no rounding.
+    pub fn ideal_bits(&self) -> u64 {
+        self.cap as u64 * self.width_bits as u64
+    }
+}
+
+/// A small register-based FIFO with the same interface as [`BramFifo`],
+/// used when the cost model decides a stretch is cheaper in registers.
+#[derive(Debug, Clone)]
+pub struct RegFifo {
+    inner: BramFifo,
+}
+
+impl RegFifo {
+    /// Creates an empty register FIFO of `cap` words.
+    pub fn new(name: &str, cap: usize, width_bits: u32) -> SimResult<Self> {
+        Ok(RegFifo {
+            inner: BramFifo::new(name, cap, width_bits)?,
+        })
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// True when full.
+    pub fn is_full(&self) -> bool {
+        self.inner.is_full()
+    }
+
+    /// The oldest word, if any.
+    pub fn head(&self) -> Option<Word> {
+        self.inner.head()
+    }
+
+    /// Stages a push for this cycle.
+    pub fn stage_push(&mut self, word: Word) {
+        self.inner.stage_push(word);
+    }
+
+    /// Stages a pop for this cycle.
+    pub fn stage_pop(&mut self) {
+        self.inner.stage_pop();
+    }
+
+    /// Applies staged operations.
+    pub fn tick(&mut self) -> SimResult<()> {
+        self.inner.tick()
+    }
+
+    /// Register bits: exactly `capacity × width` (no depth rounding — the
+    /// fabric places registers individually).
+    pub fn resources(&self) -> ResourceUsage {
+        ResourceUsage::regs(self.inner.cap as u64 * self.inner.width_bits as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut f = BramFifo::new("f", 4, 32).unwrap();
+        for v in [1, 2, 3] {
+            f.stage_push(v);
+            f.tick().unwrap();
+        }
+        assert_eq!(f.len(), 3);
+        let mut out = Vec::new();
+        while let Some(h) = f.head() {
+            out.push(h);
+            f.stage_pop();
+            f.tick().unwrap();
+        }
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_push_pop_at_full_depth_acts_as_delay_line() {
+        let mut f = BramFifo::new("f", 3, 32).unwrap();
+        // Fill.
+        for v in [10, 20, 30] {
+            f.stage_push(v);
+            f.tick().unwrap();
+        }
+        assert!(f.is_full());
+        // Steady state: push+pop each cycle; output delayed by capacity.
+        let mut outputs = Vec::new();
+        for v in [40, 50, 60] {
+            outputs.push(f.head().unwrap());
+            f.stage_pop();
+            f.stage_push(v);
+            f.tick().unwrap();
+            assert!(f.is_full(), "occupancy unchanged in steady state");
+        }
+        assert_eq!(outputs, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn overflow_and_underflow_are_errors() {
+        let mut f = BramFifo::new("f", 1, 32).unwrap();
+        f.stage_pop();
+        assert!(f.tick().is_err(), "pop from empty");
+        f.stage_push(1);
+        f.tick().unwrap();
+        f.stage_push(2);
+        assert!(f.tick().is_err(), "push to full without pop");
+    }
+
+    #[test]
+    fn head_is_none_when_empty() {
+        let f = BramFifo::new("f", 2, 32).unwrap();
+        assert_eq!(f.head(), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn cancel_clears_staged_operations() {
+        let mut f = BramFifo::new("f", 2, 32).unwrap();
+        f.stage_push(7);
+        f.cancel();
+        f.tick().unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn wraparound_addressing() {
+        let mut f = BramFifo::new("f", 2, 32).unwrap();
+        for round in 0..5u64 {
+            f.stage_push(round);
+            f.tick().unwrap();
+            assert_eq!(f.head(), Some(round));
+            f.stage_pop();
+            f.tick().unwrap();
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bram_bits_round_to_power_of_two_depth() {
+        let f = BramFifo::new("f", 7, 32).unwrap();
+        assert_eq!(f.resources().bram_bits, 8 * 32);
+        assert_eq!(f.ideal_bits(), 7 * 32);
+        let f = BramFifo::new("f", 1020, 32).unwrap();
+        assert_eq!(f.resources().bram_bits, 1024 * 32);
+    }
+
+    #[test]
+    fn pointer_bits_scale_logarithmically() {
+        let f = BramFifo::new("f", 7, 32).unwrap();
+        assert_eq!(f.pointer_bits(), 9); // 3 × ceil(log2 7) = 3 × 3
+        let f = BramFifo::new("f", 1020, 32).unwrap();
+        assert_eq!(f.pointer_bits(), 30); // 3 × 10
+    }
+
+    #[test]
+    fn reg_fifo_counts_register_bits_without_rounding() {
+        let f = RegFifo::new("f", 7, 32).unwrap();
+        assert_eq!(f.resources().registers, 224);
+        assert_eq!(f.resources().bram_bits, 0);
+    }
+
+    #[test]
+    fn reg_fifo_behaves_like_fifo() {
+        let mut f = RegFifo::new("f", 2, 32).unwrap();
+        f.stage_push(5);
+        f.tick().unwrap();
+        assert_eq!(f.head(), Some(5));
+        f.stage_pop();
+        f.tick().unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(BramFifo::new("f", 0, 32).is_err());
+        assert!(BramFifo::new("f", 2, 0).is_err());
+        assert!(BramFifo::new("f", 2, 65).is_err());
+    }
+}

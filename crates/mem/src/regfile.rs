@@ -1,0 +1,186 @@
+//! Distributed (register) memory: combinational read, synchronous write.
+
+use smache_sim::{ResourceUsage, SimError, SimResult, Word};
+
+/// A register-file memory.
+///
+/// Unlike [`Bram`](crate::Bram), every location can be read combinationally
+/// in the same cycle, and any number of locations can be read concurrently —
+/// this is what lets the stream buffer's stencil taps be gathered in a
+/// single cycle when they are placed in registers. Writes are synchronous
+/// (staged, applied at [`RegFile::tick`]).
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    name: String,
+    width_bits: u32,
+    data: Vec<Word>,
+    staged_writes: Vec<(usize, Word)>,
+}
+
+impl RegFile {
+    /// Creates a zero-initialised register file.
+    pub fn new(name: &str, depth: usize, width_bits: u32) -> SimResult<Self> {
+        if depth == 0 {
+            return Err(SimError::Config(format!(
+                "regfile `{name}`: depth must be positive"
+            )));
+        }
+        if width_bits == 0 || width_bits > 64 {
+            return Err(SimError::Config(format!(
+                "regfile `{name}`: width {width_bits} outside 1..=64"
+            )));
+        }
+        Ok(RegFile {
+            name: name.to_string(),
+            width_bits,
+            data: vec![0; depth],
+            staged_writes: Vec::new(),
+        })
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Depth in words.
+    pub fn depth(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Logical word width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Combinational read of any location.
+    pub fn read(&self, addr: usize) -> SimResult<Word> {
+        self.data
+            .get(addr)
+            .copied()
+            .ok_or_else(|| SimError::AddressOutOfRange {
+                memory: self.name.clone(),
+                addr,
+                depth: self.data.len(),
+            })
+    }
+
+    /// Stages a write. Multiple writes to *different* addresses in one cycle
+    /// are fine (each register has its own enable); re-staging the same
+    /// address replaces the pending value (idempotent re-evaluation).
+    pub fn stage_write(&mut self, addr: usize, data: Word) -> SimResult<()> {
+        if addr >= self.data.len() {
+            return Err(SimError::AddressOutOfRange {
+                memory: self.name.clone(),
+                addr,
+                depth: self.data.len(),
+            });
+        }
+        if let Some(slot) = self.staged_writes.iter_mut().find(|(a, _)| *a == addr) {
+            slot.1 = data;
+        } else {
+            self.staged_writes.push((addr, data));
+        }
+        Ok(())
+    }
+
+    /// Discards all staged writes.
+    pub fn cancel_writes(&mut self) {
+        self.staged_writes.clear();
+    }
+
+    /// Applies staged writes. Call exactly once per cycle.
+    pub fn tick(&mut self) {
+        for (addr, data) in self.staged_writes.drain(..) {
+            self.data[addr] = data;
+        }
+    }
+
+    /// Testbench backdoor write (no clocking).
+    pub fn poke(&mut self, addr: usize, data: Word) {
+        self.data[addr] = data;
+    }
+
+    /// Immutable view of the whole contents.
+    pub fn contents(&self) -> &[Word] {
+        &self.data
+    }
+
+    /// Resource report: exactly `depth × width` register bits.
+    pub fn resources(&self) -> ResourceUsage {
+        ResourceUsage::regs(self.data.len() as u64 * self.width_bits as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_read_sees_committed_data_only() {
+        let mut rf = RegFile::new("rf", 4, 32).unwrap();
+        rf.stage_write(1, 10).unwrap();
+        assert_eq!(rf.read(1).unwrap(), 0, "staged write not yet visible");
+        rf.tick();
+        assert_eq!(rf.read(1).unwrap(), 10);
+    }
+
+    #[test]
+    fn concurrent_reads_of_all_locations() {
+        let mut rf = RegFile::new("rf", 8, 16).unwrap();
+        for i in 0..8 {
+            rf.poke(i, i as Word * 2);
+        }
+        let all: Vec<Word> = (0..8).map(|i| rf.read(i).unwrap()).collect();
+        assert_eq!(all, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn multiple_writes_per_cycle_to_distinct_addresses() {
+        let mut rf = RegFile::new("rf", 4, 32).unwrap();
+        rf.stage_write(0, 1).unwrap();
+        rf.stage_write(3, 4).unwrap();
+        rf.tick();
+        assert_eq!(rf.read(0).unwrap(), 1);
+        assert_eq!(rf.read(3).unwrap(), 4);
+    }
+
+    #[test]
+    fn restaged_write_replaces_pending_value() {
+        let mut rf = RegFile::new("rf", 4, 32).unwrap();
+        rf.stage_write(2, 5).unwrap();
+        rf.stage_write(2, 6).unwrap();
+        rf.tick();
+        assert_eq!(rf.read(2).unwrap(), 6);
+    }
+
+    #[test]
+    fn cancel_discards_staged_writes() {
+        let mut rf = RegFile::new("rf", 2, 32).unwrap();
+        rf.stage_write(0, 9).unwrap();
+        rf.cancel_writes();
+        rf.tick();
+        assert_eq!(rf.read(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut rf = RegFile::new("rf", 2, 32).unwrap();
+        assert!(rf.read(2).is_err());
+        assert!(rf.stage_write(2, 0).is_err());
+    }
+
+    #[test]
+    fn resource_bits_are_exact() {
+        let rf = RegFile::new("rf", 25, 32).unwrap();
+        assert_eq!(rf.resources().registers, 800);
+        assert_eq!(rf.resources().bram_bits, 0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(RegFile::new("rf", 0, 32).is_err());
+        assert!(RegFile::new("rf", 4, 0).is_err());
+        assert!(RegFile::new("rf", 4, 128).is_err());
+    }
+}

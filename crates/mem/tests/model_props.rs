@@ -1,0 +1,234 @@
+//! Model-based property tests: every memory component against a trivially
+//! correct software reference, over random operation sequences.
+
+use proptest::prelude::*;
+use smache_mem::{Bram, BramFifo, DoubleBuffer, Dram, DramConfig, MemKind, RegFile, ShiftReg};
+use std::collections::VecDeque;
+
+/// Operations applied to a FIFO each cycle.
+#[derive(Debug, Clone, Copy)]
+enum FifoOp {
+    Push(u64),
+    Pop,
+    PushPop(u64),
+    Idle,
+}
+
+fn arb_fifo_op() -> impl Strategy<Value = FifoOp> {
+    prop_oneof![
+        (0u64..1000).prop_map(FifoOp::Push),
+        Just(FifoOp::Pop),
+        (0u64..1000).prop_map(FifoOp::PushPop),
+        Just(FifoOp::Idle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bram_fifo_matches_vecdeque(
+        cap in 1usize..16,
+        ops in proptest::collection::vec(arb_fifo_op(), 1..200),
+    ) {
+        let mut fifo = BramFifo::new("f", cap, 32).expect("fifo");
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            // Stage only legal operations (the contract callers follow).
+            match op {
+                FifoOp::Push(w) if model.len() < cap => {
+                    fifo.stage_push(w);
+                    model.push_back(w);
+                }
+                FifoOp::Pop if !model.is_empty() => {
+                    fifo.stage_pop();
+                    model.pop_front();
+                }
+                FifoOp::PushPop(w) if !model.is_empty() => {
+                    fifo.stage_push(w);
+                    fifo.stage_pop();
+                    model.pop_front();
+                    model.push_back(w);
+                }
+                _ => {}
+            }
+            fifo.tick().expect("legal ops");
+            prop_assert_eq!(fifo.len(), model.len());
+            prop_assert_eq!(fifo.head(), model.front().copied());
+            prop_assert_eq!(fifo.is_empty(), model.is_empty());
+            prop_assert_eq!(fifo.is_full(), model.len() == cap);
+        }
+    }
+
+    #[test]
+    fn shift_reg_matches_rotation_model(
+        len in 1usize..32,
+        words in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut sr = ShiftReg::new("s", len, 32).expect("shiftreg");
+        let mut model = vec![0u64; len];
+        for w in words {
+            sr.stage_shift(w);
+            let expelled = sr.tick();
+            prop_assert_eq!(expelled, Some(model[len - 1]));
+            model.rotate_right(1);
+            model[0] = w;
+            prop_assert_eq!(sr.contents(), &model[..]);
+        }
+    }
+
+    #[test]
+    fn bram_random_rw_matches_array(
+        depth in 1usize..32,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..32, 0u64..1000), 1..100),
+    ) {
+        let mut bram = Bram::new("b", depth, 32, 2).expect("bram");
+        let mut model = vec![0u64; depth];
+        let mut expected_out: Option<u64> = None;
+        for (is_write, addr, data) in ops {
+            let addr = addr % depth;
+            if is_write {
+                bram.stage_write(0, addr, data).expect("in range");
+                bram.tick().expect("no conflicts");
+                model[addr] = data;
+            } else {
+                bram.stage_read(1, addr).expect("in range");
+                bram.tick().expect("no conflicts");
+                expected_out = Some(model[addr]);
+                prop_assert_eq!(bram.out(1), model[addr]);
+            }
+            if let Some(v) = expected_out {
+                prop_assert_eq!(bram.out(1), v, "output register holds");
+            }
+        }
+    }
+
+    #[test]
+    fn regfile_matches_array(
+        depth in 1usize..32,
+        ops in proptest::collection::vec((0usize..32, 0u64..1000), 1..100),
+    ) {
+        let mut rf = RegFile::new("r", depth, 32).expect("regfile");
+        let mut model = vec![0u64; depth];
+        for (addr, data) in ops {
+            let addr = addr % depth;
+            rf.stage_write(addr, data).expect("in range");
+            rf.tick();
+            model[addr] = data;
+            for (a, &expected) in model.iter().enumerate() {
+                prop_assert_eq!(rf.read(a).expect("in range"), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffer_matches_two_array_model(
+        depth in 1usize..16,
+        ops in proptest::collection::vec(
+            (0usize..4, 0usize..16, 0u64..1000), 1..120),
+    ) {
+        let mut db = DoubleBuffer::new("d", depth, 32, MemKind::Bram).expect("db");
+        let mut banks = [vec![0u64; depth], vec![0u64; depth]];
+        let mut active = 0usize;
+        let mut pending_read: Option<usize> = None;
+        let mut out = 0u64;
+        for (op, addr, data) in ops {
+            let addr = addr % depth;
+            match op {
+                0 => {
+                    db.stage_read(addr).expect("in range");
+                    pending_read = Some(addr);
+                }
+                1 => {
+                    db.stage_write_shadow(addr, data).expect("in range");
+                    banks[1 - active][addr] = data;
+                }
+                2 => {
+                    db.stage_write_active(addr, data).expect("in range");
+                    banks[active][addr] = data;
+                }
+                _ => {
+                    db.stage_swap();
+                }
+            }
+            let swapping = op == 3;
+            // Model the read against the pre-swap active bank.
+            if let Some(a) = pending_read.take() {
+                out = banks[active][a];
+            }
+            db.tick();
+            if swapping {
+                active = 1 - active;
+            }
+            prop_assert_eq!(db.out(), out);
+            prop_assert_eq!(db.active_bank(), active);
+        }
+    }
+
+    /// DRAM: every response returns the preloaded value of its address and
+    /// responses arrive in issue order.
+    #[test]
+    fn dram_responses_in_order_with_correct_data(
+        addrs in proptest::collection::vec(0usize..512, 1..80),
+    ) {
+        let config = DramConfig::default();
+        let mut dram = Dram::new(512, config).expect("dram");
+        let init: Vec<u64> = (0..512u64).map(|i| i * 3 + 1).collect();
+        dram.preload(0, &init).expect("preload");
+
+        let mut issued = 0usize;
+        let mut received: Vec<(usize, u64)> = Vec::new();
+        let mut guard = 0u64;
+        while received.len() < addrs.len() {
+            if issued < addrs.len() {
+                dram.hold_read(addrs[issued]).expect("in range");
+            }
+            let r = dram.tick();
+            if r.read_accepted.is_some() {
+                issued += 1;
+            }
+            if let Some((a, v)) = r.response {
+                received.push((a, v));
+            }
+            guard += 1;
+            prop_assert!(guard < 100_000, "dram stalled");
+        }
+        for (i, (a, v)) in received.iter().enumerate() {
+            prop_assert_eq!(*a, addrs[i], "in-order delivery");
+            prop_assert_eq!(*v, init[addrs[i]], "correct data");
+        }
+        prop_assert_eq!(dram.stats().reads as usize, addrs.len());
+        prop_assert_eq!(dram.stats().bytes_read, 4 * addrs.len() as u64);
+        let s = dram.stats();
+        prop_assert_eq!(
+            s.sequential_reads + s.row_hits + s.row_misses,
+            s.reads,
+            "every read is classified exactly once"
+        );
+    }
+
+    /// Concurrent writes while reading: the write channel never reorders
+    /// against itself and data lands.
+    #[test]
+    fn dram_writes_land(
+        writes in proptest::collection::vec((0usize..128, 0u64..10_000), 1..60),
+    ) {
+        let mut dram = Dram::new(128, DramConfig::default()).expect("dram");
+        let mut model = vec![0u64; 128];
+        let mut issued = 0usize;
+        let mut guard = 0;
+        while issued < writes.len() {
+            let (a, v) = writes[issued];
+            dram.hold_write(a, v).expect("in range");
+            let r = dram.tick();
+            if r.write_accepted.is_some() {
+                model[a] = v;
+                issued += 1;
+            }
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+        prop_assert_eq!(dram.dump(0, 128).expect("dump"), model);
+        prop_assert_eq!(dram.stats().writes as usize, writes.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! Error type for the simulation kernel.
+
+use std::fmt;
+
+/// Errors raised by the simulation kernel or by simulated modules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Combinational evaluation did not converge within the pass budget —
+    /// the design contains a combinational loop (e.g. `ready` depending on
+    /// `valid` depending on `ready` with no register in between).
+    CombinationalLoop {
+        /// Cycle at which convergence failed.
+        cycle: u64,
+        /// Number of delta passes attempted.
+        passes: u32,
+    },
+    /// Two different values were driven onto the same wire within a single
+    /// delta pass — a multiple-driver conflict that synthesis would reject.
+    DoubleDrive {
+        /// Name of the conflicted wire.
+        wire: String,
+        /// Cycle at which the conflict occurred.
+        cycle: u64,
+    },
+    /// A memory port was used more than its physical port count allows in
+    /// one cycle (BRAMs on the target device are at most dual-ported).
+    PortConflict {
+        /// Name of the memory.
+        memory: String,
+        /// Number of simultaneous accesses requested.
+        requested: u32,
+        /// Number of physical ports.
+        available: u32,
+    },
+    /// An address fell outside the memory it was presented to.
+    AddressOutOfRange {
+        /// Name of the memory.
+        memory: String,
+        /// The offending address.
+        addr: usize,
+        /// Memory depth in words.
+        depth: usize,
+    },
+    /// The simulation ran past its watchdog budget without reaching the
+    /// expected terminal condition (usually a deadlocked handshake).
+    Watchdog {
+        /// Cycle budget that was exhausted.
+        budget: u64,
+        /// Human-readable description of what was being awaited.
+        waiting_for: String,
+    },
+    /// A module was configured inconsistently.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalLoop { cycle, passes } => write!(
+                f,
+                "combinational loop: no convergence after {passes} delta passes at cycle {cycle}"
+            ),
+            SimError::DoubleDrive { wire, cycle } => {
+                write!(
+                    f,
+                    "wire `{wire}` driven twice with different values at cycle {cycle}"
+                )
+            }
+            SimError::PortConflict {
+                memory,
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory `{memory}`: {requested} simultaneous accesses but only {available} ports"
+            ),
+            SimError::AddressOutOfRange {
+                memory,
+                addr,
+                depth,
+            } => {
+                write!(
+                    f,
+                    "memory `{memory}`: address {addr} out of range (depth {depth})"
+                )
+            }
+            SimError::Watchdog {
+                budget,
+                waiting_for,
+            } => {
+                write!(
+                    f,
+                    "watchdog: exceeded {budget} cycles while waiting for {waiting_for}"
+                )
+            }
+            SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::CombinationalLoop {
+            cycle: 42,
+            passes: 64,
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("64"));
+
+        let e = SimError::PortConflict {
+            memory: "bram0".into(),
+            requested: 3,
+            available: 2,
+        };
+        assert!(e.to_string().contains("bram0"));
+
+        let e = SimError::AddressOutOfRange {
+            memory: "t".into(),
+            addr: 10,
+            depth: 8,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("8"));
+
+        let e = SimError::Watchdog {
+            budget: 100,
+            waiting_for: "valid".into(),
+        };
+        assert!(e.to_string().contains("valid"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SimError::Config("x".into()), SimError::Config("x".into()));
+        assert_ne!(SimError::Config("x".into()), SimError::Config("y".into()));
+    }
+}

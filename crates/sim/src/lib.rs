@@ -1,0 +1,55 @@
+//! # smache-sim — cycle-level synchronous simulation kernel
+//!
+//! A small hardware-simulation substrate standing in for the RTL simulator
+//! used by the Smache paper (Nabi & Vanderbauwhede, RAW/IPDPSW 2019).
+//!
+//! The model is a classic two-phase synchronous simulation:
+//!
+//! 1. **Evaluate**: every [`Module`] computes its combinational outputs from
+//!    the current values of its input [`Wire`]s and its registered state.
+//!    Evaluation is repeated in *delta passes* until no wire changes value,
+//!    which settles combinational chains that span modules (e.g. ready/valid
+//!    back-pressure). `eval` must therefore be idempotent and must not
+//!    mutate architectural state.
+//! 2. **Commit**: every module latches its next state ([`Reg::tick`],
+//!    memory writes, counters). This runs exactly once per cycle.
+//!
+//! On top of the kernel the crate provides:
+//!
+//! * [`stream`] — ready/valid streaming links modelled on AXI4-Stream
+//!   (`valid`/`ready`/`data`/`last`), the paper's integration interface.
+//! * [`stats`] — cycle and throughput accounting.
+//! * [`trace`] — a lightweight VCD-like trace recorder for debugging.
+//! * [`resources`] — FPGA resource accounting (ALMs, registers, BRAM bits)
+//!   shared by every simulated module; this is how "actual" utilisation
+//!   numbers for Table I of the paper are produced.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod module;
+pub mod resources;
+pub mod signal;
+pub mod sim;
+pub mod stats;
+pub mod stream;
+pub mod trace;
+
+pub use error::SimError;
+pub use module::Module;
+pub use resources::ResourceUsage;
+pub use signal::{Reg, SimCtx, Wire};
+pub use sim::Simulator;
+pub use stats::{CycleStats, RunningStats};
+pub use stream::{Beat, SinkBuffer, StreamLink, StreamSink, StreamSource};
+pub use trace::{Tracer, TracerConfig};
+
+/// The raw transfer word used throughout the simulated designs.
+///
+/// Hardware words of up to 64 logical bits are carried in a `u64`; the
+/// logical width (32 bits for every experiment in the paper) is tracked by
+/// the memory models for resource accounting.
+pub type Word = u64;
+
+/// Convenient `Result` alias for simulation fallible operations.
+pub type SimResult<T> = Result<T, SimError>;

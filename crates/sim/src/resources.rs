@@ -1,0 +1,220 @@
+//! FPGA resource accounting.
+//!
+//! Every simulated module can report the on-chip resources its synthesised
+//! equivalent would occupy. Summing a design's module tree yields the
+//! "actual" columns of Table I in the paper; the analytical cost model in
+//! `smache-core::cost` yields the "estimate" columns.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// On-chip resource utilisation of a (sub)design, in the units the paper
+/// reports for a Stratix-V device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ResourceUsage {
+    /// Adaptive logic modules (combinational logic).
+    pub alms: u64,
+    /// Flip-flop / distributed-RAM register bits.
+    pub registers: u64,
+    /// Block-RAM bits (M20K contents).
+    pub bram_bits: u64,
+    /// DSP blocks (unused by the paper's designs but tracked for kernels).
+    pub dsps: u64,
+}
+
+impl ResourceUsage {
+    /// No resources.
+    pub const ZERO: ResourceUsage = ResourceUsage {
+        alms: 0,
+        registers: 0,
+        bram_bits: 0,
+        dsps: 0,
+    };
+
+    /// Usage consisting only of register bits.
+    pub fn regs(bits: u64) -> Self {
+        ResourceUsage {
+            registers: bits,
+            ..Self::ZERO
+        }
+    }
+
+    /// Usage consisting only of BRAM bits.
+    pub fn bram(bits: u64) -> Self {
+        ResourceUsage {
+            bram_bits: bits,
+            ..Self::ZERO
+        }
+    }
+
+    /// Usage consisting only of ALMs.
+    pub fn alm(count: u64) -> Self {
+        ResourceUsage {
+            alms: count,
+            ..Self::ZERO
+        }
+    }
+
+    /// True when no resource is used at all.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+
+    /// Total memory bits regardless of placement (registers + BRAM).
+    pub fn total_memory_bits(&self) -> u64 {
+        self.registers + self.bram_bits
+    }
+
+    /// Relative error of `self` as an estimate of `actual`, per field, as a
+    /// fraction of `actual` (fields where `actual` is zero contribute zero
+    /// if the estimate is also zero, otherwise 1.0).
+    pub fn relative_error(&self, actual: &ResourceUsage) -> f64 {
+        fn field_err(est: u64, act: u64) -> f64 {
+            if act == 0 {
+                if est == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                (est as f64 - act as f64).abs() / act as f64
+            }
+        }
+        let errs = [
+            field_err(self.registers, actual.registers),
+            field_err(self.bram_bits, actual.bram_bits),
+        ];
+        errs.iter().copied().fold(0.0_f64, f64::max)
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            alms: self.alms + rhs.alms,
+            registers: self.registers + rhs.registers,
+            bram_bits: self.bram_bits + rhs.bram_bits,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: ResourceUsage) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ResourceUsage {
+    fn sum<I: Iterator<Item = ResourceUsage>>(iter: I) -> Self {
+        iter.fold(ResourceUsage::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ALMs, {} registers, {} BRAM bits",
+            self.alms, self.registers, self.bram_bits
+        )?;
+        if self.dsps > 0 {
+            write!(f, ", {} DSPs", self.dsps)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = ResourceUsage {
+            alms: 1,
+            registers: 2,
+            bram_bits: 3,
+            dsps: 4,
+        };
+        let b = ResourceUsage {
+            alms: 10,
+            registers: 20,
+            bram_bits: 30,
+            dsps: 40,
+        };
+        let c = a + b;
+        assert_eq!(
+            c,
+            ResourceUsage {
+                alms: 11,
+                registers: 22,
+                bram_bits: 33,
+                dsps: 44
+            }
+        );
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            ResourceUsage::regs(8),
+            ResourceUsage::bram(16),
+            ResourceUsage::alm(2),
+        ];
+        let total: ResourceUsage = parts.into_iter().sum();
+        assert_eq!(total.registers, 8);
+        assert_eq!(total.bram_bits, 16);
+        assert_eq!(total.alms, 2);
+        assert_eq!(total.total_memory_bits(), 24);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(ResourceUsage::ZERO.is_zero());
+        assert!(!ResourceUsage::regs(1).is_zero());
+    }
+
+    #[test]
+    fn relative_error_tracks_worst_field() {
+        let est = ResourceUsage {
+            registers: 90,
+            bram_bits: 100,
+            ..ResourceUsage::ZERO
+        };
+        let act = ResourceUsage {
+            registers: 100,
+            bram_bits: 100,
+            ..ResourceUsage::ZERO
+        };
+        let err = est.relative_error(&act);
+        assert!((err - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_zero_actual() {
+        let est = ResourceUsage::regs(5);
+        let act = ResourceUsage::ZERO;
+        assert_eq!(est.relative_error(&act), 1.0);
+        assert_eq!(
+            ResourceUsage::ZERO.relative_error(&ResourceUsage::ZERO),
+            0.0
+        );
+    }
+
+    #[test]
+    fn display_includes_all_units() {
+        let r = ResourceUsage {
+            alms: 79,
+            registers: 262,
+            bram_bits: 0,
+            dsps: 0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("79 ALMs"));
+        assert!(s.contains("262 registers"));
+        assert!(!s.contains("DSP"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Cycle and throughput accounting used by the experiment harnesses.
+
+use std::fmt;
+
+/// Counters accumulated over a simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Total clock cycles simulated.
+    pub cycles: u64,
+    /// Cycles during which the observed stream transferred a beat.
+    pub transfers: u64,
+    /// Cycles during which the producer was stalled by back-pressure
+    /// (valid && !ready).
+    pub stall_cycles: u64,
+    /// Cycles during which the producer had nothing to offer (!valid).
+    pub idle_cycles: u64,
+}
+
+impl CycleStats {
+    /// Records one observed cycle.
+    pub fn record(&mut self, valid: bool, ready: bool) {
+        self.cycles += 1;
+        match (valid, ready) {
+            (true, true) => self.transfers += 1,
+            (true, false) => self.stall_cycles += 1,
+            (false, _) => self.idle_cycles += 1,
+        }
+    }
+
+    /// Transfers per cycle over the whole run (0.0 when no cycles ran).
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.transfers as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles lost to back-pressure.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CycleStats) {
+        self.cycles += other.cycles;
+        self.transfers += other.transfers;
+        self.stall_cycles += other.stall_cycles;
+        self.idle_cycles += other.idle_cycles;
+    }
+}
+
+impl fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} transfers ({:.3} beats/cycle), {} stalled, {} idle",
+            self.cycles,
+            self.transfers,
+            self.throughput(),
+            self.stall_cycles,
+            self.idle_cycles
+        )
+    }
+}
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm), used
+/// by the benchmark harness to summarise sweeps without storing samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_stats_classify_cycles() {
+        let mut s = CycleStats::default();
+        s.record(true, true); // transfer
+        s.record(true, false); // stall
+        s.record(false, true); // idle
+        s.record(false, false); // idle
+        assert_eq!(s.cycles, 4);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.stall_cycles, 1);
+        assert_eq!(s.idle_cycles, 2);
+        assert!((s.throughput() - 0.25).abs() < 1e-12);
+        assert!((s.stall_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CycleStats::default();
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CycleStats {
+            cycles: 10,
+            transfers: 5,
+            stall_cycles: 3,
+            idle_cycles: 2,
+        };
+        let b = CycleStats {
+            cycles: 4,
+            transfers: 4,
+            stall_cycles: 0,
+            idle_cycles: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 14);
+        assert_eq!(a.transfers, 9);
+    }
+
+    #[test]
+    fn running_stats_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = RunningStats::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.variance() - 4.0).abs() < 1e-12);
+        assert!((r.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before_mean = a.mean();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before_mean);
+
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), before_mean);
+    }
+
+    #[test]
+    fn empty_running_stats() {
+        let r = RunningStats::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Boundary conditions, per axis edge.
+
+use crate::{ModelError, ModelResult, Word};
+
+/// What happens when a stencil offset crosses one edge of one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// The neighbour simply does not exist; the stencil point is skipped
+    /// (the kernel sees a smaller tuple — the paper's "open" edges).
+    Open,
+    /// Periodic wrap-around — the paper's motivating case, producing
+    /// offsets "as large as the entire grid-size itself".
+    Circular,
+    /// Reflection across the edge (symmetric padding: `-1 → 0`, `-2 → 1`).
+    Mirror,
+    /// A fixed value supplied for out-of-grid accesses (Dirichlet).
+    Constant(Word),
+}
+
+impl Boundary {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Boundary::Open => "open",
+            Boundary::Circular => "circular",
+            Boundary::Mirror => "mirror",
+            Boundary::Constant(_) => "constant",
+        }
+    }
+}
+
+/// Boundary conditions of both edges of one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxisBoundaries {
+    /// Behaviour below index 0.
+    pub low: Boundary,
+    /// Behaviour at or above the axis length.
+    pub high: Boundary,
+}
+
+impl AxisBoundaries {
+    /// Same condition on both edges.
+    pub fn both(b: Boundary) -> Self {
+        AxisBoundaries { low: b, high: b }
+    }
+}
+
+/// Boundary conditions for every axis of a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundarySpec {
+    axes: Vec<AxisBoundaries>,
+}
+
+impl BoundarySpec {
+    /// Per-axis specification.
+    pub fn new(axes: &[AxisBoundaries]) -> ModelResult<Self> {
+        if axes.is_empty() {
+            return Err(ModelError::BadBoundary("no axes".into()));
+        }
+        Ok(BoundarySpec {
+            axes: axes.to_vec(),
+        })
+    }
+
+    /// Open on every edge of `ndim` axes.
+    pub fn all_open(ndim: usize) -> ModelResult<Self> {
+        Self::new(&vec![AxisBoundaries::both(Boundary::Open); ndim])
+    }
+
+    /// Circular on every edge of `ndim` axes (fully periodic torus).
+    pub fn all_circular(ndim: usize) -> ModelResult<Self> {
+        Self::new(&vec![AxisBoundaries::both(Boundary::Circular); ndim])
+    }
+
+    /// The paper's validation configuration for a 2D grid: circular at the
+    /// horizontal edges (top/bottom — i.e. the row axis wraps) and open at
+    /// the vertical edges (left/right columns).
+    pub fn paper_case() -> Self {
+        BoundarySpec {
+            axes: vec![
+                AxisBoundaries::both(Boundary::Circular),
+                AxisBoundaries::both(Boundary::Open),
+            ],
+        }
+    }
+
+    /// The axis specifications.
+    pub fn axes(&self) -> &[AxisBoundaries] {
+        &self.axes
+    }
+
+    /// Number of axes covered.
+    pub fn ndim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// True when any edge is circular (the case requiring static buffers).
+    pub fn has_circular(&self) -> bool {
+        self.axes
+            .iter()
+            .any(|a| a.low == Boundary::Circular || a.high == Boundary::Circular)
+    }
+
+    /// Resolves a signed index along `axis` of length `len`.
+    ///
+    /// Returns the effective in-grid index, a skip, or a constant value.
+    pub fn resolve_axis(&self, axis: usize, idx: isize, len: usize) -> ModelResult<AxisOutcome> {
+        let ab = self.axes.get(axis).ok_or_else(|| {
+            ModelError::BadBoundary(format!(
+                "axis {axis} outside spec of {} axes",
+                self.axes.len()
+            ))
+        })?;
+        let n = len as isize;
+        if idx >= 0 && idx < n {
+            return Ok(AxisOutcome::Index(idx as usize));
+        }
+        let b = if idx < 0 { ab.low } else { ab.high };
+        Ok(match b {
+            Boundary::Open => AxisOutcome::Skip,
+            Boundary::Circular => {
+                // Proper modulo for negative values.
+                let m = ((idx % n) + n) % n;
+                AxisOutcome::Index(m as usize)
+            }
+            Boundary::Mirror => {
+                // Symmetric reflection: -1 -> 0, -2 -> 1, n -> n-1, n+1 -> n-2.
+                let r = if idx < 0 { -idx - 1 } else { 2 * n - 1 - idx };
+                if r < 0 || r >= n {
+                    // Offset reaches beyond a full reflection (tiny axes):
+                    // treat as skip rather than iterate reflections.
+                    AxisOutcome::Skip
+                } else {
+                    AxisOutcome::Index(r as usize)
+                }
+            }
+            Boundary::Constant(v) => AxisOutcome::Constant(v),
+        })
+    }
+}
+
+/// Outcome of resolving one axis of one stencil offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisOutcome {
+    /// Falls (or wraps/reflects) onto this in-grid index.
+    Index(usize),
+    /// The stencil point does not exist for this element.
+    Skip,
+    /// The stencil point takes this fixed value.
+    Constant(Word),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_indices_pass_through() {
+        let b = BoundarySpec::all_open(1).unwrap();
+        assert_eq!(b.resolve_axis(0, 3, 10).unwrap(), AxisOutcome::Index(3));
+    }
+
+    #[test]
+    fn open_edges_skip() {
+        let b = BoundarySpec::all_open(1).unwrap();
+        assert_eq!(b.resolve_axis(0, -1, 10).unwrap(), AxisOutcome::Skip);
+        assert_eq!(b.resolve_axis(0, 10, 10).unwrap(), AxisOutcome::Skip);
+    }
+
+    #[test]
+    fn circular_wraps_both_directions() {
+        let b = BoundarySpec::all_circular(1).unwrap();
+        assert_eq!(b.resolve_axis(0, -1, 11).unwrap(), AxisOutcome::Index(10));
+        assert_eq!(b.resolve_axis(0, 11, 11).unwrap(), AxisOutcome::Index(0));
+        assert_eq!(b.resolve_axis(0, -12, 11).unwrap(), AxisOutcome::Index(10));
+        assert_eq!(b.resolve_axis(0, 23, 11).unwrap(), AxisOutcome::Index(1));
+    }
+
+    #[test]
+    fn mirror_reflects_symmetrically() {
+        let spec = BoundarySpec::new(&[AxisBoundaries::both(Boundary::Mirror)]).unwrap();
+        assert_eq!(spec.resolve_axis(0, -1, 5).unwrap(), AxisOutcome::Index(0));
+        assert_eq!(spec.resolve_axis(0, -2, 5).unwrap(), AxisOutcome::Index(1));
+        assert_eq!(spec.resolve_axis(0, 5, 5).unwrap(), AxisOutcome::Index(4));
+        assert_eq!(spec.resolve_axis(0, 6, 5).unwrap(), AxisOutcome::Index(3));
+    }
+
+    #[test]
+    fn mirror_beyond_full_reflection_skips() {
+        let spec = BoundarySpec::new(&[AxisBoundaries::both(Boundary::Mirror)]).unwrap();
+        assert_eq!(spec.resolve_axis(0, -4, 2).unwrap(), AxisOutcome::Skip);
+    }
+
+    #[test]
+    fn constant_supplies_value() {
+        let spec = BoundarySpec::new(&[AxisBoundaries::both(Boundary::Constant(42))]).unwrap();
+        assert_eq!(
+            spec.resolve_axis(0, -1, 5).unwrap(),
+            AxisOutcome::Constant(42)
+        );
+        assert_eq!(
+            spec.resolve_axis(0, 7, 5).unwrap(),
+            AxisOutcome::Constant(42)
+        );
+    }
+
+    #[test]
+    fn asymmetric_edges() {
+        let spec = BoundarySpec::new(&[AxisBoundaries {
+            low: Boundary::Circular,
+            high: Boundary::Open,
+        }])
+        .unwrap();
+        assert_eq!(spec.resolve_axis(0, -1, 5).unwrap(), AxisOutcome::Index(4));
+        assert_eq!(spec.resolve_axis(0, 5, 5).unwrap(), AxisOutcome::Skip);
+    }
+
+    #[test]
+    fn paper_case_layout() {
+        let b = BoundarySpec::paper_case();
+        assert_eq!(b.ndim(), 2);
+        assert!(b.has_circular());
+        // Row axis wraps.
+        assert_eq!(b.resolve_axis(0, -1, 11).unwrap(), AxisOutcome::Index(10));
+        // Column axis is open.
+        assert_eq!(b.resolve_axis(1, -1, 11).unwrap(), AxisOutcome::Skip);
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(BoundarySpec::new(&[]).is_err());
+        let b = BoundarySpec::all_open(1).unwrap();
+        assert!(b.resolve_axis(1, 0, 5).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Boundary::Open.label(), "open");
+        assert_eq!(Boundary::Circular.label(), "circular");
+        assert_eq!(Boundary::Mirror.label(), "mirror");
+        assert_eq!(Boundary::Constant(1).label(), "constant");
+    }
+}

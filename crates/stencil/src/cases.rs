@@ -1,0 +1,198 @@
+//! The "nine stencil cases" classifier for 2D grids.
+//!
+//! The paper's validation example — circular top/bottom, open left/right —
+//! produces "a total of nine different stencil cases (4 corners, 4 edges,
+//! 1 non-boundary)". This module names and counts them; the validation
+//! suite uses it to prove every case is exercised.
+
+use crate::grid::GridSpec;
+use crate::{ModelError, ModelResult};
+
+/// Position class of a 2D grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Case2d {
+    /// Top-left corner.
+    NorthWest,
+    /// Top edge, excluding corners.
+    North,
+    /// Top-right corner.
+    NorthEast,
+    /// Left edge, excluding corners.
+    West,
+    /// Non-boundary points.
+    Interior,
+    /// Right edge, excluding corners.
+    East,
+    /// Bottom-left corner.
+    SouthWest,
+    /// Bottom edge, excluding corners.
+    South,
+    /// Bottom-right corner.
+    SouthEast,
+}
+
+impl Case2d {
+    /// All nine cases in reading order.
+    pub const ALL: [Case2d; 9] = [
+        Case2d::NorthWest,
+        Case2d::North,
+        Case2d::NorthEast,
+        Case2d::West,
+        Case2d::Interior,
+        Case2d::East,
+        Case2d::SouthWest,
+        Case2d::South,
+        Case2d::SouthEast,
+    ];
+
+    /// Classifies `(row, col)` within an `height × width` grid.
+    pub fn classify(row: usize, col: usize, height: usize, width: usize) -> ModelResult<Case2d> {
+        if row >= height || col >= width {
+            return Err(ModelError::OutOfGrid {
+                coords: vec![row, col],
+            });
+        }
+        let top = row == 0;
+        let bottom = row == height - 1;
+        let left = col == 0;
+        let right = col == width - 1;
+        Ok(match (top, bottom, left, right) {
+            (true, false, true, false) => Case2d::NorthWest,
+            (true, false, false, false) => Case2d::North,
+            (true, false, false, true) => Case2d::NorthEast,
+            (false, false, true, false) => Case2d::West,
+            (false, false, false, false) => Case2d::Interior,
+            (false, false, false, true) => Case2d::East,
+            (false, true, true, false) => Case2d::SouthWest,
+            (false, true, false, false) => Case2d::South,
+            (false, true, false, true) => Case2d::SouthEast,
+            // Degenerate grids (height or width < 3) collapse classes; fold
+            // them onto the nearest corner/edge deterministically.
+            (true, true, true, false) => Case2d::NorthWest,
+            (true, true, false, true) => Case2d::NorthEast,
+            (true, true, false, false) => Case2d::North,
+            (true, false, true, true) => Case2d::NorthWest,
+            (false, true, true, true) => Case2d::SouthWest,
+            (false, false, true, true) => Case2d::West,
+            (true, true, true, true) => Case2d::NorthWest,
+        })
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Case2d::NorthWest => "NW",
+            Case2d::North => "N",
+            Case2d::NorthEast => "NE",
+            Case2d::West => "W",
+            Case2d::Interior => "int",
+            Case2d::East => "E",
+            Case2d::SouthWest => "SW",
+            Case2d::South => "S",
+            Case2d::SouthEast => "SE",
+        }
+    }
+}
+
+/// Point counts per case over a whole grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseCounts {
+    counts: [usize; 9],
+}
+
+impl CaseCounts {
+    /// Counts cases over a 2D grid.
+    pub fn for_grid(grid: &GridSpec) -> ModelResult<CaseCounts> {
+        if grid.ndim() != 2 {
+            return Err(ModelError::BadGrid(format!(
+                "case classification needs a 2D grid, got {}D",
+                grid.ndim()
+            )));
+        }
+        let (h, w) = (grid.dims()[0], grid.dims()[1]);
+        let mut counts = [0usize; 9];
+        for r in 0..h {
+            for c in 0..w {
+                let case = Case2d::classify(r, c, h, w)?;
+                counts[Case2d::ALL.iter().position(|&x| x == case).expect("in ALL")] += 1;
+            }
+        }
+        Ok(CaseCounts { counts })
+    }
+
+    /// Count of one case.
+    pub fn get(&self, case: Case2d) -> usize {
+        self.counts[Case2d::ALL.iter().position(|&x| x == case).expect("in ALL")]
+    }
+
+    /// Total points counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Number of distinct cases that occur at least once.
+    pub fn distinct_cases(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_by_eleven_has_all_nine_cases() {
+        let g = GridSpec::d2(11, 11).unwrap();
+        let counts = CaseCounts::for_grid(&g).unwrap();
+        assert_eq!(counts.distinct_cases(), 9);
+        assert_eq!(counts.total(), 121);
+        assert_eq!(counts.get(Case2d::NorthWest), 1);
+        assert_eq!(counts.get(Case2d::North), 9);
+        assert_eq!(counts.get(Case2d::West), 9);
+        assert_eq!(counts.get(Case2d::Interior), 81);
+        assert_eq!(counts.get(Case2d::SouthEast), 1);
+    }
+
+    #[test]
+    fn corner_and_edge_classification() {
+        assert_eq!(Case2d::classify(0, 0, 11, 11).unwrap(), Case2d::NorthWest);
+        assert_eq!(Case2d::classify(0, 5, 11, 11).unwrap(), Case2d::North);
+        assert_eq!(Case2d::classify(0, 10, 11, 11).unwrap(), Case2d::NorthEast);
+        assert_eq!(Case2d::classify(5, 0, 11, 11).unwrap(), Case2d::West);
+        assert_eq!(Case2d::classify(5, 5, 11, 11).unwrap(), Case2d::Interior);
+        assert_eq!(Case2d::classify(5, 10, 11, 11).unwrap(), Case2d::East);
+        assert_eq!(Case2d::classify(10, 0, 11, 11).unwrap(), Case2d::SouthWest);
+        assert_eq!(Case2d::classify(10, 5, 11, 11).unwrap(), Case2d::South);
+        assert_eq!(Case2d::classify(10, 10, 11, 11).unwrap(), Case2d::SouthEast);
+    }
+
+    #[test]
+    fn degenerate_single_row_grid() {
+        // height 1: top and bottom coincide; classification still total.
+        for c in 0..4 {
+            let _ = Case2d::classify(0, c, 1, 4).unwrap();
+        }
+        let g = GridSpec::d2(1, 4).unwrap();
+        let counts = CaseCounts::for_grid(&g).unwrap();
+        assert_eq!(counts.total(), 4);
+    }
+
+    #[test]
+    fn out_of_grid_rejected() {
+        assert!(Case2d::classify(11, 0, 11, 11).is_err());
+        assert!(Case2d::classify(0, 11, 11, 11).is_err());
+    }
+
+    #[test]
+    fn non_2d_grid_rejected() {
+        let g = GridSpec::d3(2, 2, 2).unwrap();
+        assert!(CaseCounts::for_grid(&g).is_err());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            Case2d::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 9);
+    }
+}

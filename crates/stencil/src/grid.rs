@@ -1,0 +1,189 @@
+//! N-dimensional row-major grids over the flat memory vector `m`.
+
+use crate::{ModelError, ModelResult};
+
+/// An n-dimensional grid laid out row-major over a flat vector.
+///
+/// `dims[0]` is the slowest-varying (outermost) axis; the last axis varies
+/// fastest, so for a 2D grid `dims = [height, width]` and the linear index
+/// of `(row, col)` is `row * width + col` — the order in which the stream
+/// arrives from DRAM.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GridSpec {
+    dims: Vec<usize>,
+}
+
+impl GridSpec {
+    /// Creates a grid; every axis must be non-empty.
+    pub fn new(dims: &[usize]) -> ModelResult<Self> {
+        if dims.is_empty() {
+            return Err(ModelError::BadGrid("no dimensions".into()));
+        }
+        if dims.contains(&0) {
+            return Err(ModelError::BadGrid(format!("zero-length axis in {dims:?}")));
+        }
+        if dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .is_none()
+        {
+            return Err(ModelError::BadGrid(format!(
+                "grid {dims:?} overflows usize"
+            )));
+        }
+        Ok(GridSpec {
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// Convenience constructor for a 1D grid.
+    pub fn d1(n: usize) -> ModelResult<Self> {
+        Self::new(&[n])
+    }
+
+    /// Convenience constructor for a 2D grid of `height` rows × `width`
+    /// columns.
+    pub fn d2(height: usize, width: usize) -> ModelResult<Self> {
+        Self::new(&[height, width])
+    }
+
+    /// Convenience constructor for a 3D grid.
+    pub fn d3(depth: usize, height: usize, width: usize) -> ModelResult<Self> {
+        Self::new(&[depth, height, width])
+    }
+
+    /// Axis lengths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (the paper's `N`).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for a degenerate grid (never: constructor rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Width of the innermost (fastest-varying) axis.
+    pub fn row_width(&self) -> usize {
+        *self.dims.last().expect("ndim >= 1")
+    }
+
+    /// Linearises coordinates (row-major).
+    pub fn lin(&self, coords: &[usize]) -> ModelResult<usize> {
+        if coords.len() != self.dims.len() {
+            return Err(ModelError::DimMismatch {
+                grid_dims: self.dims.len(),
+                offset_dims: coords.len(),
+            });
+        }
+        let mut idx = 0usize;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            if c >= d {
+                return Err(ModelError::OutOfGrid {
+                    coords: coords.to_vec(),
+                });
+            }
+            idx = idx * d + c;
+        }
+        Ok(idx)
+    }
+
+    /// Recovers coordinates from a linear index.
+    pub fn coords(&self, mut lin: usize) -> ModelResult<Vec<usize>> {
+        if lin >= self.len() {
+            return Err(ModelError::OutOfGrid { coords: vec![lin] });
+        }
+        let mut out = vec![0usize; self.dims.len()];
+        for (slot, &d) in out.iter_mut().zip(&self.dims).rev() {
+            *slot = lin % d;
+            lin /= d;
+        }
+        Ok(out)
+    }
+
+    /// Iterates all coordinates in stream (row-major linear) order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.len()).map(move |i| self.coords(i).expect("in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearisation_is_row_major() {
+        let g = GridSpec::d2(11, 11).unwrap();
+        assert_eq!(g.lin(&[0, 0]).unwrap(), 0);
+        assert_eq!(g.lin(&[0, 10]).unwrap(), 10);
+        assert_eq!(g.lin(&[1, 0]).unwrap(), 11);
+        assert_eq!(g.lin(&[10, 10]).unwrap(), 120);
+    }
+
+    #[test]
+    fn coords_inverts_lin() {
+        let g = GridSpec::d3(3, 4, 5).unwrap();
+        for i in 0..g.len() {
+            let c = g.coords(i).unwrap();
+            assert_eq!(g.lin(&c).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn len_and_row_width() {
+        let g = GridSpec::d2(11, 13).unwrap();
+        assert_eq!(g.len(), 143);
+        assert_eq!(g.row_width(), 13);
+        assert_eq!(g.ndim(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_grid() {
+        let g = GridSpec::d1(7).unwrap();
+        assert_eq!(g.lin(&[6]).unwrap(), 6);
+        assert_eq!(g.coords(3).unwrap(), vec![3]);
+        assert_eq!(g.row_width(), 7);
+    }
+
+    #[test]
+    fn iter_coords_covers_grid_in_stream_order() {
+        let g = GridSpec::d2(2, 3).unwrap();
+        let all: Vec<Vec<usize>> = g.iter_coords().collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_grids_rejected() {
+        assert!(GridSpec::new(&[]).is_err());
+        assert!(GridSpec::new(&[4, 0]).is_err());
+        assert!(GridSpec::new(&[usize::MAX, 3]).is_err());
+    }
+
+    #[test]
+    fn out_of_grid_coordinates_rejected() {
+        let g = GridSpec::d2(2, 2).unwrap();
+        assert!(g.lin(&[2, 0]).is_err());
+        assert!(g.lin(&[0]).is_err());
+        assert!(g.coords(4).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! # smache-stencil — the formal model of streams, stencils and boundaries
+//!
+//! This crate implements §II of the Smache paper ("A formal model for
+//! stream and static buffering") as a standalone, dependency-free library:
+//!
+//! * [`GridSpec`] — an n-dimensional row-major grid over the flat DRAM
+//!   vector `m` of size `N`.
+//! * [`StencilShape`] — the set of coordinate offsets a computation reads
+//!   around each element ("the stream tuple").
+//! * [`BoundarySpec`] / [`Boundary`] — per-axis-edge boundary conditions:
+//!   open, circular (periodic), mirror, or constant. Circular boundaries
+//!   are the paper's motivating case: they produce stencil offsets "as
+//!   large as the entire grid-size itself".
+//! * [`IterationPattern`] — the paper's `p_i`/`p_o` access patterns with
+//!   `s[i] = m[p(i)]`.
+//! * [`access`] — resolution of shape offsets under boundary conditions
+//!   into linear stream offsets (or skip/constant outcomes).
+//! * [`TupleSpec`] — a tuple of linear offsets with its **reach**
+//!   (max − min offset) and participation **range**, the two quantities
+//!   Algorithm 1 trades against each other.
+//! * [`ranges`] — splitting a stream into the paper's `k` non-overlapping
+//!   ranges `r_j`, each with its own tuple `t_j`.
+//! * [`cases`] — the "nine stencil cases" classifier for 2D grids
+//!   (4 corners, 4 edges, interior) used throughout validation.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod boundary;
+pub mod cases;
+pub mod grid;
+pub mod pattern;
+pub mod ranges;
+pub mod shape;
+pub mod tuple;
+
+pub use access::{gather_masked, gather_values, linear_tuple, resolve, Access, LinearAccess};
+pub use boundary::{AxisBoundaries, Boundary, BoundarySpec};
+pub use cases::{Case2d, CaseCounts};
+pub use grid::GridSpec;
+pub use pattern::IterationPattern;
+pub use ranges::{analysed_ranges, coalesce_ranges, split_ranges, split_ranges_naive, RangeSpec};
+pub use shape::StencilShape;
+pub use tuple::TupleSpec;
+
+/// Raw data word carried through the model (matches `smache_sim::Word`;
+/// kept local so this crate stays dependency-free).
+pub type Word = u64;
+
+/// Error type for the formal model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A grid with zero dimensions or a zero-length axis.
+    BadGrid(String),
+    /// A shape whose offsets do not match the grid's dimensionality.
+    DimMismatch {
+        /// Dimensions of the grid.
+        grid_dims: usize,
+        /// Dimensions of the offending offset.
+        offset_dims: usize,
+    },
+    /// A boundary specification with the wrong number of axes.
+    BadBoundary(String),
+    /// A coordinate outside the grid.
+    OutOfGrid {
+        /// The offending coordinates.
+        coords: Vec<usize>,
+    },
+    /// An iteration pattern that is not a valid (partial) permutation.
+    BadPattern(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadGrid(msg) => write!(f, "bad grid: {msg}"),
+            ModelError::DimMismatch {
+                grid_dims,
+                offset_dims,
+            } => {
+                write!(f, "offset has {offset_dims} dims but grid has {grid_dims}")
+            }
+            ModelError::BadBoundary(msg) => write!(f, "bad boundary spec: {msg}"),
+            ModelError::OutOfGrid { coords } => write!(f, "coordinates {coords:?} outside grid"),
+            ModelError::BadPattern(msg) => write!(f, "bad iteration pattern: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for the formal model.
+pub type ModelResult<T> = Result<T, ModelError>;

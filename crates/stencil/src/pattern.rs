@@ -1,0 +1,243 @@
+//! Iteration patterns — the paper's `p_i`/`p_o` with `s[i] = m[p(i)]`.
+
+use crate::{ModelError, ModelResult};
+
+/// An ordered access pattern over `0..N-1`: "in general an ordered subset
+/// of a permutation of the sequence 0..N-1, usually ... a regular pattern
+/// such as contiguous or strided access" (§II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IterationPattern {
+    /// `p(i) = i` for `i in 0..n` — the streaming pattern both designs use.
+    Contiguous {
+        /// Stream length.
+        n: usize,
+    },
+    /// `p(i) = phase + i*stride` while in range.
+    Strided {
+        /// First address.
+        phase: usize,
+        /// Address increment per element.
+        stride: usize,
+        /// Number of elements.
+        count: usize,
+    },
+    /// Arbitrary explicit pattern (validated to be within `0..domain`).
+    Custom {
+        /// The explicit index sequence.
+        indices: Vec<usize>,
+        /// Exclusive upper bound of the address domain.
+        domain: usize,
+    },
+}
+
+impl IterationPattern {
+    /// Validates the pattern's internal consistency.
+    pub fn validate(&self) -> ModelResult<()> {
+        match self {
+            IterationPattern::Contiguous { .. } => Ok(()),
+            IterationPattern::Strided {
+                phase,
+                stride,
+                count,
+            } => {
+                if *stride == 0 && *count > 1 {
+                    return Err(ModelError::BadPattern("zero stride with count > 1".into()));
+                }
+                // Check the last address does not overflow.
+                let last =
+                    phase
+                        .checked_add(stride.checked_mul(count.saturating_sub(1)).ok_or_else(
+                            || ModelError::BadPattern("stride*count overflows".into()),
+                        )?)
+                        .ok_or_else(|| ModelError::BadPattern("pattern overflows usize".into()))?;
+                let _ = last;
+                Ok(())
+            }
+            IterationPattern::Custom { indices, domain } => {
+                if let Some(&bad) = indices.iter().find(|&&i| i >= *domain) {
+                    return Err(ModelError::BadPattern(format!(
+                        "index {bad} outside domain {domain}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of elements the pattern touches (`#p`).
+    pub fn len(&self) -> usize {
+        match self {
+            IterationPattern::Contiguous { n } => *n,
+            IterationPattern::Strided { count, .. } => *count,
+            IterationPattern::Custom { indices, .. } => indices.len(),
+        }
+    }
+
+    /// True when the pattern is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `p(i)` — the memory address of stream element `i`.
+    pub fn index(&self, i: usize) -> ModelResult<usize> {
+        if i >= self.len() {
+            return Err(ModelError::BadPattern(format!(
+                "element {i} outside pattern of length {}",
+                self.len()
+            )));
+        }
+        Ok(match self {
+            IterationPattern::Contiguous { .. } => i,
+            IterationPattern::Strided { phase, stride, .. } => phase + i * stride,
+            IterationPattern::Custom { indices, .. } => indices[i],
+        })
+    }
+
+    /// Iterates the pattern's addresses in stream order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            IterationPattern::Contiguous { n } => Box::new(0..*n),
+            IterationPattern::Strided {
+                phase,
+                stride,
+                count,
+            } => {
+                let (p, s) = (*phase, *stride);
+                Box::new((0..*count).map(move |i| p + i * s))
+            }
+            IterationPattern::Custom { indices, .. } => Box::new(indices.iter().copied()),
+        }
+    }
+
+    /// True when consecutive stream elements are at consecutive addresses
+    /// (the property that keeps DRAM access in burst-streaming mode).
+    pub fn is_contiguous(&self) -> bool {
+        match self {
+            IterationPattern::Contiguous { .. } => true,
+            IterationPattern::Strided { stride, count, .. } => *stride == 1 || *count <= 1,
+            IterationPattern::Custom { indices, .. } => {
+                indices.windows(2).all(|w| w[1] == w[0] + 1)
+            }
+        }
+    }
+
+    /// Materialises the stream `s[i] = m[p(i)]` over `m`.
+    pub fn apply<T: Copy>(&self, m: &[T]) -> ModelResult<Vec<T>> {
+        self.validate()?;
+        let mut out = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            let addr = self.index(i)?;
+            let v = m.get(addr).ok_or_else(|| {
+                ModelError::BadPattern(format!("address {addr} outside memory of {}", m.len()))
+            })?;
+            out.push(*v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_pattern_is_identity() {
+        let p = IterationPattern::Contiguous { n: 5 };
+        assert_eq!(p.len(), 5);
+        assert!(p.is_contiguous());
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(p.index(3).unwrap(), 3);
+    }
+
+    #[test]
+    fn strided_pattern_addresses() {
+        let p = IterationPattern::Strided {
+            phase: 2,
+            stride: 3,
+            count: 4,
+        };
+        p.validate().unwrap();
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![2, 5, 8, 11]);
+        assert!(!p.is_contiguous());
+        let unit = IterationPattern::Strided {
+            phase: 7,
+            stride: 1,
+            count: 4,
+        };
+        assert!(unit.is_contiguous());
+    }
+
+    #[test]
+    fn custom_pattern_validation() {
+        let ok = IterationPattern::Custom {
+            indices: vec![3, 1, 2],
+            domain: 4,
+        };
+        ok.validate().unwrap();
+        let bad = IterationPattern::Custom {
+            indices: vec![3, 4],
+            domain: 4,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn custom_contiguity_detection() {
+        let c = IterationPattern::Custom {
+            indices: vec![4, 5, 6],
+            domain: 10,
+        };
+        assert!(c.is_contiguous());
+        let nc = IterationPattern::Custom {
+            indices: vec![4, 6, 5],
+            domain: 10,
+        };
+        assert!(!nc.is_contiguous());
+    }
+
+    #[test]
+    fn apply_materialises_stream() {
+        let m: Vec<u64> = vec![10, 11, 12, 13, 14, 15];
+        let p = IterationPattern::Strided {
+            phase: 1,
+            stride: 2,
+            count: 3,
+        };
+        assert_eq!(p.apply(&m).unwrap(), vec![11, 13, 15]);
+    }
+
+    #[test]
+    fn apply_checks_bounds() {
+        let m: Vec<u64> = vec![0; 4];
+        let p = IterationPattern::Strided {
+            phase: 0,
+            stride: 2,
+            count: 3,
+        };
+        assert!(p.apply(&m).is_err());
+    }
+
+    #[test]
+    fn out_of_range_element_rejected() {
+        let p = IterationPattern::Contiguous { n: 2 };
+        assert!(p.index(2).is_err());
+    }
+
+    #[test]
+    fn degenerate_patterns() {
+        let p = IterationPattern::Contiguous { n: 0 };
+        assert!(p.is_empty());
+        let z = IterationPattern::Strided {
+            phase: 0,
+            stride: 0,
+            count: 2,
+        };
+        assert!(z.validate().is_err());
+        let one = IterationPattern::Strided {
+            phase: 5,
+            stride: 0,
+            count: 1,
+        };
+        assert!(one.validate().is_ok());
+    }
+}

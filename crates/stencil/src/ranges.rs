@@ -1,0 +1,329 @@
+//! Splitting the stream into ranges with uniform tuples (§II).
+//!
+//! The buffering model works on `k` non-overlapping ranges `r_j`, each with
+//! a tuple `t_j`. [`split_ranges`] produces the exact maximal runs of
+//! elements with identical tuples; [`coalesce_ranges`] then merges adjacent
+//! ranges whose tuples fit inside a common window (e.g. the interior of a
+//! row together with its open-boundary edge columns, whose tuples are
+//! subsets), yielding the small per-row-class ranges the paper reasons
+//! about: top row / interior / bottom row for the validation case.
+
+use crate::access::linear_tuple;
+use crate::boundary::BoundarySpec;
+use crate::grid::GridSpec;
+use crate::shape::StencilShape;
+use crate::tuple::TupleSpec;
+use crate::ModelResult;
+
+/// One stream range and its tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeSpec {
+    /// First stream index of the range.
+    pub start: usize,
+    /// Number of elements (the paper's `R_j`).
+    pub len: usize,
+    /// The tuple `t_j` shared by (or covering) every element of the range.
+    pub tuple: TupleSpec,
+}
+
+impl RangeSpec {
+    /// Exclusive end index.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Splits the stream of `grid` under `bounds`/`shape` into maximal runs of
+/// identical tuples.
+///
+/// Two elements have identical *relative* tuples whenever they share a
+/// per-axis edge-distance signature: along each axis, either the exact
+/// coordinate when it is within the shape's reach of an edge (boundary
+/// resolution may then depend on the precise position — e.g. mirror
+/// targets), or a single "interior" class otherwise (all offsets resolve
+/// in-grid with position-independent relative offsets). Tuples are
+/// therefore resolved once per distinct signature and shared, which makes
+/// the scan cheap even for megapixel grids (the naive per-element
+/// resolution is kept as the reference for the equivalence tests).
+pub fn split_ranges(
+    grid: &GridSpec,
+    bounds: &BoundarySpec,
+    shape: &StencilShape,
+) -> ModelResult<Vec<RangeSpec>> {
+    // Per-axis class tables: class(c) ∈ {0..reach_lo-1 (near low edge),
+    // reach_lo (interior), reach_lo+1.. (near high edge, by distance)}.
+    let extent = shape.extent();
+    let mut class_tables: Vec<Vec<u32>> = Vec::with_capacity(grid.ndim());
+    for (axis, &d) in grid.dims().iter().enumerate() {
+        let reach_lo = (-extent[axis].0).max(0) as usize;
+        let reach_hi = extent[axis].1.max(0) as usize;
+        let table: Vec<u32> = (0..d)
+            .map(|c| {
+                if c < reach_lo {
+                    c as u32
+                } else if d - 1 - c < reach_hi {
+                    (reach_lo + 1 + (d - 1 - c)) as u32
+                } else {
+                    reach_lo as u32
+                }
+            })
+            .collect();
+        class_tables.push(table);
+    }
+
+    let mut cache: std::collections::HashMap<Vec<u32>, TupleSpec> =
+        std::collections::HashMap::new();
+    let mut out: Vec<RangeSpec> = Vec::new();
+    let mut signature = vec![0u32; grid.ndim()];
+    for (i, coords) in grid.iter_coords().enumerate() {
+        for (axis, &c) in coords.iter().enumerate() {
+            signature[axis] = class_tables[axis][c];
+        }
+        let tuple = match cache.get(&signature) {
+            Some(t) => t.clone(),
+            None => {
+                let t = TupleSpec::from_accesses(&linear_tuple(grid, bounds, shape, &coords)?);
+                cache.insert(signature.clone(), t.clone());
+                t
+            }
+        };
+        match out.last_mut() {
+            Some(last) if last.tuple == tuple && last.end() == i => last.len += 1,
+            _ => out.push(RangeSpec {
+                start: i,
+                len: 1,
+                tuple,
+            }),
+        }
+    }
+    Ok(out)
+}
+
+/// The naive reference implementation of [`split_ranges`]: resolves every
+/// element's tuple directly. Used by the equivalence tests; prefer
+/// [`split_ranges`] everywhere else.
+pub fn split_ranges_naive(
+    grid: &GridSpec,
+    bounds: &BoundarySpec,
+    shape: &StencilShape,
+) -> ModelResult<Vec<RangeSpec>> {
+    let mut out: Vec<RangeSpec> = Vec::new();
+    for (i, coords) in grid.iter_coords().enumerate() {
+        let tuple = TupleSpec::from_accesses(&linear_tuple(grid, bounds, shape, &coords)?);
+        match out.last_mut() {
+            Some(last) if last.tuple == tuple && last.end() == i => last.len += 1,
+            _ => out.push(RangeSpec {
+                start: i,
+                len: 1,
+                tuple,
+            }),
+        }
+    }
+    Ok(out)
+}
+
+/// Merges adjacent ranges when one tuple is a subset of the other (the
+/// union window already pays for both), repeating to a fixed point.
+///
+/// The result over-approximates per-element tuples — safe for buffer
+/// sizing (a buffer serving the union serves every member) and it matches
+/// the architectural granularity of the paper.
+pub fn coalesce_ranges(mut ranges: Vec<RangeSpec>) -> Vec<RangeSpec> {
+    loop {
+        let mut merged_any = false;
+        let mut out: Vec<RangeSpec> = Vec::with_capacity(ranges.len());
+        for r in ranges.drain(..) {
+            match out.last_mut() {
+                Some(last)
+                    if last.end() == r.start
+                        && (r.tuple.is_subset_of(&last.tuple)
+                            || last.tuple.is_subset_of(&r.tuple)) =>
+                {
+                    last.tuple = last.tuple.union(&r.tuple);
+                    last.len += r.len;
+                    merged_any = true;
+                }
+                _ => out.push(r),
+            }
+        }
+        if !merged_any {
+            return out;
+        }
+        ranges = out;
+    }
+}
+
+/// Convenience: exact split followed by coalescing.
+pub fn analysed_ranges(
+    grid: &GridSpec,
+    bounds: &BoundarySpec,
+    shape: &StencilShape,
+) -> ModelResult<Vec<RangeSpec>> {
+    Ok(coalesce_ranges(split_ranges(grid, bounds, shape)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (GridSpec, BoundarySpec, StencilShape) {
+        (
+            GridSpec::d2(11, 11).unwrap(),
+            BoundarySpec::paper_case(),
+            StencilShape::four_point_2d(),
+        )
+    }
+
+    #[test]
+    fn ranges_cover_the_stream_exactly() {
+        let (g, b, s) = paper_setup();
+        for ranges in [
+            split_ranges(&g, &b, &s).unwrap(),
+            analysed_ranges(&g, &b, &s).unwrap(),
+        ] {
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end(), g.len());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end(), w[1].start, "ranges must tile the stream");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_case_coalesces_to_three_row_classes() {
+        let (g, b, s) = paper_setup();
+        let ranges = analysed_ranges(&g, &b, &s).unwrap();
+        assert_eq!(ranges.len(), 3, "top row, interior, bottom row: {ranges:?}");
+
+        // Top row: wrapped north (+110) plus the near offsets.
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges[0].len, 11);
+        assert_eq!(ranges[0].tuple.offsets(), &[-1, 1, 11, 110]);
+
+        // Interior rows 1..9.
+        assert_eq!(ranges[1].start, 11);
+        assert_eq!(ranges[1].len, 99);
+        assert_eq!(ranges[1].tuple.offsets(), &[-11, -1, 1, 11]);
+
+        // Bottom row: wrapped south (−110).
+        assert_eq!(ranges[2].start, 110);
+        assert_eq!(ranges[2].len, 11);
+        assert_eq!(ranges[2].tuple.offsets(), &[-110, -11, -1, 1]);
+    }
+
+    #[test]
+    fn exact_split_separates_edge_columns() {
+        let (g, b, s) = paper_setup();
+        let ranges = split_ranges(&g, &b, &s).unwrap();
+        // Row 0: col 0 (no west), cols 1..10, col 10 (no east) => first
+        // three ranges are 1, 9, 1 elements.
+        assert_eq!(ranges[0].len, 1);
+        assert_eq!(ranges[0].tuple.offsets(), &[1, 11, 110]);
+        assert_eq!(ranges[1].len, 9);
+        assert_eq!(ranges[2].len, 1);
+        assert_eq!(ranges[2].tuple.offsets(), &[-1, 11, 110]);
+    }
+
+    #[test]
+    fn all_open_grid_coalesces_to_one_range() {
+        let g = GridSpec::d2(8, 8).unwrap();
+        let b = BoundarySpec::all_open(2).unwrap();
+        let s = StencilShape::four_point_2d();
+        let ranges = analysed_ranges(&g, &b, &s).unwrap();
+        assert_eq!(
+            ranges.len(),
+            1,
+            "every tuple is a subset of the interior tuple"
+        );
+        assert_eq!(ranges[0].tuple.offsets(), &[-8, -1, 1, 8]);
+        assert_eq!(ranges[0].len, 64);
+    }
+
+    #[test]
+    fn torus_rows_keep_distinct_wrap_offsets() {
+        let g = GridSpec::d2(6, 4).unwrap();
+        let b = BoundarySpec::all_circular(2).unwrap();
+        let s = StencilShape::four_point_2d();
+        let ranges = analysed_ranges(&g, &b, &s).unwrap();
+        // Top row wraps north (+20), bottom row wraps south (−20); the
+        // column wraps (±3) appear in every row so rows cannot merge with
+        // the interior by subset.
+        assert!(ranges.len() >= 3);
+        assert!(ranges[0]
+            .tuple
+            .offsets()
+            .contains(&((g.len() - g.row_width()) as i64)));
+    }
+
+    #[test]
+    fn one_dimensional_circular_stream() {
+        let g = GridSpec::d1(16).unwrap();
+        let b = BoundarySpec::all_circular(1).unwrap();
+        let s = StencilShape::symmetric_1d(1).unwrap();
+        let ranges = analysed_ranges(&g, &b, &s).unwrap();
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(
+            ranges[0].tuple.offsets(),
+            &[1, 15],
+            "first element wraps west"
+        );
+        assert_eq!(
+            ranges[2].tuple.offsets(),
+            &[-15, -1],
+            "last element wraps east"
+        );
+    }
+
+    #[test]
+    fn signature_fast_path_matches_naive_reference() {
+        use crate::boundary::{AxisBoundaries, Boundary};
+        let shapes = [
+            StencilShape::four_point_2d(),
+            StencilShape::five_point_2d(),
+            StencilShape::nine_point_2d(),
+            StencilShape::cross_2d(2).unwrap(),
+        ];
+        let kinds = [
+            Boundary::Open,
+            Boundary::Circular,
+            Boundary::Mirror,
+            Boundary::Constant(7),
+        ];
+        for shape in &shapes {
+            for row in kinds {
+                for col in kinds {
+                    let b =
+                        BoundarySpec::new(&[AxisBoundaries::both(row), AxisBoundaries::both(col)])
+                            .unwrap();
+                    for (h, w) in [(5usize, 7usize), (7, 5), (6, 6)] {
+                        let g = GridSpec::d2(h, w).unwrap();
+                        assert_eq!(
+                            split_ranges(&g, &b, shape).unwrap(),
+                            split_ranges_naive(&g, &b, shape).unwrap(),
+                            "{h}x{w} {row:?}/{col:?} {shape:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_fast_path_matches_naive_in_3d() {
+        let g = GridSpec::d3(4, 5, 6).unwrap();
+        let b = BoundarySpec::all_circular(3).unwrap();
+        let s = StencilShape::seven_point_3d();
+        assert_eq!(
+            split_ranges(&g, &b, &s).unwrap(),
+            split_ranges_naive(&g, &b, &s).unwrap()
+        );
+    }
+
+    #[test]
+    fn coalesce_is_idempotent() {
+        let (g, b, s) = paper_setup();
+        let once = analysed_ranges(&g, &b, &s).unwrap();
+        let twice = coalesce_ranges(once.clone());
+        assert_eq!(once, twice);
+    }
+}

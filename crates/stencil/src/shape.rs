@@ -1,0 +1,240 @@
+//! Stencil shapes: the coordinate offsets a computation reads per element.
+
+use crate::{ModelError, ModelResult};
+
+/// A stencil shape: a set of n-dimensional coordinate offsets.
+///
+/// The offsets describe the *stream tuple* of the paper: the subset of
+/// elements, at known offsets from the current element, that a computation
+/// acts on. Whether the centre `(0,…,0)` participates is up to the shape —
+/// the paper's validation kernel is a 4-point average that *excludes* it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StencilShape {
+    offsets: Vec<Vec<isize>>,
+}
+
+impl StencilShape {
+    /// Creates a shape from explicit offsets. All offsets must share one
+    /// dimensionality; duplicates are rejected.
+    pub fn new(offsets: &[Vec<isize>]) -> ModelResult<Self> {
+        if offsets.is_empty() {
+            return Err(ModelError::BadGrid(
+                "stencil shape needs at least one offset".into(),
+            ));
+        }
+        let ndim = offsets[0].len();
+        if ndim == 0 {
+            return Err(ModelError::BadGrid("zero-dimensional offset".into()));
+        }
+        for off in offsets {
+            if off.len() != ndim {
+                return Err(ModelError::DimMismatch {
+                    grid_dims: ndim,
+                    offset_dims: off.len(),
+                });
+            }
+        }
+        for (i, a) in offsets.iter().enumerate() {
+            if offsets[i + 1..].contains(a) {
+                return Err(ModelError::BadGrid(format!("duplicate offset {a:?}")));
+            }
+        }
+        Ok(StencilShape {
+            offsets: offsets.to_vec(),
+        })
+    }
+
+    /// The paper's validation shape: 2D 4-point von Neumann stencil
+    /// (north, west, east, south), centre excluded.
+    pub fn four_point_2d() -> Self {
+        StencilShape {
+            offsets: vec![vec![-1, 0], vec![0, -1], vec![0, 1], vec![1, 0]],
+        }
+    }
+
+    /// 2D 5-point stencil: 4-point plus the centre.
+    pub fn five_point_2d() -> Self {
+        StencilShape {
+            offsets: vec![vec![-1, 0], vec![0, -1], vec![0, 0], vec![0, 1], vec![1, 0]],
+        }
+    }
+
+    /// 2D 9-point Moore neighbourhood (centre included).
+    pub fn nine_point_2d() -> Self {
+        let mut offsets = Vec::with_capacity(9);
+        for dr in -1..=1isize {
+            for dc in -1..=1isize {
+                offsets.push(vec![dr, dc]);
+            }
+        }
+        StencilShape { offsets }
+    }
+
+    /// 1D symmetric shape `{-k, …, -1, +1, …, +k}` (centre excluded).
+    pub fn symmetric_1d(k: usize) -> ModelResult<Self> {
+        if k == 0 {
+            return Err(ModelError::BadGrid("symmetric_1d needs k >= 1".into()));
+        }
+        let mut offsets = Vec::with_capacity(2 * k);
+        for d in (1..=k as isize).rev() {
+            offsets.push(vec![-d]);
+        }
+        for d in 1..=k as isize {
+            offsets.push(vec![d]);
+        }
+        Ok(StencilShape { offsets })
+    }
+
+    /// 2D cross of reach `k` (high-order finite differences): offsets
+    /// `(0, ±j)` and `(±j, 0)` for `j in 1..=k`, centre excluded.
+    pub fn cross_2d(k: usize) -> ModelResult<Self> {
+        if k == 0 {
+            return Err(ModelError::BadGrid("cross_2d needs k >= 1".into()));
+        }
+        let mut offsets = Vec::with_capacity(4 * k);
+        for j in (1..=k as isize).rev() {
+            offsets.push(vec![-j, 0]);
+        }
+        for j in (1..=k as isize).rev() {
+            offsets.push(vec![0, -j]);
+        }
+        for j in 1..=k as isize {
+            offsets.push(vec![0, j]);
+        }
+        for j in 1..=k as isize {
+            offsets.push(vec![j, 0]);
+        }
+        Ok(StencilShape { offsets })
+    }
+
+    /// 3D 7-point stencil (face neighbours + centre).
+    pub fn seven_point_3d() -> Self {
+        StencilShape {
+            offsets: vec![
+                vec![-1, 0, 0],
+                vec![0, -1, 0],
+                vec![0, 0, -1],
+                vec![0, 0, 0],
+                vec![0, 0, 1],
+                vec![0, 1, 0],
+                vec![1, 0, 0],
+            ],
+        }
+    }
+
+    /// The offsets of this shape.
+    pub fn offsets(&self) -> &[Vec<isize>] {
+        &self.offsets
+    }
+
+    /// Number of points in the shape.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Never true (constructors reject empty shapes).
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Dimensionality of the offsets.
+    pub fn ndim(&self) -> usize {
+        self.offsets[0].len()
+    }
+
+    /// Whether the centre element participates.
+    pub fn includes_centre(&self) -> bool {
+        self.offsets.iter().any(|o| o.iter().all(|&c| c == 0))
+    }
+
+    /// The per-axis extent: `(min, max)` offset along each axis.
+    pub fn extent(&self) -> Vec<(isize, isize)> {
+        let mut ext = vec![(isize::MAX, isize::MIN); self.ndim()];
+        for off in &self.offsets {
+            for (axis, &c) in off.iter().enumerate() {
+                ext[axis].0 = ext[axis].0.min(c);
+                ext[axis].1 = ext[axis].1.max(c);
+            }
+        }
+        ext
+    }
+
+    /// Arithmetic operations a reduction kernel performs per stencil
+    /// application (used for the paper's MOPS metric, which counts one
+    /// operation per stencil point — 4 for the 4-point filter).
+    pub fn ops_per_point(&self) -> u64 {
+        self.offsets.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_point_excludes_centre() {
+        let s = StencilShape::four_point_2d();
+        assert_eq!(s.len(), 4);
+        assert!(!s.includes_centre());
+        assert_eq!(s.ndim(), 2);
+        assert_eq!(s.ops_per_point(), 4);
+    }
+
+    #[test]
+    fn five_point_includes_centre() {
+        let s = StencilShape::five_point_2d();
+        assert_eq!(s.len(), 5);
+        assert!(s.includes_centre());
+    }
+
+    #[test]
+    fn nine_point_covers_moore_neighbourhood() {
+        let s = StencilShape::nine_point_2d();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.extent(), vec![(-1, 1), (-1, 1)]);
+    }
+
+    #[test]
+    fn symmetric_1d_orders_offsets() {
+        let s = StencilShape::symmetric_1d(2).unwrap();
+        assert_eq!(s.offsets(), &[vec![-2], vec![-1], vec![1], vec![2]]);
+        assert!(StencilShape::symmetric_1d(0).is_err());
+    }
+
+    #[test]
+    fn seven_point_3d_shape() {
+        let s = StencilShape::seven_point_3d();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.ndim(), 3);
+        assert!(s.includes_centre());
+        assert_eq!(s.extent(), vec![(-1, 1), (-1, 1), (-1, 1)]);
+    }
+
+    #[test]
+    fn cross_generalises_four_point() {
+        let c1 = StencilShape::cross_2d(1).unwrap();
+        assert_eq!(c1.offsets(), StencilShape::four_point_2d().offsets());
+        let c2 = StencilShape::cross_2d(2).unwrap();
+        assert_eq!(c2.len(), 8);
+        assert_eq!(c2.extent(), vec![(-2, 2), (-2, 2)]);
+        assert!(!c2.includes_centre());
+        assert!(StencilShape::cross_2d(0).is_err());
+    }
+
+    #[test]
+    fn extent_of_asymmetric_shape() {
+        let s = StencilShape::new(&[vec![0, -3], vec![0, 1], vec![2, 0]]).unwrap();
+        assert_eq!(s.extent(), vec![(0, 2), (-3, 1)]);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(StencilShape::new(&[]).is_err());
+        assert!(StencilShape::new(&[vec![]]).is_err());
+        assert!(StencilShape::new(&[vec![0, 1], vec![1]]).is_err());
+        assert!(
+            StencilShape::new(&[vec![1, 0], vec![1, 0]]).is_err(),
+            "duplicates"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Stream tuples and their reach.
+
+use crate::access::LinearAccess;
+
+/// A stream tuple: the set of in-stream relative offsets one computation
+/// reads around each element of a range.
+///
+/// Skipped and constant points carry no buffering cost, so a `TupleSpec`
+/// holds only the `Rel` offsets. The paper's two key quantities:
+///
+/// * **reach** — `max(offset) − min(offset)`: the window a stream buffer
+///   must span to serve the whole tuple;
+/// * **range** (held by [`RangeSpec`](crate::RangeSpec)) — the number of
+///   stream elements the tuple applies to: the size a static buffer needs
+///   to hold one tuple element for every element of the range.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TupleSpec {
+    /// Sorted, deduplicated relative offsets (may include 0 for the
+    /// element itself when the shape contains the centre).
+    offsets: Vec<i64>,
+}
+
+impl TupleSpec {
+    /// Builds a tuple from raw offsets (sorted and deduplicated).
+    pub fn new(mut offsets: Vec<i64>) -> Self {
+        offsets.sort_unstable();
+        offsets.dedup();
+        TupleSpec { offsets }
+    }
+
+    /// Builds a tuple from resolved accesses, keeping only `Rel` entries.
+    pub fn from_accesses(accesses: &[LinearAccess]) -> Self {
+        Self::new(
+            accesses
+                .iter()
+                .filter_map(|a| match a {
+                    LinearAccess::Rel(o) => Some(*o),
+                    _ => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// Sorted offsets.
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Number of distinct offsets (the paper's `n_j`).
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True when the tuple has no in-stream points (all skipped/constant).
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Smallest offset (None when empty).
+    pub fn min_offset(&self) -> Option<i64> {
+        self.offsets.first().copied()
+    }
+
+    /// Largest offset (None when empty).
+    pub fn max_offset(&self) -> Option<i64> {
+        self.offsets.last().copied()
+    }
+
+    /// The paper's reach: `max − min` (0 for empty or singleton tuples).
+    pub fn reach(&self) -> u64 {
+        match (self.min_offset(), self.max_offset()) {
+            (Some(lo), Some(hi)) => (hi - lo) as u64,
+            _ => 0,
+        }
+    }
+
+    /// The reach *including the current element*: the window a stream
+    /// buffer must cover so both the tuple and the element itself are
+    /// available — `max(hi, 0) − min(lo, 0)`.
+    pub fn anchored_reach(&self) -> u64 {
+        let lo = self.min_offset().unwrap_or(0).min(0);
+        let hi = self.max_offset().unwrap_or(0).max(0);
+        (hi - lo) as u64
+    }
+
+    /// True when every offset of `other` lies within this tuple's
+    /// anchored window (so a buffer serving `self` also serves `other`).
+    pub fn covers(&self, other: &TupleSpec) -> bool {
+        let lo = self.min_offset().unwrap_or(0).min(0);
+        let hi = self.max_offset().unwrap_or(0).max(0);
+        other.offsets.iter().all(|&o| o >= lo && o <= hi)
+    }
+
+    /// Set-union of two tuples.
+    pub fn union(&self, other: &TupleSpec) -> TupleSpec {
+        let mut all = self.offsets.clone();
+        all.extend_from_slice(&other.offsets);
+        TupleSpec::new(all)
+    }
+
+    /// True when `self`'s offsets are a subset of `other`'s.
+    pub fn is_subset_of(&self, other: &TupleSpec) -> bool {
+        self.offsets
+            .iter()
+            .all(|o| other.offsets.binary_search(o).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_sorted_and_deduplicated() {
+        let t = TupleSpec::new(vec![5, -3, 5, 0]);
+        assert_eq!(t.offsets(), &[-3, 0, 5]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn reach_is_max_minus_min() {
+        // The paper's example: tuple (m[i], m[i−1], m[i+1], m[i−k], m[i+k])
+        // has reach 2k.
+        let k = 11i64;
+        let t = TupleSpec::new(vec![0, -1, 1, -k, k]);
+        assert_eq!(t.reach(), 2 * k as u64);
+    }
+
+    #[test]
+    fn reach_of_empty_and_singleton() {
+        assert_eq!(TupleSpec::new(vec![]).reach(), 0);
+        assert_eq!(TupleSpec::new(vec![7]).reach(), 0);
+        assert!(TupleSpec::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn anchored_reach_includes_current_element() {
+        let t = TupleSpec::new(vec![3, 7]);
+        assert_eq!(t.reach(), 4);
+        assert_eq!(t.anchored_reach(), 7, "window must span 0..=7");
+        let t = TupleSpec::new(vec![-11, -1, 1, 11]);
+        assert_eq!(t.anchored_reach(), 22);
+    }
+
+    #[test]
+    fn from_accesses_ignores_skip_and_constant() {
+        let t = TupleSpec::from_accesses(&[
+            LinearAccess::Rel(-1),
+            LinearAccess::Skip,
+            LinearAccess::Constant(9),
+            LinearAccess::Rel(11),
+        ]);
+        assert_eq!(t.offsets(), &[-1, 11]);
+    }
+
+    #[test]
+    fn covers_and_subset() {
+        let big = TupleSpec::new(vec![-11, -1, 1, 11]);
+        let small = TupleSpec::new(vec![-1, 1]);
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        // covers is about the window, not membership:
+        let within_window = TupleSpec::new(vec![-5, 3]);
+        assert!(big.covers(&within_window));
+        assert!(!within_window.is_subset_of(&big));
+    }
+
+    #[test]
+    fn union_merges_offsets() {
+        let a = TupleSpec::new(vec![-1, 1]);
+        let b = TupleSpec::new(vec![1, 110]);
+        assert_eq!(a.union(&b).offsets(), &[-1, 1, 110]);
+    }
+
+    #[test]
+    fn min_max_offsets() {
+        let t = TupleSpec::new(vec![-110, -11, -1, 1]);
+        assert_eq!(t.min_offset(), Some(-110));
+        assert_eq!(t.max_offset(), Some(1));
+        assert_eq!(TupleSpec::new(vec![]).min_offset(), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests of the formal model's algebra.
+
+use proptest::prelude::*;
+use smache_stencil::{
+    analysed_ranges, gather_masked, gather_values, split_ranges, split_ranges_naive,
+    AxisBoundaries, Boundary, BoundarySpec, GridSpec, StencilShape, TupleSpec,
+};
+
+fn arb_boundary() -> impl Strategy<Value = Boundary> {
+    prop_oneof![
+        Just(Boundary::Open),
+        Just(Boundary::Circular),
+        Just(Boundary::Mirror),
+        (0u64..100).prop_map(Boundary::Constant),
+    ]
+}
+
+fn arb_shape() -> impl Strategy<Value = StencilShape> {
+    prop_oneof![
+        Just(StencilShape::four_point_2d()),
+        Just(StencilShape::five_point_2d()),
+        Just(StencilShape::nine_point_2d()),
+        Just(StencilShape::cross_2d(2).expect("k=2")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Linearisation and coordinate recovery are inverse bijections.
+    #[test]
+    fn lin_coords_roundtrip(
+        dims in proptest::collection::vec(1usize..9, 1..4),
+    ) {
+        let grid = GridSpec::new(&dims).expect("valid dims");
+        for i in 0..grid.len() {
+            let c = grid.coords(i).expect("in range");
+            prop_assert_eq!(grid.lin(&c).expect("valid"), i);
+        }
+    }
+
+    /// Circular resolution is periodic; mirror is an involution on the
+    /// first reflection; constants are constant.
+    #[test]
+    fn boundary_resolution_laws(idx in -40isize..80, len in 2usize..20) {
+        use smache_stencil::boundary::AxisOutcome;
+        let circ = BoundarySpec::all_circular(1).expect("axis");
+        let a = circ.resolve_axis(0, idx, len).expect("resolves");
+        let b = circ.resolve_axis(0, idx + len as isize, len).expect("resolves");
+        prop_assert_eq!(a, b, "circular resolution is periodic in the axis length");
+        if let AxisOutcome::Index(i) = a {
+            prop_assert!(i < len);
+        }
+
+        let konst = BoundarySpec::new(&[AxisBoundaries::both(Boundary::Constant(9))])
+            .expect("axis");
+        if idx < 0 || idx >= len as isize {
+            prop_assert_eq!(
+                konst.resolve_axis(0, idx, len).expect("resolves"),
+                AxisOutcome::Constant(9)
+            );
+        }
+
+        let mirror = BoundarySpec::new(&[AxisBoundaries::both(Boundary::Mirror)])
+            .expect("axis");
+        if idx < 0 && (-idx as usize) <= len {
+            // First reflection: -k -> k-1.
+            prop_assert_eq!(
+                mirror.resolve_axis(0, idx, len).expect("resolves"),
+                AxisOutcome::Index((-idx - 1) as usize)
+            );
+        }
+    }
+
+    /// Ranges tile the stream exactly and the fast path equals the naive
+    /// reference for random problems.
+    #[test]
+    fn ranges_tile_and_fast_path_is_exact(
+        h in 2usize..9,
+        w in 2usize..9,
+        rl in arb_boundary(), rh in arb_boundary(),
+        cl in arb_boundary(), ch in arb_boundary(),
+        shape in arb_shape(),
+    ) {
+        let grid = GridSpec::d2(h, w).expect("grid");
+        let bounds = BoundarySpec::new(&[
+            AxisBoundaries { low: rl, high: rh },
+            AxisBoundaries { low: cl, high: ch },
+        ]).expect("axes");
+
+        let fast = split_ranges(&grid, &bounds, &shape).expect("fast");
+        let naive = split_ranges_naive(&grid, &bounds, &shape).expect("naive");
+        prop_assert_eq!(&fast, &naive);
+
+        let mut next = 0usize;
+        for r in &fast {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.len > 0);
+            next = r.end();
+        }
+        prop_assert_eq!(next, grid.len());
+
+        // Coalescing preserves the tiling and never increases range count.
+        let coalesced = analysed_ranges(&grid, &bounds, &shape).expect("coalesced");
+        prop_assert!(coalesced.len() <= fast.len());
+        prop_assert_eq!(coalesced.last().expect("nonempty").end(), grid.len());
+    }
+
+    /// Masked and unmasked gathers agree: the masked values restricted to
+    /// present bits are exactly the compact gather.
+    #[test]
+    fn gather_masked_agrees_with_gather_values(
+        h in 2usize..8,
+        w in 2usize..8,
+        rl in arb_boundary(), rh in arb_boundary(),
+        cl in arb_boundary(), ch in arb_boundary(),
+        shape in arb_shape(),
+        seed in any::<u64>(),
+    ) {
+        let grid = GridSpec::d2(h, w).expect("grid");
+        let bounds = BoundarySpec::new(&[
+            AxisBoundaries { low: rl, high: rh },
+            AxisBoundaries { low: cl, high: ch },
+        ]).expect("axes");
+        let data: Vec<u64> = (0..grid.len() as u64)
+            .map(|i| i.wrapping_mul(seed | 1) % 10_000)
+            .collect();
+        for coords in grid.iter_coords() {
+            let compact = gather_values(&grid, &bounds, &shape, &data, &coords)
+                .expect("gather");
+            let (vals, mask) = gather_masked(&grid, &bounds, &shape, &data, &coords)
+                .expect("gather_masked");
+            let masked: Vec<u64> = vals
+                .iter()
+                .enumerate()
+                .filter(|(p, _)| mask & (1 << p) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            prop_assert_eq!(masked, compact);
+            // Absent slots are zeroed.
+            for (p, &v) in vals.iter().enumerate() {
+                if mask & (1 << p) == 0 {
+                    prop_assert_eq!(v, 0);
+                }
+            }
+        }
+    }
+
+    /// Tuple algebra: reach/anchored-reach relations and union laws.
+    #[test]
+    fn tuple_algebra(offsets in proptest::collection::vec(-500i64..500, 0..10)) {
+        let t = TupleSpec::new(offsets.clone());
+        prop_assert!(t.anchored_reach() >= t.reach());
+        prop_assert!(t.covers(&t), "a tuple covers itself");
+        let u = t.union(&t);
+        prop_assert_eq!(u.offsets(), t.offsets(), "union is idempotent");
+        let empty = TupleSpec::new(vec![]);
+        prop_assert!(t.covers(&empty));
+        let with_empty = t.union(&empty);
+        prop_assert_eq!(with_empty.offsets(), t.offsets());
+        prop_assert!(empty.is_subset_of(&t));
+    }
+}

@@ -1,0 +1,69 @@
+//! AXI4-Stream integration: the Smache system driven inside the
+//! `smache-sim` Simulator, with a back-pressuring downstream consumer.
+//!
+//! The paper's block diagram exposes the module behind valid/stall
+//! handshakes; this example wires [`AxiSmache`] to a slow consumer that
+//! stalls every third cycle and shows the stream arriving intact.
+//!
+//! ```text
+//! cargo run --example axi_stream --release
+//! ```
+
+use smache::system::axi::AxiSmache;
+use smache::SmacheBuilder;
+use smache_sim::{Simulator, StreamLink, StreamSink};
+use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+
+fn main() {
+    let grid = GridSpec::d2(11, 11).expect("grid");
+    let system = SmacheBuilder::new(grid)
+        .shape(StencilShape::four_point_2d())
+        .boundaries(BoundarySpec::paper_case())
+        .build()
+        .expect("system");
+
+    let mut sim = Simulator::new();
+    let link = StreamLink::new(sim.ctx(), "results");
+    let input: Vec<u64> = (0..121).collect();
+    let instances = 3u64;
+    let axi = AxiSmache::new(system, link.clone(), &input, instances).expect("arm");
+    sim.add(Box::new(axi));
+
+    // A consumer that cannot accept a beat every cycle.
+    let (sink, collected) = StreamSink::with_stalls("consumer", link, 3, 0);
+    sim.add(Box::new(sink));
+
+    let expected = 121 * instances as usize;
+    let cycles = sim
+        .run_until(100_000, "all beats delivered", |_| {
+            collected.borrow().len() == expected
+        })
+        .expect("completes");
+
+    let beats = collected.borrow();
+    println!(
+        "streamed {} beats over {} cycles (consumer stalls 1 of 3 cycles)",
+        beats.len(),
+        cycles
+    );
+    println!(
+        "first beats: {:?}",
+        beats
+            .iter()
+            .take(4)
+            .map(|b| (b.instance, b.index, b.data))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "last beat:   instance {} element {} value {}",
+        beats[expected - 1].instance,
+        beats[expected - 1].index,
+        beats[expected - 1].data
+    );
+    // The ordering invariant the handshake must preserve:
+    for (i, b) in beats.iter().enumerate() {
+        assert_eq!(b.instance as usize, i / 121);
+        assert_eq!(b.index as usize, i % 121);
+    }
+    println!("\nbeat order verified: index/instance tags sequential under back-pressure");
+}

@@ -1,0 +1,97 @@
+//! Image-processing pipeline: a weighted 3×3 blur with mirror boundaries —
+//! the multimedia workload class the paper's introduction cites alongside
+//! scientific computing.
+//!
+//! Mirror (symmetric) padding is the standard image-edge convention; the
+//! 9-point Moore shape with a centre-heavy weight approximates a Gaussian.
+//! The example renders a small synthetic image before/after on the
+//! terminal and reports the streaming statistics.
+//!
+//! ```text
+//! cargo run --example image_blur --release
+//! ```
+
+use smache::arch::kernel::WeightedKernel;
+use smache::functional::golden::golden_run;
+use smache::SmacheBuilder;
+use smache_stencil::{AxisBoundaries, Boundary, BoundarySpec, GridSpec, StencilShape};
+
+const H: usize = 24;
+const W: usize = 48;
+
+/// Gaussian-ish weights for the Moore neighbourhood in shape order
+/// (row-major offsets: NW N NE, W C E, SW S SE).
+fn blur_kernel() -> WeightedKernel {
+    WeightedKernel::new("blur3x3", vec![1, 2, 1, 2, 4, 2, 1, 2, 1]).expect("weights")
+}
+
+fn render(label: &str, img: &[u64]) {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    println!("{label}:");
+    for r in 0..H {
+        let line: String = (0..W)
+            .map(|c| {
+                let v = img[r * W + c].min(255);
+                RAMP[(v as usize * (RAMP.len() - 1)) / 255] as char
+            })
+            .collect();
+        println!("  {line}");
+    }
+    println!();
+}
+
+fn main() {
+    // A synthetic test card: two bright discs and a diagonal line.
+    let mut image = vec![0u64; H * W];
+    for r in 0..H {
+        for c in 0..W {
+            let d1 = (r as i64 - 7).pow(2) + (c as i64 - 12).pow(2);
+            let d2 = (r as i64 - 16).pow(2) + (c as i64 - 34).pow(2);
+            if d1 < 16 || d2 < 9 {
+                image[r * W + c] = 255;
+            }
+            if r + 8 == c {
+                image[r * W + c] = 200;
+            }
+        }
+    }
+
+    let grid = GridSpec::d2(H, W).expect("grid");
+    let bounds = BoundarySpec::new(&[
+        AxisBoundaries::both(Boundary::Mirror),
+        AxisBoundaries::both(Boundary::Mirror),
+    ])
+    .expect("bounds");
+    let shape = StencilShape::nine_point_2d();
+
+    render("input", &image);
+
+    let passes = 2;
+    let mut system = SmacheBuilder::new(grid.clone())
+        .shape(shape.clone())
+        .boundaries(bounds.clone())
+        .kernel(Box::new(blur_kernel()))
+        .build()
+        .expect("build");
+    let report = system.run(&image, passes).expect("run");
+
+    let golden =
+        golden_run(&grid, &bounds, &shape, &blur_kernel(), &image, passes).expect("golden");
+    assert_eq!(
+        report.output, golden,
+        "hardware blur must match software blur"
+    );
+
+    render(
+        &format!("after {passes} blur passes (smache, verified)"),
+        &report.output,
+    );
+
+    println!("{}", report.metrics);
+    println!(
+        "mirror boundaries need no static buffers (plan made {}); {} of {} DRAM reads were sequential",
+        system.plan().static_buffers.len(),
+        report.metrics.dram.sequential_reads,
+        report.metrics.dram.reads
+    );
+}

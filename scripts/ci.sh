@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification: format, lints, tests, examples, experiment binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== examples =="
+for ex in quickstart heat_2d ocean_circular dse_explorer generate_verilog \
+          axi_stream image_blur temporal_blocking game_of_life; do
+  echo "-- example: $ex"
+  cargo run --example "$ex" --release >/dev/null
+done
+rm -rf smache_rtl
+
+echo "== experiment binaries =="
+for bin in fig2 table1 ablations mpstream; do
+  echo "-- bin: $bin"
+  cargo run -p smache-bench --bin "$bin" --release >/dev/null
+done
+
+echo "== cli smoke =="
+cargo run -p smache-cli --release -- plan >/dev/null
+cargo run -p smache-cli --release -- cost --grid 64x64 >/dev/null
+cargo run -p smache-cli --release -- predict --grid 32x32 --instances 10 >/dev/null
+cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --design both --verify >/dev/null
+
+echo "ALL GREEN"

@@ -1,0 +1,26 @@
+//! # smache-suite — workspace-level examples and integration tests
+//!
+//! This crate re-exports the workspace's public surface so the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`)
+//! have one import root. See the individual crates for the actual
+//! implementation:
+//!
+//! * [`smache`] — the Smache architecture (planning, cost models, the
+//!   cycle-accurate system, functional models, builder API).
+//! * [`smache_baseline`] — the unbuffered comparison design.
+//! * [`smache_stencil`] — the formal model (grids, shapes, boundaries,
+//!   tuples, ranges).
+//! * [`smache_mem`] — memory substrates (BRAM, registers, FIFOs, DRAM).
+//! * [`smache_sim`] — the cycle-level simulation kernel.
+//! * [`smache_codegen`] — Verilog generation.
+//! * [`smache_bench`] — workloads, sweeps and experiment harnesses.
+
+#![warn(missing_docs)]
+
+pub use smache;
+pub use smache_baseline;
+pub use smache_bench;
+pub use smache_codegen;
+pub use smache_mem;
+pub use smache_sim;
+pub use smache_stencil;

@@ -1,0 +1,121 @@
+//! Exhaustive boundary-condition matrix: every per-axis combination of
+//! {open, circular, mirror, constant} on both axes, across shapes, runs
+//! the full cycle-accurate system and must match golden.
+//!
+//! This is the "arbitrary boundaries" half of the paper's title, tested
+//! literally.
+
+use smache::arch::kernel::AverageKernel;
+use smache::functional::golden::golden_run;
+use smache::{HybridMode, SmacheBuilder};
+use smache_stencil::{AxisBoundaries, Boundary, BoundarySpec, GridSpec, StencilShape};
+
+const KINDS: [Boundary; 4] = [
+    Boundary::Open,
+    Boundary::Circular,
+    Boundary::Mirror,
+    Boundary::Constant(77),
+];
+
+fn run_case(grid: &GridSpec, bounds: &BoundarySpec, shape: &StencilShape, instances: u64) {
+    let n = grid.len();
+    let input: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 1009).collect();
+    let golden = golden_run(grid, bounds, shape, &AverageKernel, &input, instances)
+        .expect("golden evaluates");
+    let mut system = SmacheBuilder::new(grid.clone())
+        .shape(shape.clone())
+        .boundaries(bounds.clone())
+        .hybrid(HybridMode::default())
+        .build()
+        .unwrap_or_else(|e| panic!("build failed for {bounds:?}: {e}"));
+    let report = system
+        .run(&input, instances)
+        .unwrap_or_else(|e| panic!("run failed for {bounds:?}: {e}"));
+    assert_eq!(report.output, golden, "mismatch for {bounds:?} / {shape:?}");
+}
+
+#[test]
+fn four_point_all_row_axis_combinations() {
+    // Row axis sweeps all 16 (low, high) pairs; column axis stays open.
+    let grid = GridSpec::d2(7, 9).expect("valid");
+    let shape = StencilShape::four_point_2d();
+    for low in KINDS {
+        for high in KINDS {
+            let bounds = BoundarySpec::new(&[
+                AxisBoundaries { low, high },
+                AxisBoundaries::both(Boundary::Open),
+            ])
+            .expect("two axes");
+            run_case(&grid, &bounds, &shape, 2);
+        }
+    }
+}
+
+#[test]
+fn four_point_all_column_axis_combinations() {
+    let grid = GridSpec::d2(9, 7).expect("valid");
+    let shape = StencilShape::four_point_2d();
+    for low in KINDS {
+        for high in KINDS {
+            let bounds = BoundarySpec::new(&[
+                AxisBoundaries::both(Boundary::Circular),
+                AxisBoundaries { low, high },
+            ])
+            .expect("two axes");
+            run_case(&grid, &bounds, &shape, 2);
+        }
+    }
+}
+
+#[test]
+fn both_axes_uniform_combinations_with_nine_point() {
+    // The 9-point Moore shape exercises diagonal boundary interactions.
+    let grid = GridSpec::d2(8, 8).expect("valid");
+    let shape = StencilShape::nine_point_2d();
+    for row in KINDS {
+        for col in KINDS {
+            let bounds = BoundarySpec::new(&[AxisBoundaries::both(row), AxisBoundaries::both(col)])
+                .expect("two axes");
+            run_case(&grid, &bounds, &shape, 1);
+        }
+    }
+}
+
+#[test]
+fn asymmetric_mixed_everything() {
+    // A deliberately nasty configuration: different conditions on every
+    // edge, non-square grid, 5-point shape, several instances.
+    let grid = GridSpec::d2(6, 13).expect("valid");
+    let shape = StencilShape::five_point_2d();
+    let bounds = BoundarySpec::new(&[
+        AxisBoundaries {
+            low: Boundary::Circular,
+            high: Boundary::Mirror,
+        },
+        AxisBoundaries {
+            low: Boundary::Constant(5),
+            high: Boundary::Open,
+        },
+    ])
+    .expect("two axes");
+    run_case(&grid, &bounds, &shape, 5);
+}
+
+#[test]
+fn one_dimensional_circular_ring() {
+    // 1D ring with a symmetric 2-reach stencil: wraps on both ends.
+    let grid = GridSpec::d1(24).expect("valid");
+    let shape = StencilShape::symmetric_1d(2).expect("k>=1");
+    let bounds = BoundarySpec::all_circular(1).expect("1 axis");
+    run_case(&grid, &bounds, &shape, 3);
+}
+
+#[test]
+fn tall_thin_and_short_fat_grids() {
+    let shape = StencilShape::four_point_2d();
+    let bounds = BoundarySpec::paper_case();
+    for (h, w) in [(32usize, 4usize), (4, 32), (3, 17), (17, 3)] {
+        let grid = GridSpec::d2(h, w).expect("valid");
+        run_case(&grid, &bounds, &shape, 2);
+    }
+}

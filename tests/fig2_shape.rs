@@ -1,0 +1,115 @@
+//! Fig. 2 shape test: the paper's headline comparison must hold on the
+//! simulated substrate — who wins, by roughly what factor.
+//!
+//! Paper values: baseline 64001 cycles / 372.9 MHz / 236.3 KB / 171.6 µs /
+//! 282 MOPS; Smache 14039 / 235.3 / 95.5 / 59.7 / 811. Claims: Smache uses
+//! ~20 % of the cycles, ~40 % of the traffic, and wins ~3× overall despite
+//! clocking lower.
+
+use smache::HybridMode;
+use smache_baseline::BaselineConfig;
+use smache_bench::workloads::paper_problem;
+
+#[test]
+fn paper_headline_comparison_holds() {
+    let workload = paper_problem(11, 11, 100);
+    let input = workload.ramp_input();
+
+    let mut baseline = workload.baseline(BaselineConfig::default());
+    let base = baseline
+        .run(&input, workload.instances)
+        .expect("baseline")
+        .metrics;
+
+    let mut smache = workload.smache(HybridMode::default());
+    let sm = smache
+        .run(&input, workload.instances)
+        .expect("smache")
+        .metrics;
+
+    // Absolute regimes (±15% of the paper's numbers for Smache, ±25% for
+    // the baseline whose microarchitecture the paper does not describe).
+    assert!(
+        (sm.cycles as f64 - 14_039.0).abs() / 14_039.0 < 0.15,
+        "smache cycles {} vs paper 14039",
+        sm.cycles
+    );
+    assert!(
+        (base.cycles as f64 - 64_001.0).abs() / 64_001.0 < 0.25,
+        "baseline cycles {} vs paper 64001",
+        base.cycles
+    );
+    assert!(
+        (sm.traffic_kb() - 95.5).abs() / 95.5 < 0.10,
+        "smache traffic {}",
+        sm.traffic_kb()
+    );
+    assert!(
+        (base.traffic_kb() - 236.3).abs() / 236.3 < 0.05,
+        "baseline traffic {}",
+        base.traffic_kb()
+    );
+
+    // Frequency anchors (the calibrated model).
+    assert!((sm.fmax_mhz - 235.3).abs() / 235.3 < 0.01);
+    assert!((base.fmax_mhz - 372.9).abs() / 372.9 < 0.01);
+
+    // The paper's claims, as ratios.
+    let norm = sm.normalised_against(&base);
+    assert!(
+        norm.cycles > 0.15 && norm.cycles < 0.30,
+        "Smache should need ~20% of baseline cycles, got {:.3}",
+        norm.cycles
+    );
+    assert!(
+        norm.traffic > 0.33 && norm.traffic < 0.50,
+        "Smache should need ~40% of baseline traffic, got {:.3}",
+        norm.traffic
+    );
+    assert!(
+        norm.fmax < 1.0,
+        "Smache synthesises slower than the baseline"
+    );
+    assert!(
+        norm.speedup() > 2.3 && norm.speedup() < 3.5,
+        "overall ~3x speed-up, got {:.2}",
+        norm.speedup()
+    );
+    assert!(norm.mops > 2.3, "MOPS ratio {:.2}", norm.mops);
+}
+
+#[test]
+fn both_designs_compute_identical_grids() {
+    let workload = paper_problem(11, 11, 100);
+    let input = workload.input(2024);
+    let mut baseline = workload.baseline(BaselineConfig::default());
+    let mut smache = workload.smache(HybridMode::default());
+    let b = baseline.run(&input, workload.instances).expect("baseline");
+    let s = smache.run(&input, workload.instances).expect("smache");
+    assert_eq!(b.output, s.output);
+}
+
+#[test]
+fn resource_tradeoff_matches_paper_prose() {
+    // "The resource utilization of the baseline implementation was: 79
+    //  ALMs, 262 registers, and no BRAM bits; the Smache version used 520
+    //  ALMs, 1088 registers, and 1.5K BRAM bits."
+    let workload = paper_problem(11, 11, 1);
+    let baseline = workload.baseline(BaselineConfig::default());
+    let br = baseline.resources();
+    assert_eq!((br.alms, br.registers, br.bram_bits), (79, 262, 0));
+
+    let smache_r = workload.smache(HybridMode::CaseR);
+    let sr = smache_r.resources();
+    assert!(
+        (sr.alms as f64 - 520.0).abs() / 520.0 < 0.05,
+        "ALMs {}",
+        sr.alms
+    );
+    assert!(
+        (sr.registers as f64 - 1088.0).abs() / 1088.0 < 0.15,
+        "registers {}",
+        sr.registers
+    );
+    assert_eq!(sr.bram_bits, 1536, "1.5K BRAM bits");
+}

@@ -1,0 +1,180 @@
+//! Table I reproduction test: estimate columns exact, actual columns
+//! matching the paper wherever our synthesis model covers the overhead
+//! (everything except the Case-R Quartus retiming artefact).
+
+use smache::cost::{CostEstimate, SynthesisModel};
+use smache::{HybridMode, SmacheBuilder};
+use smache_stencil::GridSpec;
+
+fn plan(dim: usize, hybrid: HybridMode) -> smache::BufferPlan {
+    SmacheBuilder::new(GridSpec::d2(dim, dim).expect("valid"))
+        .hybrid(hybrid)
+        .plan()
+        .expect("plan")
+}
+
+#[test]
+fn estimate_rows_match_paper_exactly() {
+    // (dim, hybrid, [Rsc, Bsc, Rsm, Bsm, Rtotal, Btotal])
+    let rows = [
+        (11usize, HybridMode::CaseR, [0u64, 1408, 800, 0, 800, 1408]),
+        (11, HybridMode::default(), [0, 1408, 352, 448, 352, 1856]),
+        (
+            1024,
+            HybridMode::CaseR,
+            [0, 131_072, 65_632, 0, 65_632, 131_072],
+        ),
+        (
+            1024,
+            HybridMode::default(),
+            [0, 131_072, 352, 65_280, 352, 196_352],
+        ),
+    ];
+    for (dim, hybrid, expected) in rows {
+        let m = CostEstimate.memory(&plan(dim, hybrid));
+        let got = [
+            m.r_static,
+            m.b_static,
+            m.r_stream,
+            m.b_stream,
+            m.r_total(),
+            m.b_total(),
+        ];
+        assert_eq!(got, expected, "{dim}x{dim} {hybrid:?} estimate");
+    }
+}
+
+#[test]
+fn actual_case_h_rows_match_paper_exactly() {
+    let rows = [
+        (11usize, [0u64, 1536, 355, 512, 425, 2048]),
+        (1024, [0, 131_200, 362, 65_536, 1549, 196_736]),
+    ];
+    for (dim, expected) in rows {
+        let m = SynthesisModel.memory(&plan(dim, HybridMode::default()));
+        let got = [
+            m.r_static,
+            m.b_static,
+            m.r_stream,
+            m.b_stream,
+            m.r_total(),
+            m.b_total(),
+        ];
+        assert_eq!(got, expected, "{dim}x{dim} Case-H actual");
+    }
+}
+
+#[test]
+fn actual_case_r_rows_match_paper_where_modelled() {
+    // Case-R: Bsc/Btotal match exactly; Rsm differs from the paper only by
+    // the Quartus retiming registers (+128 bits at 11×11, +38 at 1024²)
+    // that our synthesis model deliberately does not invent.
+    let m11 = SynthesisModel.memory(&plan(11, HybridMode::CaseR));
+    assert_eq!(m11.b_static, 1536);
+    assert_eq!(m11.b_total(), 1536);
+    assert!((m11.r_stream as f64 - 928.0).abs() / 928.0 < 0.15);
+    assert!((m11.r_total() as f64 - 998.0).abs() / 998.0 < 0.15);
+
+    let m1024 = SynthesisModel.memory(&plan(1024, HybridMode::CaseR));
+    assert_eq!(m1024.b_total(), 131_200);
+    assert!((m1024.r_stream as f64 - 65_670.0).abs() / 65_670.0 < 0.01);
+    assert!((m1024.r_total() as f64 - 66_857.0).abs() / 66_857.0 < 0.01);
+}
+
+#[test]
+fn instantiated_design_walk_agrees_with_synthesis_model() {
+    // The "actual" numbers must be obtainable two independent ways: the
+    // analytic synthesis model and a walk of the instantiated simulated
+    // design. They must agree bit-for-bit.
+    for (dim, hybrid) in [
+        (11usize, HybridMode::CaseR),
+        (11, HybridMode::default()),
+        (64, HybridMode::default()),
+    ] {
+        let p = plan(dim, hybrid);
+        let model = SynthesisModel.memory(&p);
+        let system = SmacheBuilder::new(GridSpec::d2(dim, dim).expect("valid"))
+            .hybrid(hybrid)
+            .build()
+            .expect("system");
+        let walk = system.resource_breakdown();
+        assert_eq!(
+            walk.stream.registers, model.r_stream,
+            "{dim} {hybrid:?} Rsm"
+        );
+        assert_eq!(
+            walk.stream.bram_bits, model.b_stream,
+            "{dim} {hybrid:?} Bsm"
+        );
+        assert_eq!(
+            walk.statics.registers, model.r_static,
+            "{dim} {hybrid:?} Rsc"
+        );
+        assert_eq!(
+            walk.statics.bram_bits, model.b_static,
+            "{dim} {hybrid:?} Bsc"
+        );
+        assert_eq!(
+            walk.controller.registers, model.r_other,
+            "{dim} {hybrid:?} ctrl"
+        );
+    }
+}
+
+#[test]
+fn estimate_tracks_actual_on_every_buffer_column() {
+    // Note: at awkward widths the power-of-two FIFO depth rounding can
+    // exceed this bound legitimately (e.g. width 100 → depth 96 → 128, a
+    // 33% Bsm gap); see the dedicated test below. The paper evaluates at
+    // rounding-friendly sizes, asserted here.
+    for dim in [11usize, 32, 64, 1024] {
+        for hybrid in [HybridMode::CaseR, HybridMode::default()] {
+            let p = plan(dim, hybrid);
+            let est = CostEstimate.memory(&p);
+            let act = SynthesisModel.memory(&p);
+            for (e, a, col) in [
+                (est.r_static, act.r_static, "Rsc"),
+                (est.b_static, act.b_static, "Bsc"),
+                (est.r_stream, act.r_stream, "Rsm"),
+                (est.b_stream, act.b_stream, "Bsm"),
+            ] {
+                if a == 0 {
+                    assert_eq!(e, 0, "{dim} {hybrid:?} {col}");
+                } else {
+                    let err = (e as f64 - a as f64).abs() / a as f64;
+                    assert!(err < 0.20, "{dim} {hybrid:?} {col}: est {e} vs act {a}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fifo_depth_rounding_is_bounded_by_two() {
+    // At the worst width the synthesis rounding can at most double the
+    // stream-buffer BRAM relative to the estimate (next_power_of_two).
+    for dim in [33usize, 100, 513, 700] {
+        let p = plan(dim, HybridMode::default());
+        let est = CostEstimate.memory(&p);
+        let act = SynthesisModel.memory(&p);
+        assert!(act.b_stream >= est.b_stream);
+        assert!(
+            act.b_stream <= 2 * est.b_stream,
+            "{dim}: {} vs {}",
+            act.b_stream,
+            est.b_stream
+        );
+    }
+}
+
+#[test]
+fn register_placed_static_buffers_shift_columns() {
+    use smache_mem::MemKind;
+    let p = SmacheBuilder::new(GridSpec::d2(11, 11).expect("valid"))
+        .static_kind(MemKind::Reg)
+        .plan()
+        .expect("plan");
+    let m = CostEstimate.memory(&p);
+    assert_eq!(m.r_static, 1408, "static bits move to the register column");
+    assert_eq!(m.b_static, 0);
+}

@@ -1,0 +1,66 @@
+//! Weighted stencil kernels through the whole stack — positional gather
+//! makes per-point weights meaningful even at boundaries.
+
+use smache::arch::kernel::{Kernel, WeightedKernel};
+use smache::functional::golden::golden_run;
+use smache::functional::model::FunctionalSmache;
+use smache::SmacheBuilder;
+use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+
+/// A 5-point smoother with a heavy centre (order: N, W, centre, E, S).
+fn smoother() -> WeightedKernel {
+    WeightedKernel::new("smoother", vec![1, 1, 4, 1, 1]).expect("weights")
+}
+
+#[test]
+fn weighted_five_point_matches_golden_everywhere() {
+    let grid = GridSpec::d2(9, 9).expect("grid");
+    let bounds = BoundarySpec::paper_case();
+    let shape = StencilShape::five_point_2d();
+    let input: Vec<u64> = (0..81).map(|i| (i * 23 + 5) % 503).collect();
+
+    let golden = golden_run(&grid, &bounds, &shape, &smoother(), &input, 5).expect("golden");
+
+    let mut system = SmacheBuilder::new(grid.clone())
+        .shape(shape.clone())
+        .boundaries(bounds.clone())
+        .kernel(Box::new(smoother()))
+        .build()
+        .expect("build");
+    let report = system.run(&input, 5).expect("run");
+    assert_eq!(report.output, golden, "cycle-accurate weighted run");
+
+    let plan = SmacheBuilder::new(grid)
+        .shape(shape)
+        .boundaries(bounds)
+        .plan()
+        .expect("plan");
+    let mut f = FunctionalSmache::new(plan);
+    assert_eq!(f.run(&smoother(), &input, 5).expect("functional"), golden);
+}
+
+#[test]
+fn boundary_weights_renormalise() {
+    // On a single row with open columns, the west point is missing at
+    // column 0: the smoother must renormalise over the present weights,
+    // which positional masking makes possible.
+    let grid = GridSpec::d2(1, 4).expect("grid");
+    let bounds = BoundarySpec::all_open(2).expect("bounds");
+    let shape = StencilShape::five_point_2d();
+    let input = vec![100u64, 200, 300, 400];
+    let out = golden_run(&grid, &bounds, &shape, &smoother(), &input, 1).expect("golden");
+    // Column 0: N,S,W missing; centre(4×100) + E(200) over weight 5 = 120.
+    assert_eq!(out[0], 120);
+    // Column 1: W(100) + 4×200 + E(300) over 6 = 200.
+    assert_eq!(out[1], 200);
+}
+
+#[test]
+fn weighted_kernel_differs_from_plain_average() {
+    let k = smoother();
+    // All-present tuple where the centre dominates.
+    let values = [0u64, 0, 1000, 0, 0];
+    assert_eq!(k.apply(&values, 0b11111), 4000 / 8);
+    // A plain average would give 200.
+    assert_ne!(k.apply(&values, 0b11111), 200);
+}

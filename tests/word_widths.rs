@@ -1,0 +1,67 @@
+//! Word-width generality: the whole stack parameterises over the logical
+//! word width; resources scale with it while behaviour (for in-range
+//! values) does not change.
+
+use smache::arch::kernel::AverageKernel;
+use smache::cost::{CostEstimate, SynthesisModel};
+use smache::functional::golden::golden_run;
+use smache::SmacheBuilder;
+use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+
+#[test]
+fn sixteen_bit_system_runs_and_matches_golden() {
+    let grid = GridSpec::d2(9, 9).expect("grid");
+    let input: Vec<u64> = (0..81).map(|i| (i * 331) % 65_536).collect();
+    let mut system = SmacheBuilder::new(grid.clone())
+        .word_bits(16)
+        .build()
+        .expect("build");
+    let report = system.run(&input, 4).expect("run");
+    let golden = golden_run(
+        &grid,
+        &BoundarySpec::paper_case(),
+        &StencilShape::four_point_2d(),
+        &AverageKernel,
+        &input,
+        4,
+    )
+    .expect("golden");
+    assert_eq!(report.output, golden);
+}
+
+#[test]
+fn memory_bits_scale_linearly_with_word_width() {
+    let plan_at = |bits: u32| {
+        SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+            .word_bits(bits)
+            .plan()
+            .expect("plan")
+    };
+    let m16 = CostEstimate.memory(&plan_at(16));
+    let m32 = CostEstimate.memory(&plan_at(32));
+    let m64 = CostEstimate.memory(&plan_at(64));
+    assert_eq!(2 * m16.b_static, m32.b_static);
+    assert_eq!(2 * m32.b_static, m64.b_static);
+    assert_eq!(2 * m16.r_stream, m32.r_stream);
+    assert_eq!(2 * m32.r_stream, m64.r_stream);
+
+    // The synthesis model's data-path bits scale too; controller state
+    // (counters, FSMs) does not depend on the word width.
+    let a16 = SynthesisModel.memory(&plan_at(16));
+    let a32 = SynthesisModel.memory(&plan_at(32));
+    assert_eq!(a16.r_other, a32.r_other);
+    assert_eq!(2 * a16.b_static, a32.b_static);
+}
+
+#[test]
+fn invalid_widths_rejected() {
+    for bits in [0u32, 65, 128] {
+        assert!(
+            SmacheBuilder::new(GridSpec::d2(4, 4).expect("grid"))
+                .word_bits(bits)
+                .plan()
+                .is_err(),
+            "{bits} bits must be rejected"
+        );
+    }
+}

@@ -5,16 +5,49 @@
 //! ```text
 //! cargo run -p smache-bench --bin fig2 --release
 //! ```
+//!
+//! With `--sweep N` the comparison instead runs over `N` random input
+//! seeds, sharded across `--jobs J` worker threads, and writes a
+//! machine-readable summary to `BENCH_fig2.json` (path overridable with
+//! `--json PATH`):
+//!
+//! ```text
+//! cargo run -p smache-bench --bin fig2 --release -- --sweep 8 --jobs 4
+//! ```
+
+use std::time::Instant;
 
 use smache::arch::kernel::AverageKernel;
 use smache::functional::golden::golden_run;
 use smache::system::metrics::DesignMetrics;
+use smache::system::SmacheSystem;
 use smache::HybridMode;
 use smache_baseline::BaselineConfig;
+use smache_bench::json::Json;
+use smache_bench::parallel_map;
 use smache_bench::report::{bar, Table};
-use smache_bench::workloads::paper_problem;
+use smache_bench::workloads::{paper_problem, PaperWorkload};
+
+/// `--flag value` lookup over raw args.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = arg_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs wants a number"))
+        .unwrap_or(1);
+    if let Some(sweep) = arg_value(&args, "--sweep") {
+        let seeds: u64 = sweep.parse().expect("--sweep wants a seed count");
+        let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_fig2.json".into());
+        run_sweep(seeds, jobs, &path);
+        return;
+    }
+
     let workload = paper_problem(11, 11, 100);
     let input = workload.ramp_input();
 
@@ -130,4 +163,92 @@ fn main() {
         sr.bram_bits.to_string(),
     ]);
     println!("{r}");
+}
+
+/// Multi-seed sweep: Smache lanes batched through
+/// [`SmacheSystem::run_batch`], baseline lanes through `parallel_map`,
+/// outputs cross-checked per seed, summary written as JSON.
+fn run_sweep(seeds: u64, jobs: usize, json_path: &str) {
+    let workload = paper_problem(11, 11, 100);
+    println!(
+        "== Fig. 2 sweep: {seeds} seeds x {} instances, {jobs} job(s) ==",
+        workload.instances
+    );
+
+    let smache_jobs: Vec<_> = (0..seeds)
+        .map(|s| workload.batch_job(s, HybridMode::default()))
+        .collect();
+    let t0 = Instant::now();
+    let batch = SmacheSystem::run_batch(smache_jobs, jobs);
+    let smache_wall = t0.elapsed();
+
+    let lanes: Vec<(u64, &PaperWorkload)> = (0..seeds).map(|s| (s, &workload)).collect();
+    let t0 = Instant::now();
+    let base_reports = parallel_map(lanes, jobs, |&(seed, w)| {
+        let mut baseline = w.baseline(BaselineConfig::default());
+        baseline.run(&w.input(seed), w.instances).expect("baseline")
+    });
+    let base_wall = t0.elapsed();
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec![
+        "Seed",
+        "Smache cycles",
+        "Baseline cycles",
+        "Cycle ratio",
+        "Outputs",
+    ]);
+    for (seed, (lane, base)) in batch.lanes.iter().zip(&base_reports).enumerate() {
+        let lane = lane.as_ref().expect("smache lane");
+        let matches = lane.report.output == base.output;
+        assert!(matches, "seed {seed}: smache and baseline outputs differ");
+        let ratio = lane.report.metrics.cycles as f64 / base.metrics.cycles as f64;
+        t.row(vec![
+            seed.to_string(),
+            lane.report.metrics.cycles.to_string(),
+            base.metrics.cycles.to_string(),
+            format!("{ratio:.3}"),
+            "identical".to_string(),
+        ]);
+        rows.push(Json::obj(vec![
+            ("seed", Json::Int(seed as i64)),
+            (
+                "smache_cycles",
+                Json::Int(lane.report.metrics.cycles as i64),
+            ),
+            ("baseline_cycles", Json::Int(base.metrics.cycles as i64)),
+            ("cycle_ratio", Json::Num(ratio)),
+            ("outputs_match", Json::Bool(matches)),
+            ("transfers", Json::Int(lane.stats.transfers as i64)),
+        ]));
+    }
+    println!("{t}");
+    println!(
+        "wall-clock: smache lanes {:.1} ms, baseline lanes {:.1} ms ({jobs} job(s))",
+        smache_wall.as_secs_f64() * 1e3,
+        base_wall.as_secs_f64() * 1e3,
+    );
+    println!("aggregate (smache lanes): {}", batch.aggregate);
+
+    let doc = Json::obj(vec![
+        ("artefact", Json::str("fig2_sweep")),
+        ("grid", Json::str("11x11")),
+        ("instances", Json::Int(workload.instances as i64)),
+        ("seeds", Json::Int(seeds as i64)),
+        ("jobs", Json::Int(jobs as i64)),
+        ("smache_wall_ms", Json::Num(smache_wall.as_secs_f64() * 1e3)),
+        ("baseline_wall_ms", Json::Num(base_wall.as_secs_f64() * 1e3)),
+        (
+            "aggregate",
+            Json::obj(vec![
+                ("cycles", Json::Int(batch.aggregate.cycles as i64)),
+                ("transfers", Json::Int(batch.aggregate.transfers as i64)),
+                ("idle_cycles", Json::Int(batch.aggregate.idle_cycles as i64)),
+                ("throughput", Json::Num(batch.aggregate.throughput())),
+            ]),
+        ),
+        ("lanes", Json::Arr(rows)),
+    ]);
+    std::fs::write(json_path, doc.pretty()).expect("write sweep summary");
+    println!("sweep summary written to {json_path}");
 }

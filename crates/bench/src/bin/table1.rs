@@ -5,9 +5,15 @@
 //! ```text
 //! cargo run -p smache-bench --bin table1 --release
 //! ```
+//!
+//! The four design points are planned independently, so `--jobs J` shards
+//! them across worker threads; `--json [PATH]` additionally writes a
+//! machine-readable summary (default `BENCH_table1.json`).
 
-use smache::cost::{CostEstimate, SynthesisModel};
+use smache::cost::{CostEstimate, MemoryBreakdown, SynthesisModel};
 use smache::{HybridMode, SmacheBuilder};
+use smache_bench::json::Json;
+use smache_bench::parallel_map;
 use smache_bench::report::Table;
 use smache_stencil::GridSpec;
 
@@ -36,27 +42,58 @@ const PAPER: &[(&str, [u64; 6], [u64; 6])] = &[
     ),
 ];
 
-fn main() {
-    let mut t = Table::new(vec![
-        "Problem", "Rsc", "Bsc", "Rsm", "Bsm", "Rtotal", "Btotal",
-    ]);
+/// `--flag value` lookup over raw args.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
-    for (dim, hybrid, label) in [
+/// The four Table I design points, planned and costed. Each point is
+/// independent, so they shard across `jobs` worker threads.
+fn design_points(jobs: usize) -> Vec<(&'static str, MemoryBreakdown, MemoryBreakdown)> {
+    let points = vec![
         (11usize, HybridMode::CaseR, "11x11r"),
         (11, HybridMode::default(), "11x11h"),
         (1024, HybridMode::CaseR, "1024x1024r"),
         (1024, HybridMode::default(), "1024x1024h"),
-    ] {
+    ];
+    parallel_map(points, jobs, |&(dim, hybrid, label)| {
         let plan = SmacheBuilder::new(GridSpec::d2(dim, dim).expect("valid"))
             .hybrid(hybrid)
             .plan()
             .expect("paper plan");
+        (
+            label,
+            CostEstimate.memory(&plan),
+            SynthesisModel.memory(&plan),
+        )
+    })
+}
 
-        let est = CostEstimate.memory(&plan);
-        let act = SynthesisModel.memory(&plan);
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = arg_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs wants a number"))
+        .unwrap_or(1);
+    let json_path = args.iter().any(|a| a == "--json").then(|| {
+        arg_value(&args, "--json")
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| "BENCH_table1.json".into())
+    });
+
+    let points = design_points(jobs);
+
+    let mut t = Table::new(vec![
+        "Problem", "Rsc", "Bsc", "Rsm", "Bsm", "Rtotal", "Btotal",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for (label, est, act) in &points {
         let paper = PAPER
             .iter()
-            .find(|(p, _, _)| *p == label)
+            .find(|(p, _, _)| p == label)
             .expect("known row");
 
         for (tag, m, reference) in [("Estimate", est, paper.1), ("Actual", act, paper.2)] {
@@ -78,6 +115,20 @@ fn main() {
                 reference[4].to_string(),
                 reference[5].to_string(),
             ]);
+            json_rows.push(Json::obj(vec![
+                ("problem", Json::str(*label)),
+                ("kind", Json::str(tag)),
+                ("r_static", Json::Int(m.r_static as i64)),
+                ("b_static", Json::Int(m.b_static as i64)),
+                ("r_stream", Json::Int(m.r_stream as i64)),
+                ("b_stream", Json::Int(m.b_stream as i64)),
+                ("r_total", Json::Int(m.r_total() as i64)),
+                ("b_total", Json::Int(m.b_total() as i64)),
+                (
+                    "paper",
+                    Json::Arr(reference.iter().map(|&v| Json::Int(v as i64)).collect()),
+                ),
+            ]));
         }
     }
 
@@ -92,18 +143,7 @@ fn main() {
     // "very closely tracks the actual resource utilization".
     println!("== Estimate-vs-actual tracking (buffer columns, ours) ==");
     let mut q = Table::new(vec!["Problem", "worst column error"]);
-    for (dim, hybrid, label) in [
-        (11usize, HybridMode::CaseR, "11x11r"),
-        (11, HybridMode::default(), "11x11h"),
-        (1024, HybridMode::CaseR, "1024x1024r"),
-        (1024, HybridMode::default(), "1024x1024h"),
-    ] {
-        let plan = SmacheBuilder::new(GridSpec::d2(dim, dim).expect("valid"))
-            .hybrid(hybrid)
-            .plan()
-            .expect("paper plan");
-        let est = CostEstimate.memory(&plan);
-        let act = SynthesisModel.memory(&plan);
+    for (label, est, act) in &points {
         let err = [
             (est.r_static, act.r_static),
             (est.b_static, act.b_static),
@@ -126,4 +166,14 @@ fn main() {
         q.row(vec![label.to_string(), format!("{:.1}%", err * 100.0)]);
     }
     println!("{q}");
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("artefact", Json::str("table1")),
+            ("jobs", Json::Int(jobs as i64)),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        std::fs::write(&path, doc.pretty()).expect("write table1 summary");
+        println!("summary written to {path}");
+    }
 }

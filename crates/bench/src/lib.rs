@@ -15,15 +15,22 @@
 //! * Criterion benches (`cargo bench`) — micro and macro benchmarks of the
 //!   same components, for regression tracking.
 //!
+//! The `fig2` and `table1` binaries additionally take `--sweep`/`--jobs`
+//! flags to run multi-seed sweeps sharded across worker threads, writing
+//! machine-readable `BENCH_fig2.json` / `BENCH_table1.json` summaries (see
+//! `docs/PERFORMANCE.md` for how to read them).
+//!
 //! The library part holds the shared workload generators, the parallel
-//! sweep driver, and plain-text table rendering.
+//! sweep driver, JSON artefact emission, and plain-text table rendering.
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod report;
 pub mod sweep;
 pub mod workloads;
 
+pub use json::Json;
 pub use report::Table;
 pub use sweep::parallel_map;
 pub use workloads::{paper_problem, PaperWorkload};

@@ -1,10 +1,8 @@
 //! Parallel parameter-sweep driver.
 //!
-//! Each simulation point is independent, so sweeps parallelise across
-//! crossbeam scoped threads. Results come back in input order regardless
-//! of completion order.
-
-use parking_lot::Mutex;
+//! Each simulation point is independent, so sweeps shard across worker
+//! threads via the simulator's batch layer ([`smache_sim::run_batch`]).
+//! Results come back in input order regardless of completion order.
 
 /// Maps `f` over `items` using up to `threads` worker threads, preserving
 /// input order in the result.
@@ -14,31 +12,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1);
-    let n = items.len();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots = Mutex::new(slots);
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = Mutex::new(work);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let next = queue.lock().pop();
-                let Some((idx, item)) = next else { break };
-                let result = f(&item);
-                slots.lock()[idx] = Some(result);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    smache_sim::run_batch(items, threads, |item| f(&item))
 }
 
 #[cfg(test)]

@@ -1,8 +1,12 @@
 //! Workload generators shared by the experiment binaries and benches.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smache::arch::kernel::AverageKernel;
+use smache::config::BufferPlan;
+use smache::system::batch::{BatchJob, KernelFactory};
 use smache::system::smache_system::{SmacheSystem, SystemConfig};
 use smache::{HybridMode, SmacheBuilder};
 use smache_baseline::{BaselineConfig, BaselineSystem};
@@ -65,6 +69,24 @@ impl PaperWorkload {
             .system_config(config)
             .build()
             .expect("valid paper workload")
+    }
+
+    /// The buffer plan for this workload (the analysis the systems are
+    /// instantiated from; used directly by batched runs).
+    pub fn plan(&self, hybrid: HybridMode) -> BufferPlan {
+        SmacheBuilder::new(self.grid.clone())
+            .shape(self.shape.clone())
+            .boundaries(self.bounds.clone())
+            .hybrid(hybrid)
+            .plan()
+            .expect("valid paper workload")
+    }
+
+    /// One lane of a batched sweep: this workload with the seed's input
+    /// grid, ready for [`SmacheSystem::run_batch`].
+    pub fn batch_job(&self, seed: u64, hybrid: HybridMode) -> BatchJob {
+        let factory: KernelFactory = Arc::new(|| Box::new(AverageKernel));
+        BatchJob::new(self.plan(hybrid), factory, self.input(seed), self.instances)
     }
 
     /// Instantiates the baseline system for this workload.

@@ -75,6 +75,8 @@ const VALUED: &[&str] = &[
     "out",
     "budget-bits",
     "lanes",
+    "batch",
+    "jobs",
 ];
 const FLAGS: &[&str] = &["verify", "quiet"];
 
@@ -109,6 +111,8 @@ SIMULATE OPTIONS:
   --seed S                 input generator seed     [1]
   --design smache|baseline|both                     [smache]
   --lanes P                multi-lane Smache (P elements/cycle) [1]
+  --batch N                run N seeds (seed, seed+1, ...) as a batch [off]
+  --jobs J                 worker threads for --batch             [1]
   --verify                 check against the golden reference
 
 CODEGEN OPTIONS:
@@ -274,6 +278,11 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         .into());
     }
 
+    let batch: u64 = args.get_num("batch", 0)?;
+    if batch > 0 {
+        return cmd_simulate_batch(args, &spec, instances, seed, batch);
+    }
+
     let n = spec.grid.len();
     let mut rng = SmallRng::seed_from_u64(seed);
     let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect();
@@ -352,6 +361,92 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
             }
         }
     }
+    Ok(out)
+}
+
+/// `simulate --batch N [--jobs J]`: N seeded runs of the Smache design
+/// sharded across J worker threads, reported per lane plus in aggregate.
+fn cmd_simulate_batch(
+    args: &Args,
+    spec: &ProblemSpec,
+    instances: u64,
+    seed: u64,
+    batch: u64,
+) -> Result<String, CliError> {
+    let jobs: usize = args.get_num("jobs", 1)?;
+    let plan = spec.builder().plan()?;
+    let n = spec.grid.len();
+
+    let inputs: Vec<Vec<u64>> = (0..batch)
+        .map(|lane| {
+            let mut rng = SmallRng::seed_from_u64(seed + lane);
+            (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect()
+        })
+        .collect();
+    let lanes: Vec<smache::system::batch::BatchJob> = inputs
+        .iter()
+        .map(|input| {
+            smache::system::batch::BatchJob::new(
+                plan.clone(),
+                std::sync::Arc::new(|| Box::new(AverageKernel)),
+                input.clone(),
+                instances,
+            )
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let report = smache::system::SmacheSystem::run_batch(lanes, jobs);
+    let wall = start.elapsed();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batch: {batch} lane(s) x {instances} instance(s), {jobs} job(s)"
+    );
+    for (lane, (result, input)) in report.lanes.iter().zip(&inputs).enumerate() {
+        let lane_report = result.as_ref().map_err(|e| CliError::Core(e.clone()))?;
+        let _ = writeln!(
+            out,
+            "  seed {:>4}: {:>8} cycles, {:>6} beats",
+            seed + lane as u64,
+            lane_report.report.metrics.cycles,
+            lane_report.stats.transfers
+        );
+        if args.flag("verify") {
+            let golden = golden_run(
+                &spec.grid,
+                &spec.bounds,
+                &spec.shape,
+                &AverageKernel,
+                input,
+                instances,
+            )?;
+            if lane_report.report.output != golden {
+                return Err(smache::CoreError::Mismatch {
+                    index: lane_report
+                        .report
+                        .output
+                        .iter()
+                        .zip(&golden)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(0),
+                    expected: 0,
+                    actual: 0,
+                }
+                .into());
+            }
+        }
+    }
+    if args.flag("verify") {
+        let _ = writeln!(out, "  all lanes verified against golden reference");
+    }
+    let _ = writeln!(
+        out,
+        "aggregate: {} ({:.1} ms wall-clock)",
+        report.aggregate,
+        wall.as_secs_f64() * 1e3
+    );
     Ok(out)
 }
 
@@ -435,6 +530,30 @@ mod tests {
         let out = run_str("simulate --grid 8x8 --instances 2").unwrap();
         assert!(out.contains("Smache"));
         assert!(!out.contains("Baseline"));
+    }
+
+    #[test]
+    fn batched_simulation_verifies_every_lane() {
+        let out = run_str("simulate --grid 8x8 --instances 2 --batch 3 --jobs 2 --verify").unwrap();
+        assert!(out.contains("batch: 3 lane(s)"), "{out}");
+        assert_eq!(out.matches("seed ").count(), 3, "{out}");
+        assert!(out.contains("all lanes verified"), "{out}");
+        assert!(out.contains("aggregate:"), "{out}");
+    }
+
+    #[test]
+    fn batched_simulation_matches_serial_cycles() {
+        // The same seed run alone and as batch lane 0 must report the same
+        // cycle count — batching may not perturb the simulation.
+        let solo = run_str("simulate --grid 8x8 --instances 2 --seed 9").unwrap();
+        let batch = run_str("simulate --grid 8x8 --instances 2 --seed 9 --batch 2").unwrap();
+        let solo_cycles: String = solo
+            .split(" cycles")
+            .next()
+            .and_then(|s| s.split_whitespace().last())
+            .unwrap()
+            .to_string();
+        assert!(batch.contains(&format!("{solo_cycles} cycles")), "{batch}");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! | [`config`] | §II Algorithm 1 — optimal stream/static buffer split, and the resulting [`config::BufferPlan`] |
 //! | [`cost`] | the memory-utilisation cost model (Table I estimates), the simulated-synthesis "actual" model, and the Fmax model |
 //! | [`arch`] | §III — stream buffer (Case-R/Case-H), static buffers, kernel, the 3-FSM controller |
-//! | [`system`] | the full cycle-accurate Smache system (DRAM → Smache → kernel → DRAM) and its metrics |
+//! | [`system`] | the full cycle-accurate Smache system (DRAM → Smache → kernel → DRAM), its metrics, and the batched sweep driver [`SmacheSystem::run_batch`](system::SmacheSystem::run_batch) |
 //! | [`functional`] | the fast golden/functional models used for verification |
 //! | [`builder`] | the high-level public API: [`builder::SmacheBuilder`] |
 //!

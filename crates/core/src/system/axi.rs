@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use smache_mem::Word;
-use smache_sim::{Beat, Module, ResourceUsage, StreamLink};
+use smache_sim::{Beat, Module, ResourceUsage, Sensitivity, StreamLink};
 
 use crate::arch::controller::ControllerPhase;
 use crate::error::CoreError;
@@ -126,6 +126,20 @@ impl Module for AxiSmache {
 
     fn resources(&self) -> ResourceUsage {
         self.system.resources()
+    }
+
+    fn sensitivity(&self) -> Option<Sensitivity> {
+        // `eval` offers the oldest pending result from internal state; the
+        // `ready` handshake is only consumed in `commit`. With no eval-time
+        // inputs the scheduler evaluates the datapath once per cycle.
+        Some(Sensitivity::sequential(
+            vec![],
+            vec![
+                self.link.valid.id(),
+                self.link.beat.id(),
+                self.link.last.id(),
+            ],
+        ))
     }
 }
 

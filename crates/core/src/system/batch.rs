@@ -1,0 +1,190 @@
+//! Batched execution of independent Smache runs across worker threads.
+//!
+//! Parameter sweeps (Fig. 2's nine boundary cases, Table I's design points,
+//! seed sweeps for statistics) run many *independent* simulations. A
+//! [`SmacheSystem`] itself is single-threaded, but a batch shards perfectly:
+//! every lane describes one run as plain `Send` data ([`BatchJob`]) plus a
+//! kernel *factory* (the [`Kernel`] trait objects themselves are not
+//! `Send`), and each worker thread builds and drives its own system.
+//!
+//! Results come back in job order regardless of which worker finished
+//! first, so a batched sweep is bit-identical to a serial one — the same
+//! guarantee [`smache_sim::run_batch`] gives at the simulator level, which
+//! this module builds on.
+
+use std::sync::Arc;
+
+use smache_sim::CycleStats;
+
+use crate::arch::kernel::Kernel;
+use crate::config::BufferPlan;
+use crate::system::smache_system::{RunReport, SmacheSystem, SystemConfig};
+use crate::CoreResult;
+
+/// Builds a fresh kernel instance inside a worker thread.
+///
+/// Kernels are cheap, stateless descriptions, but as `Box<dyn Kernel>` they
+/// are not `Send`; a shared factory closure crosses the thread boundary
+/// instead.
+pub type KernelFactory = Arc<dyn Fn() -> Box<dyn Kernel> + Send + Sync>;
+
+/// One lane of a batch: everything needed to construct and run one system.
+pub struct BatchJob {
+    /// The buffer plan the lane's system is built from.
+    pub plan: BufferPlan,
+    /// Constructs the lane's kernel (invoked on the worker thread).
+    pub kernel: KernelFactory,
+    /// System tunables (DRAM timing, skid depth, double buffering).
+    pub config: SystemConfig,
+    /// The input grid for the run.
+    pub input: Vec<u64>,
+    /// Work-instances to execute.
+    pub instances: u64,
+}
+
+impl BatchJob {
+    /// A job with the default [`SystemConfig`].
+    pub fn new(plan: BufferPlan, kernel: KernelFactory, input: Vec<u64>, instances: u64) -> Self {
+        BatchJob {
+            plan,
+            kernel,
+            config: SystemConfig::default(),
+            input,
+            instances,
+        }
+    }
+
+    /// Replaces the system configuration.
+    pub fn with_config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// One completed lane: the run's report plus its cycle accounting.
+#[derive(Debug, Clone)]
+pub struct LaneReport {
+    /// Everything [`SmacheSystem::run`] returned for this lane.
+    pub report: RunReport,
+    /// The lane's cycle accounting: total cycles, result-beat transfers,
+    /// and the remainder as idle (warm-up, DRAM latency, write-back).
+    pub stats: CycleStats,
+}
+
+/// The outcome of [`SmacheSystem::run_batch`]: per-lane results in job
+/// order, plus the merged cycle accounting of the successful lanes.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One entry per job, in the order the jobs were submitted.
+    pub lanes: Vec<CoreResult<LaneReport>>,
+    /// [`CycleStats`] merged over every successful lane.
+    pub aggregate: CycleStats,
+}
+
+impl BatchReport {
+    /// Number of lanes that completed without error.
+    pub fn succeeded(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_ok()).count()
+    }
+}
+
+fn run_one(job: BatchJob) -> CoreResult<LaneReport> {
+    let beats = job.plan.grid.len() as u64 * job.instances;
+    let mut system = SmacheSystem::new(job.plan, (job.kernel)(), job.config)?;
+    let report = system.run(&job.input, job.instances)?;
+    let cycles = report.metrics.cycles;
+    let stats = CycleStats {
+        cycles,
+        transfers: beats.min(cycles),
+        stall_cycles: 0,
+        idle_cycles: cycles.saturating_sub(beats),
+    };
+    Ok(LaneReport { report, stats })
+}
+
+impl SmacheSystem {
+    /// Runs every job on up to `threads` worker threads and returns the
+    /// lane reports in job order.
+    ///
+    /// Each worker constructs its own system from the lane's plan and
+    /// kernel factory, so lanes share no state; the result is identical to
+    /// running the jobs serially, independent of `threads`.
+    pub fn run_batch(jobs: Vec<BatchJob>, threads: usize) -> BatchReport {
+        let lanes = smache_sim::run_batch(jobs, threads, run_one);
+        let mut aggregate = CycleStats::default();
+        for lane in lanes.iter().flatten() {
+            aggregate.merge(&lane.stats);
+        }
+        BatchReport { lanes, aggregate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::kernel::AverageKernel;
+    use crate::builder::SmacheBuilder;
+    use smache_stencil::GridSpec;
+
+    fn paper_plan() -> BufferPlan {
+        SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+            .plan()
+            .expect("plan")
+    }
+
+    fn average_factory() -> KernelFactory {
+        Arc::new(|| Box::new(AverageKernel))
+    }
+
+    fn jobs(seeds: &[u64]) -> Vec<BatchJob> {
+        seeds
+            .iter()
+            .map(|&s| {
+                let input: Vec<u64> = (0..121).map(|i| i * 7 + s).collect();
+                BatchJob::new(paper_plan(), average_factory(), input, 2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_run() {
+        let report_serial = SmacheSystem::run_batch(jobs(&[1, 2, 3, 4]), 1);
+        let report_batched = SmacheSystem::run_batch(jobs(&[1, 2, 3, 4]), 4);
+        assert_eq!(report_serial.lanes.len(), 4);
+        assert_eq!(report_batched.succeeded(), 4);
+        for (a, b) in report_serial.lanes.iter().zip(&report_batched.lanes) {
+            let (a, b) = (
+                a.as_ref().expect("serial ok"),
+                b.as_ref().expect("batch ok"),
+            );
+            assert_eq!(a.report.output, b.report.output);
+            assert_eq!(a.report.metrics.cycles, b.report.metrics.cycles);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(report_serial.aggregate, report_batched.aggregate);
+    }
+
+    #[test]
+    fn lanes_come_back_in_job_order() {
+        // Distinct inputs per lane: lane i's first output word identifies it.
+        let report = SmacheSystem::run_batch(jobs(&[100, 200, 300]), 3);
+        let firsts: Vec<u64> = report
+            .lanes
+            .iter()
+            .map(|l| l.as_ref().expect("ok").report.output[0])
+            .collect();
+        assert!(firsts[0] < firsts[1] && firsts[1] < firsts[2]);
+    }
+
+    #[test]
+    fn aggregate_merges_all_lanes() {
+        let report = SmacheSystem::run_batch(jobs(&[5, 6]), 2);
+        let sum: u64 = report
+            .lanes
+            .iter()
+            .map(|l| l.as_ref().expect("ok").stats.cycles)
+            .sum();
+        assert_eq!(report.aggregate.cycles, sum);
+        assert_eq!(report.aggregate.transfers, 2 * 242);
+    }
+}

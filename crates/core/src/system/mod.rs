@@ -1,12 +1,14 @@
 //! The full cycle-accurate Smache system and its metrics.
 
 pub mod axi;
+pub mod batch;
 pub mod cascade;
 pub mod metrics;
 pub mod multilane;
 pub mod smache_system;
 
 pub use axi::AxiSmache;
+pub use batch::{BatchJob, BatchReport, KernelFactory, LaneReport};
 pub use cascade::{CascadeReport, CascadeSystem};
 pub use metrics::{DesignMetrics, NormalisedMetrics};
 pub use multilane::{MultilaneReport, MultilaneSystem};

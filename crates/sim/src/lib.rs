@@ -7,12 +7,31 @@
 //!
 //! 1. **Evaluate**: every [`Module`] computes its combinational outputs from
 //!    the current values of its input [`Wire`]s and its registered state.
-//!    Evaluation is repeated in *delta passes* until no wire changes value,
+//!    Evaluation repeats in *delta passes* until no wire changes value,
 //!    which settles combinational chains that span modules (e.g. ready/valid
 //!    back-pressure). `eval` must therefore be idempotent and must not
 //!    mutate architectural state.
 //! 2. **Commit**: every module latches its next state ([`Reg::tick`],
 //!    memory writes, counters). This runs exactly once per cycle.
+//!
+//! ## Scheduling
+//!
+//! How passes are driven is the [`sched`] module's job. By default the
+//! simulator runs **event-driven**: at elaboration it derives a static
+//! producer-before-consumer evaluation order from each module's
+//! [`Sensitivity`] declaration, and within a cycle it re-evaluates only
+//! modules whose declared inputs actually changed (dirty-set wakeups). A
+//! fully declared, acyclic design settles in a single pass per cycle;
+//! genuine combinational feedback iterates locally until fixpoint, bounded
+//! by the same pass budget that detects combinational loops. Modules that
+//! do not declare a sensitivity are *opaque* and are conservatively woken
+//! by every change, so the worst case degrades exactly to the brute-force
+//! loop, which remains available as [`SimMode::Naive`] for differential
+//! testing ([`Simulator::naive`]). Per-run counters are exposed as
+//! [`SchedStats`].
+//!
+//! For sharding many independent simulations across threads, see
+//! [`parallel`].
 //!
 //! On top of the kernel the crate provides:
 //!
@@ -28,7 +47,9 @@
 
 pub mod error;
 pub mod module;
+pub mod parallel;
 pub mod resources;
+pub mod sched;
 pub mod signal;
 pub mod sim;
 pub mod stats;
@@ -36,10 +57,12 @@ pub mod stream;
 pub mod trace;
 
 pub use error::SimError;
-pub use module::Module;
+pub use module::{Module, Sensitivity};
+pub use parallel::run_batch;
 pub use resources::ResourceUsage;
-pub use signal::{Reg, SimCtx, Wire};
-pub use sim::Simulator;
+pub use sched::SchedStats;
+pub use signal::{Reg, SimCtx, Wire, WireId};
+pub use sim::{SimMode, Simulator};
 pub use stats::{CycleStats, RunningStats};
 pub use stream::{Beat, SinkBuffer, StreamLink, StreamSink, StreamSource};
 pub use trace::{Tracer, TracerConfig};

@@ -1,6 +1,56 @@
 //! The [`Module`] trait — the unit of composition in the simulation kernel.
 
 use crate::resources::ResourceUsage;
+use crate::signal::WireId;
+
+/// A module's declared interface to the event-driven scheduler: which wires
+/// its [`Module::eval`] reads and drives, and whether its outputs are
+/// registered.
+///
+/// Declaring a sensitivity is optional. A module that returns `None` from
+/// [`Module::sensitivity`] is treated as *opaque*: the scheduler assumes it
+/// may read and drive any wire, so it is re-evaluated whenever anything in
+/// the design changes — exactly the behaviour of the brute-force delta loop.
+/// Declared modules are woken only when one of their `inputs` actually
+/// changes, which is what makes event-driven evaluation cheap.
+///
+/// The declaration covers `eval` only. [`Module::commit`] runs once per
+/// cycle after convergence and may read any wire freely.
+#[derive(Debug, Clone, Default)]
+pub struct Sensitivity {
+    /// Wires read during `eval`. A change on any of these re-schedules the
+    /// module within the current cycle.
+    pub inputs: Vec<WireId>,
+    /// Wires driven during `eval`. Used to order evaluation so producers
+    /// run before consumers (fewer delta passes).
+    pub outputs: Vec<WireId>,
+    /// True when every output is a function of internal state only (a
+    /// registered output): the module still re-evaluates when inputs change
+    /// (to restage its next state) but cannot start a combinational ripple.
+    pub sequential: bool,
+}
+
+impl Sensitivity {
+    /// A combinational declaration: outputs may depend on `inputs` within
+    /// the same cycle.
+    pub fn combinational(inputs: Vec<WireId>, outputs: Vec<WireId>) -> Self {
+        Sensitivity {
+            inputs,
+            outputs,
+            sequential: false,
+        }
+    }
+
+    /// A sequential declaration: outputs are driven from registered state
+    /// only, so input changes never ripple through within a cycle.
+    pub fn sequential(inputs: Vec<WireId>, outputs: Vec<WireId>) -> Self {
+        Sensitivity {
+            inputs,
+            outputs,
+            sequential: true,
+        }
+    }
+}
 
 /// A synchronous hardware module.
 ///
@@ -30,6 +80,14 @@ pub trait Module {
     /// as stream sources/sinks that have no hardware counterpart.
     fn resources(&self) -> ResourceUsage {
         ResourceUsage::ZERO
+    }
+
+    /// Declares which wires `eval` reads and drives, for the event-driven
+    /// scheduler. The default (`None`) marks the module opaque: it is
+    /// re-evaluated on every delta pass, reproducing brute-force semantics.
+    /// See [`Sensitivity`] for the contract.
+    fn sensitivity(&self) -> Option<Sensitivity> {
+        None
     }
 }
 

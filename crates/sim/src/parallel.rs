@@ -1,0 +1,142 @@
+//! Sharding independent simulations across worker threads.
+//!
+//! A [`Simulator`](crate::Simulator) is deliberately single-threaded (wires
+//! are `Rc`/`Cell` based), but distinct simulations share nothing, so a
+//! *batch* of runs parallelises perfectly: each worker thread constructs and
+//! drives its own simulator from a `Send` job description. [`run_batch`] is
+//! the primitive — job in, result out, results in job order regardless of
+//! which worker finished first, so batched runs are reproducible
+//! run-to-run and against a serial execution.
+//!
+//! Workers pull jobs from a shared queue (work stealing by contention), so
+//! unequal job lengths balance automatically. With `threads == 1` the batch
+//! runs inline on the caller's thread with no synchronisation at all.
+
+use std::sync::Mutex;
+
+/// Runs every job, using up to `threads` worker threads, and returns the
+/// results in job order.
+///
+/// `run` receives each job by value and typically builds a fresh
+/// [`Simulator`](crate::Simulator) for it; the closure is shared across
+/// workers, so it must be `Sync` (captured state is only read).
+///
+/// A panic inside `run` propagates to the caller once the batch unwinds —
+/// no job result is silently dropped.
+///
+/// ```
+/// use smache_sim::run_batch;
+///
+/// // Square numbers "in parallel"; results come back in input order.
+/// let out = run_batch((0..8u64).collect(), 4, |x| x * x);
+/// assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_batch<T, R, F>(jobs: Vec<T>, threads: usize, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return jobs.into_iter().map(run).collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
+    // Popping from the back is cheapest; jobs were pushed in order, so the
+    // queue is reversed to hand out low indices first (earlier jobs start
+    // earlier, which keeps latency profiles stable).
+    let mut work: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
+    work.reverse();
+    let queue = Mutex::new(work);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("batch queue poisoned").pop();
+                let Some((idx, job)) = next else { break };
+                let result = run(job);
+                slots.lock().expect("batch slots poisoned")[idx] = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("batch slots poisoned")
+        .into_iter()
+        .map(|s| s.expect("every job produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Reg;
+    use crate::{Module, ResourceUsage, Simulator};
+
+    #[test]
+    fn results_preserve_job_order() {
+        let out = run_batch((0..40u64).collect(), 7, |x| x + 100);
+        assert_eq!(out, (100..140).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_serial_paths() {
+        let empty: Vec<u32> = run_batch(Vec::<u32>::new(), 4, |x| x);
+        assert!(empty.is_empty());
+        let serial = run_batch(vec![1, 2, 3], 1, |x| x * 2);
+        assert_eq!(serial, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let out = run_batch(vec![5u32], 0, |x| x);
+        assert_eq!(out, vec![5]);
+    }
+
+    /// The whole point: non-`Send` simulators built *inside* the workers.
+    #[test]
+    fn each_worker_builds_its_own_simulator() {
+        struct Counter {
+            reg: Reg<u64>,
+        }
+        impl Module for Counter {
+            fn name(&self) -> &str {
+                "counter"
+            }
+            fn eval(&mut self, _c: u64) {
+                self.reg.set(self.reg.q() + 1);
+            }
+            fn commit(&mut self, _c: u64) {
+                self.reg.tick();
+            }
+            fn resources(&self) -> ResourceUsage {
+                ResourceUsage::ZERO
+            }
+        }
+
+        let cycles: Vec<u64> = vec![3, 17, 5, 29];
+        let out = run_batch(cycles.clone(), 4, |n| {
+            let mut sim = Simulator::new();
+            sim.add(Box::new(Counter { reg: Reg::new(0) }));
+            sim.run(n).expect("runs");
+            sim.cycle()
+        });
+        assert_eq!(out, cycles);
+    }
+
+    #[test]
+    fn batch_and_serial_agree() {
+        let jobs: Vec<u64> = (0..16).collect();
+        let serial = run_batch(jobs.clone(), 1, |x| x.wrapping_mul(0x9E37_79B9));
+        let batched = run_batch(jobs, 6, |x| x.wrapping_mul(0x9E37_79B9));
+        assert_eq!(serial, batched);
+    }
+}

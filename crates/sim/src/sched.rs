@@ -1,0 +1,396 @@
+//! The event-driven evaluation schedule.
+//!
+//! Built once at elaboration (lazily, on the first
+//! [`Simulator::step`](crate::Simulator::step) after the module list
+//! changes), a `Schedule` holds:
+//!
+//! * a static **evaluation order** — a reverse-post-order walk of the
+//!   module→wire→module dependency graph, so producers evaluate before
+//!   consumers and an acyclic design settles in a single delta pass;
+//! * a **reader index** mapping each wire id to the modules whose `eval`
+//!   reads it, so a wire change wakes exactly the modules that care;
+//! * the set of **opaque** modules (no [`Sensitivity`](crate::Sensitivity)
+//!   declaration), which
+//!   are conservatively woken by every change.
+//!
+//! Per cycle the scheduler runs *waves*. Wave 0 evaluates every module once
+//! in schedule order (state-derived outputs may have changed at the previous
+//! commit, and the testbench may have driven stimulus between steps). While
+//! a module at order position `p` runs, any wire it changes wakes its
+//! readers: a reader scheduled later in the current wave (`position > p`)
+//! simply sees the new value when its turn comes, at no extra cost; a reader
+//! at `position <= p` — which includes genuine combinational feedback — is
+//! deferred to the next wave. Waves repeat until no module is woken, bounded
+//! by the same `MAX_DELTA_PASSES` budget as the brute-force loop, so a true
+//! combinational loop still surfaces as
+//! [`SimError::CombinationalLoop`](crate::SimError).
+//!
+//! Each wave maps onto one signal-context *pass*, preserving the double-drive
+//! detection semantics of the brute-force loop: two modules driving different
+//! values onto one wire within a wave is a conflict, while a module revising
+//! its own output across waves is not.
+
+use std::collections::BinaryHeap;
+
+use crate::module::Module;
+use crate::signal::WireId;
+
+/// Counters describing how much evaluation work the scheduler performed.
+///
+/// `evals / cycles` is the figure of merit: the brute-force loop costs
+/// `modules × passes` evaluations per cycle, the event-driven schedule
+/// approaches `modules × 1` for well-ordered acyclic designs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Clock cycles completed.
+    pub cycles: u64,
+    /// Delta passes (waves) executed across all cycles.
+    pub passes: u64,
+    /// Individual `Module::eval` calls across all cycles.
+    pub evals: u64,
+}
+
+impl SchedStats {
+    /// Mean `eval` calls per cycle (0 when no cycle has run).
+    pub fn evals_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.evals as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean delta passes per cycle (0 when no cycle has run).
+    pub fn passes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.passes as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The static part of the event-driven schedule (see module docs).
+pub(crate) struct Schedule {
+    /// Module indices in evaluation order.
+    pub(crate) order: Vec<usize>,
+    /// `position[m]` = where module `m` sits in `order`.
+    position: Vec<usize>,
+    /// `readers[w]` = modules whose eval reads wire `w`. Indexed by wire id;
+    /// wires created after elaboration fall off the end and wake only the
+    /// opaque set.
+    readers: Vec<Vec<usize>>,
+    /// Modules with no sensitivity declaration, woken by every change.
+    opaque: Vec<usize>,
+    /// Scratch: wave membership stamps, one slot per module.
+    queued: Vec<u64>,
+    /// Scratch: monotonically increasing wave identifier.
+    wave_seq: u64,
+}
+
+impl Schedule {
+    /// Elaborates the schedule for `modules` over `wire_count` wires.
+    pub(crate) fn build(modules: &[Box<dyn Module>], wire_count: u32) -> Self {
+        let n = modules.len();
+        let sens: Vec<_> = modules.iter().map(|m| m.sensitivity()).collect();
+
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); wire_count as usize];
+        let mut writers: Vec<Vec<usize>> = vec![Vec::new(); wire_count as usize];
+        let mut opaque = Vec::new();
+        for (idx, s) in sens.iter().enumerate() {
+            match s {
+                Some(s) => {
+                    for &w in &s.inputs {
+                        if let Some(r) = readers.get_mut(w as usize) {
+                            r.push(idx);
+                        }
+                    }
+                    for &w in &s.outputs {
+                        if let Some(w) = writers.get_mut(w as usize) {
+                            w.push(idx);
+                        }
+                    }
+                }
+                None => opaque.push(idx),
+            }
+        }
+
+        // Successor lists: module a -> module b when a drives a wire b reads.
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for w in 0..wire_count as usize {
+            for &a in &writers[w] {
+                for &b in &readers[w] {
+                    if a != b {
+                        succ[a].push(b);
+                    }
+                }
+            }
+        }
+
+        // Reverse post-order DFS gives a topological order on the acyclic
+        // part of the graph; cycles (ready/valid feedback, combinational
+        // loops) just produce an order the wave mechanism corrects
+        // dynamically. Roots are visited sequential-first so state-driven
+        // producers (sources, registered datapaths) run before the
+        // combinational logic that consumes them.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let root_order = {
+            let mut seq: Vec<usize> = Vec::new();
+            let mut comb: Vec<usize> = Vec::new();
+            for (idx, s) in sens.iter().enumerate() {
+                match s {
+                    Some(s) if s.sequential => seq.push(idx),
+                    _ => comb.push(idx),
+                }
+            }
+            seq.extend(comb);
+            seq
+        };
+        for root in root_order {
+            if visited[root] {
+                continue;
+            }
+            // Iterative DFS; the stack holds (node, next-successor index).
+            let mut stack = vec![(root, 0usize)];
+            visited[root] = true;
+            while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+                if *i < succ[node].len() {
+                    let next = succ[node][*i];
+                    *i += 1;
+                    if !visited[next] {
+                        visited[next] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    post.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        // Opaque modules go last, in registration order: they may read
+        // anything, so everything known should have settled first.
+        let order: Vec<usize> = post
+            .iter()
+            .copied()
+            .filter(|&m| sens[m].is_some())
+            .chain(opaque.iter().copied())
+            .collect();
+        debug_assert_eq!(order.len(), n);
+
+        let mut position = vec![0usize; n];
+        for (p, &m) in order.iter().enumerate() {
+            position[m] = p;
+        }
+
+        Schedule {
+            order,
+            position,
+            readers,
+            opaque,
+            queued: vec![0; n],
+            wave_seq: 0,
+        }
+    }
+
+    /// Runs the delta waves for one cycle. `modules` must be the list the
+    /// schedule was built from. Returns the number of (passes, evals)
+    /// performed, or `None` if the wave budget was exhausted (combinational
+    /// loop).
+    pub(crate) fn settle(
+        &mut self,
+        modules: &mut [Box<dyn Module>],
+        ctx: &crate::signal::SimCtx,
+        cycle: u64,
+        max_passes: u32,
+    ) -> Result<(u64, u64), crate::SimError> {
+        // Min-heap of (position, module) for the wave being executed.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(usize, usize)>> = BinaryHeap::new();
+        let mut next_wave: Vec<usize> = Vec::new();
+        let mut changed_scratch: Vec<WireId> = Vec::new();
+
+        let mut passes = 0u64;
+        let mut evals = 0u64;
+
+        // Wave 0: every module, in schedule order. The order vector is
+        // already position-sorted, so the heap is bypassed entirely — and a
+        // forward wake (a reader not yet reached this wave) needs no
+        // bookkeeping at all, because every module is in wave 0 anyway.
+        self.wave_seq += 1;
+        let mut stamp = self.wave_seq;
+        ctx.begin_pass();
+        passes += 1;
+        for pos in 0..self.order.len() {
+            let m = self.order[pos];
+            let log_from = ctx.changed_len();
+            modules[m].eval(cycle);
+            evals += 1;
+            if ctx.changed_len() == log_from {
+                continue;
+            }
+            changed_scratch.clear();
+            ctx.changed_since(log_from, &mut changed_scratch);
+            for &w in &changed_scratch {
+                let readers = self
+                    .readers
+                    .get(w as usize)
+                    .map(|r| r.as_slice())
+                    .unwrap_or(&[]);
+                for &r in readers.iter().chain(self.opaque.iter()) {
+                    if self.position[r] <= pos && self.queued[r] != stamp + 1 {
+                        // Already evaluated this wave (or is the module
+                        // currently evaluating): genuine feedback, defer to
+                        // the next wave.
+                        self.queued[r] = stamp + 1;
+                        next_wave.push(r);
+                    }
+                }
+            }
+        }
+        if let Some(conflict) = ctx.take_conflict() {
+            return Err(conflict);
+        }
+
+        // Later waves: only the woken modules, via the position-ordered heap.
+        while !next_wave.is_empty() {
+            if passes >= max_passes as u64 {
+                return Err(crate::SimError::CombinationalLoop {
+                    cycle,
+                    passes: max_passes,
+                });
+            }
+            self.wave_seq += 1;
+            stamp = self.wave_seq;
+            for m in next_wave.drain(..) {
+                self.queued[m] = stamp;
+                heap.push(std::cmp::Reverse((self.position[m], m)));
+            }
+            ctx.begin_pass();
+            passes += 1;
+            while let Some(std::cmp::Reverse((pos, m))) = heap.pop() {
+                let log_from = ctx.changed_len();
+                modules[m].eval(cycle);
+                evals += 1;
+                if ctx.changed_len() == log_from {
+                    continue;
+                }
+                changed_scratch.clear();
+                ctx.changed_since(log_from, &mut changed_scratch);
+                for &w in &changed_scratch {
+                    let readers = self
+                        .readers
+                        .get(w as usize)
+                        .map(|r| r.as_slice())
+                        .unwrap_or(&[]);
+                    for &r in readers.iter().chain(self.opaque.iter()) {
+                        if self.queued[r] == stamp + 1 {
+                            continue; // already queued for the next wave
+                        }
+                        if self.position[r] > pos {
+                            // Not yet reached in this wave (pops are in
+                            // position order): it will observe the new value
+                            // when its turn comes. Queue it if it isn't
+                            // queued already.
+                            if self.queued[r] != stamp {
+                                self.queued[r] = stamp;
+                                heap.push(std::cmp::Reverse((self.position[r], r)));
+                            }
+                        } else {
+                            // Already evaluated this wave (or is the module
+                            // currently evaluating): genuine feedback, defer
+                            // to the next wave.
+                            self.queued[r] = stamp + 1;
+                            next_wave.push(r);
+                        }
+                    }
+                }
+            }
+            if let Some(conflict) = ctx.take_conflict() {
+                return Err(conflict);
+            }
+        }
+        Ok((passes, evals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Sensitivity;
+    use crate::resources::ResourceUsage;
+    use crate::signal::{SimCtx, Wire};
+
+    struct Buf {
+        input: Wire<u32>,
+        output: Wire<u32>,
+    }
+    impl Module for Buf {
+        fn name(&self) -> &str {
+            "buf"
+        }
+        fn eval(&mut self, _c: u64) {
+            self.output.drive(self.input.get());
+        }
+        fn commit(&mut self, _c: u64) {}
+        fn resources(&self) -> ResourceUsage {
+            ResourceUsage::ZERO
+        }
+        fn sensitivity(&self) -> Option<Sensitivity> {
+            Some(Sensitivity::combinational(
+                vec![self.input.id()],
+                vec![self.output.id()],
+            ))
+        }
+    }
+
+    /// A chain registered in reverse order must still be scheduled
+    /// producer-first, settling in one pass.
+    #[test]
+    fn anti_ordered_chain_settles_in_one_pass() {
+        let ctx = SimCtx::new();
+        let wires: Vec<Wire<u32>> = (0..6).map(|i| ctx.wire(&format!("w{i}"), 0)).collect();
+        let mut modules: Vec<Box<dyn Module>> = Vec::new();
+        // Stage k: wires[k] -> wires[k+1]; registered deepest-first.
+        for k in (0..5).rev() {
+            modules.push(Box::new(Buf {
+                input: wires[k].clone(),
+                output: wires[k + 1].clone(),
+            }));
+        }
+        let mut sched = Schedule::build(&modules, ctx.wire_count());
+        ctx.begin_pass();
+        wires[0].drive(9);
+        let (passes, evals) = sched.settle(&mut modules, &ctx, 0, 64).unwrap();
+        assert_eq!(wires[5].get(), 9);
+        assert_eq!(passes, 1, "topological order needs exactly one pass");
+        assert_eq!(evals, 5, "each module evaluates exactly once");
+    }
+
+    #[test]
+    fn change_wakes_only_readers() {
+        let ctx = SimCtx::new();
+        let a_in = ctx.wire("a_in", 0u32);
+        let a_out = ctx.wire("a_out", 0u32);
+        let b_in = ctx.wire("b_in", 0u32);
+        let b_out = ctx.wire("b_out", 0u32);
+        let mut modules: Vec<Box<dyn Module>> = vec![
+            Box::new(Buf {
+                input: a_in.clone(),
+                output: a_out.clone(),
+            }),
+            Box::new(Buf {
+                input: b_in.clone(),
+                output: b_out.clone(),
+            }),
+        ];
+        let mut sched = Schedule::build(&modules, ctx.wire_count());
+        ctx.begin_pass();
+        a_in.drive(1);
+        let (passes, evals) = sched.settle(&mut modules, &ctx, 0, 64).unwrap();
+        // Wave 0 always evaluates both, but a second wave is never needed.
+        assert_eq!((passes, evals), (1, 2));
+        assert_eq!(a_out.get(), 1);
+        assert_eq!(b_out.get(), 0);
+    }
+}

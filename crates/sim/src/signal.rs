@@ -12,6 +12,11 @@ use std::rc::Rc;
 
 use crate::error::SimError;
 
+/// Identifies a wire within one [`SimCtx`]; allocated densely from zero in
+/// creation order. Modules quote these ids in their
+/// [`Sensitivity`](crate::Sensitivity) declarations.
+pub type WireId = u32;
+
 /// Shared bookkeeping for one simulator instance.
 ///
 /// Every [`Wire`] created from a context reports value changes and drive
@@ -31,6 +36,12 @@ struct CtxInner {
     cycle: Cell<u64>,
     /// First drive conflict observed (reported at end of pass).
     conflict: RefCell<Option<SimError>>,
+    /// Next wire id to hand out.
+    next_wire: Cell<WireId>,
+    /// Ids of wires whose value changed during the current pass, in drive
+    /// order. The event-driven scheduler consumes this to wake exactly the
+    /// modules sensitive to what moved.
+    changed: RefCell<Vec<WireId>>,
 }
 
 impl SimCtx {
@@ -42,15 +53,20 @@ impl SimCtx {
                 changes: Cell::new(0),
                 cycle: Cell::new(0),
                 conflict: RefCell::new(None),
+                next_wire: Cell::new(0),
+                changed: RefCell::new(Vec::new()),
             }),
         }
     }
 
     /// Creates a named wire with an initial value.
     pub fn wire<T: Copy + PartialEq + fmt::Debug + 'static>(&self, name: &str, init: T) -> Wire<T> {
+        let id = self.inner.next_wire.get();
+        self.inner.next_wire.set(id + 1);
         Wire {
             ctx: self.clone(),
             inner: Rc::new(WireInner {
+                id,
                 name: name.to_string(),
                 value: Cell::new(init),
                 driven_pass: Cell::new(u64::MAX),
@@ -66,11 +82,27 @@ impl SimCtx {
     pub fn begin_pass(&self) {
         self.inner.pass.set(self.inner.pass.get().wrapping_add(1));
         self.inner.changes.set(0);
+        self.inner.changed.borrow_mut().clear();
     }
 
     /// Number of wire changes recorded in the current pass.
     pub(crate) fn changes(&self) -> u64 {
         self.inner.changes.get()
+    }
+
+    /// Total wires created so far (wire ids are `0..wire_count()`).
+    pub fn wire_count(&self) -> u32 {
+        self.inner.next_wire.get()
+    }
+
+    /// Number of entries in the current pass's changed-wire log.
+    pub(crate) fn changed_len(&self) -> usize {
+        self.inner.changed.borrow().len()
+    }
+
+    /// Copies changed-wire ids logged since position `from` into `out`.
+    pub(crate) fn changed_since(&self, from: usize, out: &mut Vec<WireId>) {
+        out.extend_from_slice(&self.inner.changed.borrow()[from..]);
     }
 
     pub(crate) fn set_cycle(&self, cycle: u64) {
@@ -86,8 +118,9 @@ impl SimCtx {
         self.inner.conflict.borrow_mut().take()
     }
 
-    fn record_change(&self) {
+    fn record_change(&self, wire: WireId) {
         self.inner.changes.set(self.inner.changes.get() + 1);
+        self.inner.changed.borrow_mut().push(wire);
     }
 
     fn record_conflict(&self, wire: &str) {
@@ -108,6 +141,7 @@ impl Default for SimCtx {
 }
 
 struct WireInner<T> {
+    id: WireId,
     name: String,
     value: Cell<T>,
     /// Pass id during which this wire was last driven, used to detect
@@ -155,7 +189,7 @@ impl<T: Copy + PartialEq + fmt::Debug + 'static> Wire<T> {
                 self.ctx.record_conflict(&self.inner.name);
             }
             self.inner.value.set(value);
-            self.ctx.record_change();
+            self.ctx.record_change(self.inner.id);
         }
         self.inner.driven_pass.set(pass);
     }
@@ -163,6 +197,12 @@ impl<T: Copy + PartialEq + fmt::Debug + 'static> Wire<T> {
     /// Name given at construction (used in traces and error messages).
     pub fn name(&self) -> &str {
         &self.inner.name
+    }
+
+    /// This wire's id, for use in [`Sensitivity`](crate::Sensitivity)
+    /// declarations.
+    pub fn id(&self) -> WireId {
+        self.inner.id
     }
 }
 

@@ -1,8 +1,9 @@
-//! The simulation executor: delta-converging two-phase clock stepping.
+//! The simulation executor: event-driven two-phase clock stepping.
 
 use crate::error::SimError;
 use crate::module::Module;
 use crate::resources::ResourceUsage;
+use crate::sched::{SchedStats, Schedule};
 use crate::signal::SimCtx;
 use crate::SimResult;
 
@@ -11,21 +12,54 @@ use crate::SimResult;
 /// deep ready/valid chains while still catching true loops quickly.
 const MAX_DELTA_PASSES: u32 = 64;
 
+/// How the simulator evaluates modules within a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Static-order, dirty-set scheduling (see [`crate::sched`]). Modules
+    /// without a [`Sensitivity`](crate::Sensitivity) declaration degrade
+    /// gracefully to brute-force behaviour; fully declared acyclic designs
+    /// settle in one pass per cycle.
+    #[default]
+    EventDriven,
+    /// The brute-force reference: every delta pass evaluates every module
+    /// until a full pass changes no wire. Kept for differential testing and
+    /// benchmarking against the event-driven schedule.
+    Naive,
+}
+
 /// Owns the module list and advances simulated time.
 pub struct Simulator {
     ctx: SimCtx,
     modules: Vec<Box<dyn Module>>,
     cycle: u64,
+    mode: SimMode,
+    /// Built lazily on the first step, invalidated by [`Simulator::add`].
+    schedule: Option<Schedule>,
+    stats: SchedStats,
 }
 
 impl Simulator {
-    /// Creates an empty simulator with a fresh signal context.
+    /// Creates an empty simulator with a fresh signal context, using the
+    /// event-driven schedule.
     pub fn new() -> Self {
+        Self::with_mode(SimMode::EventDriven)
+    }
+
+    /// Creates an empty simulator using the given evaluation mode.
+    pub fn with_mode(mode: SimMode) -> Self {
         Simulator {
             ctx: SimCtx::new(),
             modules: Vec::new(),
             cycle: 0,
+            mode,
+            schedule: None,
+            stats: SchedStats::default(),
         }
+    }
+
+    /// Creates an empty simulator using the brute-force delta loop.
+    pub fn naive() -> Self {
+        Self::with_mode(SimMode::Naive)
     }
 
     /// The signal context; use it to create the design's wires.
@@ -33,10 +67,12 @@ impl Simulator {
         &self.ctx
     }
 
-    /// Registers a module. Evaluation order follows registration order
-    /// within each delta pass, but convergence does not depend on it.
+    /// Registers a module. Evaluation order is derived from the modules'
+    /// [`Sensitivity`](crate::Sensitivity) declarations at the next step;
+    /// convergence never depends on registration order.
     pub fn add(&mut self, module: Box<dyn Module>) {
         self.modules.push(module);
+        self.schedule = None;
     }
 
     /// Current cycle number (cycles completed so far).
@@ -44,36 +80,63 @@ impl Simulator {
         self.cycle
     }
 
+    /// The active evaluation mode.
+    pub fn mode(&self) -> SimMode {
+        self.mode
+    }
+
+    /// Evaluation-work counters accumulated since construction.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.stats
+    }
+
     /// Advances simulated time by one clock cycle.
     ///
-    /// Runs delta passes until a full pass produces no wire changes, then
-    /// commits every module once.
+    /// Runs delta passes until the design settles, then commits every module
+    /// once.
     pub fn step(&mut self) -> SimResult<()> {
         self.ctx.set_cycle(self.cycle);
-        let mut converged = false;
-        for _pass in 0..MAX_DELTA_PASSES {
-            self.ctx.begin_pass();
-            for m in &mut self.modules {
-                m.eval(self.cycle);
+        match self.mode {
+            SimMode::EventDriven => {
+                if self.schedule.is_none() {
+                    self.schedule = Some(Schedule::build(&self.modules, self.ctx.wire_count()));
+                }
+                let schedule = self.schedule.as_mut().expect("schedule just built");
+                let (passes, evals) =
+                    schedule.settle(&mut self.modules, &self.ctx, self.cycle, MAX_DELTA_PASSES)?;
+                self.stats.passes += passes;
+                self.stats.evals += evals;
             }
-            if let Some(conflict) = self.ctx.take_conflict() {
-                return Err(conflict);
+            SimMode::Naive => {
+                let mut converged = false;
+                for _pass in 0..MAX_DELTA_PASSES {
+                    self.ctx.begin_pass();
+                    self.stats.passes += 1;
+                    for m in &mut self.modules {
+                        m.eval(self.cycle);
+                        self.stats.evals += 1;
+                    }
+                    if let Some(conflict) = self.ctx.take_conflict() {
+                        return Err(conflict);
+                    }
+                    if self.ctx.changes() == 0 {
+                        converged = true;
+                        break;
+                    }
+                }
+                if !converged {
+                    return Err(SimError::CombinationalLoop {
+                        cycle: self.cycle,
+                        passes: MAX_DELTA_PASSES,
+                    });
+                }
             }
-            if self.ctx.changes() == 0 {
-                converged = true;
-                break;
-            }
-        }
-        if !converged {
-            return Err(SimError::CombinationalLoop {
-                cycle: self.cycle,
-                passes: MAX_DELTA_PASSES,
-            });
         }
         for m in &mut self.modules {
             m.commit(self.cycle);
         }
         self.cycle += 1;
+        self.stats.cycles += 1;
         Ok(())
     }
 

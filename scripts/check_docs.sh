@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Documentation checks: rustdoc must build warning-free, and relative
+# markdown links in the top-level docs must point at files that exist.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
+
+echo "== markdown links =="
+# Check every relative link target in the tracked markdown docs. External
+# links (http/https/mailto) are skipped: this environment is offline.
+fail=0
+for md in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract (text)(target) pairs; keep only the target, strip #fragments.
+  while IFS= read -r link; do
+    target=${link%%#*}
+    [ -n "$target" ] || continue # pure-fragment link into the same file
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK in $md: $link"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs OK"

@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests =="
 cargo test --workspace
 
+echo "== docs =="
+./scripts/check_docs.sh
+
 echo "== examples =="
 for ex in quickstart heat_2d ocean_circular dse_explorer generate_verilog \
           axi_stream image_blur temporal_blocking game_of_life; do
@@ -31,5 +34,6 @@ cargo run -p smache-cli --release -- plan >/dev/null
 cargo run -p smache-cli --release -- cost --grid 64x64 >/dev/null
 cargo run -p smache-cli --release -- predict --grid 32x32 --instances 10 >/dev/null
 cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --design both --verify >/dev/null
+cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --batch 2 --jobs 2 --verify >/dev/null
 
 echo "ALL GREEN"

@@ -1,0 +1,385 @@
+//! Event-driven vs brute-force scheduling: behavioural equivalence.
+//!
+//! The simulator's default event-driven scheduler (`SimMode::EventDriven`)
+//! must be observationally identical to the naive evaluate-until-stable
+//! loop (`SimMode::Naive`): same outputs, same cycle counts, same
+//! convergence behaviour — it is only allowed to do *less work*. These
+//! tests pin that contract on three fronts:
+//!
+//! 1. the paper's full system driven through [`AxiSmache`], covering all
+//!    nine boundary cases of the 11×11 validation grid, under randomised
+//!    inputs and back-pressure schedules;
+//! 2. randomised combinational adder chains mixing modules that declare a
+//!    [`Sensitivity`] with opaque ones, in shuffled registration order;
+//! 3. the scheduler's whole point: on the declared-sensitivity paper
+//!    pipeline it must evaluate strictly fewer module activations than the
+//!    brute-force loop while producing bit-identical results.
+
+use proptest::prelude::*;
+use smache::arch::kernel::AverageKernel;
+use smache::functional::golden::golden_run;
+use smache::system::axi::AxiSmache;
+use smache::SmacheBuilder;
+use smache_sim::{
+    Beat, Module, SchedStats, Sensitivity, SimCtx, SimMode, Simulator, StreamLink, StreamSink, Wire,
+};
+use smache_stencil::{BoundarySpec, Case2d, CaseCounts, GridSpec, StencilShape};
+
+const W: usize = 11;
+
+/// Deterministic pseudo-random input grid (kept free of the rand crate so
+/// the test is self-contained).
+fn grid_input(seed: u64) -> Vec<u64> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    (0..(W * W))
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % (1 << 20)
+        })
+        .collect()
+}
+
+/// Runs the paper's 11×11 system through [`AxiSmache`] under `mode` with a
+/// consumer that stalls once every `stall_period` cycles (0 = never).
+/// Returns the collected output words, the cycle the run finished on, and
+/// the scheduler statistics.
+fn run_axi(
+    mode: SimMode,
+    input: &[u64],
+    instances: u64,
+    stall_period: u64,
+    stall_phase: u64,
+) -> (Vec<u64>, u64, SchedStats) {
+    let mut sim = Simulator::with_mode(mode);
+    let system = SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+        .shape(StencilShape::four_point_2d())
+        .boundaries(BoundarySpec::paper_case())
+        .build()
+        .expect("system");
+    let link = StreamLink::new(sim.ctx(), "results");
+    let axi = AxiSmache::new(system, link.clone(), input, instances).expect("arm");
+    sim.add(Box::new(axi));
+    let (sink, buf) = if stall_period == 0 {
+        StreamSink::new("consumer", link)
+    } else {
+        StreamSink::with_stalls("consumer", link, stall_period, stall_phase)
+    };
+    sim.add(Box::new(sink));
+
+    let expect = (W * W) as u64 * instances;
+    let done_at = sim
+        .run_until(100_000, "stream completion", |_| {
+            buf.borrow().len() as u64 == expect
+        })
+        .expect("pipeline completes");
+    let out: Vec<u64> = buf.borrow().iter().map(|b| b.data).collect();
+    (out, done_at, sim.sched_stats())
+}
+
+/// The reference result: golden functional model, last instance's output.
+fn golden(input: &[u64], instances: u64) -> Vec<u64> {
+    golden_run(
+        &GridSpec::d2(W, W).expect("grid"),
+        &BoundarySpec::paper_case(),
+        &StencilShape::four_point_2d(),
+        &AverageKernel,
+        input,
+        instances,
+    )
+    .expect("golden")
+}
+
+#[test]
+fn nine_cases_identical_across_schedulers() {
+    // The validation grid exhibits all nine boundary cases; a full-system
+    // run under both schedulers therefore exercises every case.
+    let counts = CaseCounts::for_grid(&GridSpec::d2(W, W).expect("grid")).expect("2d");
+    assert_eq!(counts.distinct_cases(), 9);
+
+    let input: Vec<u64> = (0..(W * W) as u64).collect();
+    let (ev_out, ev_cycles, ev_stats) = run_axi(SimMode::EventDriven, &input, 2, 3, 0);
+    let (nv_out, nv_cycles, nv_stats) = run_axi(SimMode::Naive, &input, 2, 3, 0);
+
+    assert_eq!(ev_out, nv_out, "outputs must be bit-identical");
+    assert_eq!(ev_cycles, nv_cycles, "cycle counts must agree");
+    let last = &ev_out[ev_out.len() - W * W..];
+    assert_eq!(
+        last,
+        golden(&input, 2),
+        "and both must match the golden model"
+    );
+
+    // Spot-check one representative of each of the nine cases in the final
+    // instance's output (order of delivery is row-major, like the grid).
+    for (case, r, c) in [
+        (Case2d::NorthWest, 0usize, 0usize),
+        (Case2d::North, 0, 5),
+        (Case2d::NorthEast, 0, 10),
+        (Case2d::West, 5, 0),
+        (Case2d::Interior, 5, 5),
+        (Case2d::East, 5, 10),
+        (Case2d::SouthWest, 10, 0),
+        (Case2d::South, 10, 5),
+        (Case2d::SouthEast, 10, 10),
+    ] {
+        assert_eq!(Case2d::classify(r, c, W, W).expect("in grid"), case);
+        assert_eq!(last[r * W + c], golden(&input, 2)[r * W + c], "{case:?}");
+    }
+
+    // The event-driven scheduler must be doing less work, not just equal
+    // work: fewer module evaluations over the same number of cycles.
+    assert_eq!(ev_stats.cycles, nv_stats.cycles);
+    assert!(
+        ev_stats.evals < nv_stats.evals,
+        "event-driven should skip settled modules (event {} vs naive {})",
+        ev_stats.evals,
+        nv_stats.evals
+    );
+}
+
+proptest! {
+    /// Random inputs, instance counts and back-pressure schedules: the two
+    /// schedulers stay bit-identical in outputs *and* timing.
+    #[test]
+    fn axi_pipeline_equivalent_under_random_stalls(
+        seed in 0u64..1_000,
+        instances in 1u64..3,
+        stall_period in 0u64..5,
+        stall_phase in 0u64..5,
+    ) {
+        // Period 1 would stall on every cycle and never drain the stream;
+        // fold it into the "never stalls" case.
+        let stall_period = if stall_period == 1 { 0 } else { stall_period };
+        let input = grid_input(seed);
+        let (ev_out, ev_cycles, _) =
+            run_axi(SimMode::EventDriven, &input, instances, stall_period, stall_phase);
+        let (nv_out, nv_cycles, _) =
+            run_axi(SimMode::Naive, &input, instances, stall_period, stall_phase);
+        prop_assert_eq!(&ev_out, &nv_out);
+        prop_assert_eq!(ev_cycles, nv_cycles);
+        let last = &ev_out[ev_out.len() - W * W..];
+        prop_assert_eq!(last, &golden(&input, instances)[..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomised combinational DAGs: declared and opaque modules mixed freely.
+// ---------------------------------------------------------------------------
+
+/// `out = in + addend`, with a declared combinational sensitivity.
+struct Declared {
+    name: String,
+    input: Wire<u64>,
+    out: Wire<u64>,
+    addend: u64,
+}
+
+/// Same datapath, but opaque to the scheduler (no declared sensitivity):
+/// the scheduler must fall back to waking it on every change.
+struct Opaque {
+    name: String,
+    input: Wire<u64>,
+    out: Wire<u64>,
+    addend: u64,
+}
+
+impl Module for Declared {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn eval(&mut self, _cycle: u64) {
+        self.out.drive(self.input.get() + self.addend);
+    }
+    fn commit(&mut self, _cycle: u64) {}
+    fn sensitivity(&self) -> Option<Sensitivity> {
+        Some(Sensitivity::combinational(
+            vec![self.input.id()],
+            vec![self.out.id()],
+        ))
+    }
+}
+
+impl Module for Opaque {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn eval(&mut self, _cycle: u64) {
+        self.out.drive(self.input.get() + self.addend);
+    }
+    fn commit(&mut self, _cycle: u64) {}
+}
+
+/// Root of the chain: drives the head wire from a per-cycle counter, the
+/// way a register bank feeds a combinational cloud.
+struct Driver {
+    head: Wire<u64>,
+    scale: u64,
+}
+
+impl Module for Driver {
+    fn name(&self) -> &str {
+        "driver"
+    }
+    fn eval(&mut self, cycle: u64) {
+        self.head.drive(cycle * self.scale);
+    }
+    fn commit(&mut self, _cycle: u64) {}
+    fn sensitivity(&self) -> Option<Sensitivity> {
+        Some(Sensitivity::sequential(vec![], vec![self.head.id()]))
+    }
+}
+
+/// Builds an adder chain of `depth` stages over fresh wires, registering
+/// stages in an order shuffled by `order_seed`, making stage `i` opaque
+/// whenever bit `i` of `opaque_mask` is set. Returns the tail wire.
+fn build_chain(
+    sim: &mut Simulator,
+    ctx: &SimCtx,
+    depth: usize,
+    addends: &[u64],
+    order_seed: u64,
+    opaque_mask: u64,
+) -> Wire<u64> {
+    let wires: Vec<Wire<u64>> = (0..=depth)
+        .map(|i| ctx.wire(&format!("w{i}"), 0u64))
+        .collect();
+    sim.add(Box::new(Driver {
+        head: wires[0].clone(),
+        scale: 3,
+    }));
+
+    // A deterministic shuffle of the stage registration order.
+    let mut order: Vec<usize> = (0..depth).collect();
+    let mut x = order_seed
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(1);
+    for i in (1..depth).rev() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        order.swap(i, (x % (i as u64 + 1)) as usize);
+    }
+
+    for &i in &order {
+        let (input, out) = (wires[i].clone(), wires[i + 1].clone());
+        let addend = addends[i];
+        let name = format!("stage{i}");
+        if opaque_mask >> i & 1 == 1 {
+            sim.add(Box::new(Opaque {
+                name,
+                input,
+                out,
+                addend,
+            }));
+        } else {
+            sim.add(Box::new(Declared {
+                name,
+                input,
+                out,
+                addend,
+            }));
+        }
+    }
+    wires[depth].clone()
+}
+
+proptest! {
+    /// Chains of mixed declared/opaque combinational stages, registered in
+    /// random order, settle to the same values in both modes — and to the
+    /// analytically-known sum.
+    #[test]
+    fn mixed_chain_settles_identically(
+        depth in 1usize..12,
+        order_seed in 0u64..1_000,
+        opaque_mask in 0u64..4096,
+        addends in proptest::collection::vec(0u64..100, 12),
+    ) {
+        let mut results = Vec::new();
+        for mode in [SimMode::EventDriven, SimMode::Naive] {
+            let mut sim = Simulator::with_mode(mode);
+            let ctx = sim.ctx().clone();
+            let tail = build_chain(&mut sim, &ctx, depth, &addends, order_seed, opaque_mask);
+            for _ in 0..4 {
+                sim.step().expect("chain settles");
+            }
+            results.push((tail.get(), sim.sched_stats().passes));
+        }
+        let expected = 3 * 3 + addends[..depth].iter().sum::<u64>();
+        prop_assert_eq!(results[0].0, expected, "event-driven value");
+        prop_assert_eq!(results[1].0, expected, "naive value");
+        // A fully-opaque chain must also match the naive loop's *work*:
+        // opacity degrades the scheduler to exactly brute-force behaviour.
+        if opaque_mask.trailing_ones() as usize >= depth {
+            prop_assert_eq!(results[0].1, results[1].1, "opaque pass counts");
+        }
+    }
+}
+
+#[test]
+fn combinational_loop_detected_in_both_modes() {
+    // An inverter whose output feeds its own input flips on every delta
+    // pass and never settles; both schedulers must report the
+    // combinational loop rather than hang. (Two cross-coupled inverters
+    // would be bistable — they *settle* — so the self-loop is the real
+    // divergence case.)
+    struct Not {
+        wire: Wire<u64>,
+    }
+    impl Module for Not {
+        fn name(&self) -> &str {
+            "not"
+        }
+        fn eval(&mut self, _cycle: u64) {
+            self.wire.drive(1 - self.wire.get().min(1));
+        }
+        fn commit(&mut self, _cycle: u64) {}
+        fn sensitivity(&self) -> Option<Sensitivity> {
+            Some(Sensitivity::combinational(
+                vec![self.wire.id()],
+                vec![self.wire.id()],
+            ))
+        }
+    }
+    for mode in [SimMode::EventDriven, SimMode::Naive] {
+        let mut sim = Simulator::with_mode(mode);
+        let ctx = sim.ctx().clone();
+        let a = ctx.wire("a", 0u64);
+        sim.add(Box::new(Not { wire: a }));
+        let err = sim.step().expect_err("ring oscillator cannot settle");
+        let msg = format!("{err}");
+        assert!(
+            msg.to_lowercase().contains("loop") || msg.to_lowercase().contains("settle"),
+            "unexpected error in {mode:?}: {msg}"
+        );
+    }
+}
+
+#[test]
+fn event_driven_is_the_default_and_does_less_work() {
+    let input: Vec<u64> = (0..(W * W) as u64).collect();
+    let sim = Simulator::new();
+    assert_eq!(sim.mode(), SimMode::EventDriven);
+
+    let (_, _, ev) = run_axi(SimMode::EventDriven, &input, 1, 0, 0);
+    let (_, _, nv) = run_axi(SimMode::Naive, &input, 1, 0, 0);
+    // Visible under `--nocapture`; these are the numbers quoted in
+    // docs/PERFORMANCE.md.
+    println!(
+        "event-driven: {:.2} evals/cycle, {:.2} passes/cycle",
+        ev.evals_per_cycle(),
+        ev.passes_per_cycle()
+    );
+    println!(
+        "naive:        {:.2} evals/cycle, {:.2} passes/cycle",
+        nv.evals_per_cycle(),
+        nv.passes_per_cycle()
+    );
+    // The naive loop re-evaluates every module until a whole quiet pass —
+    // at minimum two passes over 2 modules per cycle. The event-driven
+    // scheduler should get each cycle done in one wave of the two
+    // sequential modules.
+    assert!(ev.evals_per_cycle() <= nv.evals_per_cycle() / 1.5);
+    let _ = Beat::default(); // keep the Beat import exercised on all paths
+}

@@ -1,0 +1,68 @@
+//! The `any::<T>()` entry point and the [`Arbitrary`] trait behind it.
+
+use core::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Produces arbitrary values of `T` over its whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_varies() {
+        let s = any::<u64>();
+        let mut r = TestRng::for_case("arbitrary", 0);
+        let a = s.generate(&mut r);
+        let b = s.generate(&mut r);
+        assert_ne!(a, b, "two draws almost surely differ");
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let s = any::<bool>();
+        let mut r = TestRng::for_case("arbitrary", 1);
+        let vals: Vec<bool> = (0..64).map(|_| s.generate(&mut r)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,102 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// A length distribution for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    /// Exclusive upper bound.
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            start: *r.start(),
+            end: *r.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_size_range() {
+        let s = vec(0u64..100, 3..7);
+        let mut r = TestRng::for_case("collection", 1);
+        for _ in 0..500 {
+            let v = s.generate(&mut r);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let s = vec(0u64..10, 0..2);
+        let mut r = TestRng::for_case("collection", 2);
+        let mut saw_empty = false;
+        for _ in 0..100 {
+            saw_empty |= s.generate(&mut r).is_empty();
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn nested_vecs() {
+        let s = vec(vec(0u64..5, 1..3), 2..4);
+        let mut r = TestRng::for_case("collection", 3);
+        let v = s.generate(&mut r);
+        assert!((2..4).contains(&v.len()));
+        for inner in v {
+            assert!((1..3).contains(&inner.len()));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Test-run configuration and the case-level error type.
+
+use std::fmt;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases each test in the block runs.
+    pub cases: u64,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases: cases as u64,
+        }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override, if set.
+    pub fn effective_cases(&self) -> u64 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why one generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion/rejection with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_sets_count() {
+        assert_eq!(Config::with_cases(24).cases, 24);
+        assert_eq!(Config::default().cases, 64);
+    }
+
+    #[test]
+    fn error_displays_message() {
+        let e = TestCaseError::fail("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+}

@@ -138,7 +138,7 @@ impl BaselineSystem {
             ));
         }
         if kernel.latency() == 0 {
-            return Err(CoreError::Config("kernel latency must be >= 1".into()));
+            return Err(CoreError::KernelLatencyZero);
         }
         let n = grid.len();
         let row = config.dram.row_words;
@@ -352,6 +352,7 @@ impl BaselineSystem {
                 bram_bits: 0,
                 dsps: kernel_res.dsps,
             },
+            faults: smache_mem::FaultCounters::default(),
         }
     }
 

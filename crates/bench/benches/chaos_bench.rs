@@ -1,0 +1,70 @@
+//! Criterion group: simulation throughput vs injected stall fraction.
+//!
+//! Each point runs the paper workload under a fixed-seed fault plan with a
+//! different stall-storm probability; the measured wall-clock tracks how
+//! much simulated work the chaos adds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smache::system::smache_system::SystemConfig;
+use smache::HybridMode;
+use smache_bench::workloads::paper_problem;
+use smache_mem::{ChaosProfile, FaultPlan};
+
+fn chaos_storm_ladder(c: &mut Criterion) {
+    let workload = paper_problem(11, 11, 10);
+    let input = workload.ramp_input();
+    let mut group = c.benchmark_group("chaos_storm_ladder_11x11");
+    group.sample_size(10);
+    for prob in [0.0, 0.05, 0.2] {
+        let profile = ChaosProfile {
+            stall_storm_prob: prob,
+            stall_storm_max: 12,
+            ..ChaosProfile::none()
+        };
+        group.bench_function(BenchmarkId::new("storm", format!("p{prob}")), |b| {
+            b.iter(|| {
+                let mut system = workload.smache_with(
+                    HybridMode::default(),
+                    SystemConfig {
+                        fault_plan: FaultPlan::new(7, profile),
+                        ..SystemConfig::default()
+                    },
+                );
+                let report = system.run(&input, workload.instances).expect("absorbed");
+                report.metrics.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn chaos_named_profiles(c: &mut Criterion) {
+    let workload = paper_problem(11, 11, 10);
+    let input = workload.ramp_input();
+    let mut group = c.benchmark_group("chaos_profiles_11x11");
+    group.sample_size(10);
+    for (label, profile) in [
+        ("off", ChaosProfile::none()),
+        ("jitter", ChaosProfile::jitter()),
+        ("drain", ChaosProfile::drain()),
+        ("heavy", ChaosProfile::heavy()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut system = workload.smache_with(
+                    HybridMode::default(),
+                    SystemConfig {
+                        fault_plan: FaultPlan::new(7, profile),
+                        ..SystemConfig::default()
+                    },
+                );
+                let report = system.run(&input, workload.instances).expect("absorbed");
+                report.metrics.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chaos_storm_ladder, chaos_named_profiles);
+criterion_main!(benches);

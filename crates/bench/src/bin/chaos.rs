@@ -1,0 +1,143 @@
+//! Chaos resilience sweep: throughput degradation vs injected stall
+//! fraction.
+//!
+//! Runs the paper's 11×11 workload under a ladder of stall-storm
+//! intensities (plus the jitter/drain/heavy latency-only profiles),
+//! verifies each run stays bit-exact against the golden reference, and
+//! reports how the injected stall fraction degrades throughput. Writes a
+//! machine-readable summary to `BENCH_chaos.json` (path overridable with
+//! `--json PATH`).
+//!
+//! ```text
+//! cargo run -p smache-bench --bin chaos --release -- --chaos-seed 7
+//! ```
+
+use smache::arch::kernel::AverageKernel;
+use smache::functional::golden::golden_run;
+use smache::system::smache_system::SystemConfig;
+use smache::HybridMode;
+use smache_bench::json::Json;
+use smache_bench::report::{bar, Table};
+use smache_bench::workloads::paper_problem;
+use smache_mem::{ChaosProfile, FaultPlan};
+
+/// `--flag value` lookup over raw args.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = arg_value(&args, "--chaos-seed")
+        .map(|v| v.parse().expect("--chaos-seed wants a number"))
+        .unwrap_or(7);
+    let instances: u64 = arg_value(&args, "--instances")
+        .map(|v| v.parse().expect("--instances wants a number"))
+        .unwrap_or(50);
+    let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_chaos.json".into());
+
+    let workload = paper_problem(11, 11, instances);
+    let input = workload.ramp_input();
+    let golden = golden_run(
+        &workload.grid,
+        &workload.bounds,
+        &workload.shape,
+        &AverageKernel,
+        &input,
+        instances,
+    )
+    .expect("golden");
+
+    // The sweep: a storm-probability ladder, then the named latency-only
+    // profiles for context.
+    let mut points: Vec<(String, ChaosProfile)> = [0.0, 0.02, 0.05, 0.1, 0.2]
+        .into_iter()
+        .map(|p| {
+            (
+                format!("storms p={p}"),
+                ChaosProfile {
+                    stall_storm_prob: p,
+                    stall_storm_max: 12,
+                    ..ChaosProfile::none()
+                },
+            )
+        })
+        .collect();
+    points.push(("jitter".into(), ChaosProfile::jitter()));
+    points.push(("drain".into(), ChaosProfile::drain()));
+    points.push(("heavy".into(), ChaosProfile::heavy()));
+
+    let mut baseline_cycles = 0u64;
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec![
+        "Profile",
+        "Cycles",
+        "Stall frac",
+        "Storm cycles",
+        "Slowdown",
+        "Throughput",
+    ]);
+    println!("== Chaos sweep: 11x11, {instances} instance(s), seed {seed} ==\n");
+    for (label, profile) in &points {
+        let plan = FaultPlan::new(seed, *profile);
+        let mut system = workload.smache_with(
+            HybridMode::default(),
+            SystemConfig {
+                fault_plan: plan,
+                ..SystemConfig::default()
+            },
+        );
+        let report = system
+            .run(&input, instances)
+            .expect("latency-only chaos must be absorbed");
+        assert_eq!(report.output, golden, "{label}: chaos corrupted the output");
+        if baseline_cycles == 0 {
+            baseline_cycles = report.metrics.cycles;
+        }
+        let slowdown = report.metrics.cycles as f64 / baseline_cycles as f64;
+        let throughput = 1.0 / slowdown;
+        t.row(vec![
+            label.clone(),
+            report.metrics.cycles.to_string(),
+            format!("{:.3}", report.stall_fraction()),
+            report.metrics.faults.storm_cycles.to_string(),
+            format!("{slowdown:.3}x"),
+            bar(throughput, 1.0, 28),
+        ]);
+        rows.push(Json::obj(vec![
+            ("profile", Json::str(label.clone())),
+            ("cycles", Json::Int(report.metrics.cycles as i64)),
+            ("stall_fraction", Json::Num(report.stall_fraction())),
+            (
+                "storm_cycles",
+                Json::Int(report.metrics.faults.storm_cycles as i64),
+            ),
+            (
+                "jitter_events",
+                Json::Int(report.metrics.faults.jitter_events as i64),
+            ),
+            (
+                "slow_drain_cycles",
+                Json::Int(report.metrics.faults.slow_drain_cycles as i64),
+            ),
+            ("slowdown", Json::Num(slowdown)),
+            ("output_matches_golden", Json::Bool(true)),
+        ]));
+    }
+    println!("{t}");
+    println!("every run verified bit-exact against the golden reference");
+
+    let doc = Json::obj(vec![
+        ("artefact", Json::str("chaos_sweep")),
+        ("grid", Json::str("11x11")),
+        ("instances", Json::Int(instances as i64)),
+        ("chaos_seed", Json::Int(seed as i64)),
+        ("baseline_cycles", Json::Int(baseline_cycles as i64)),
+        ("points", Json::Arr(rows)),
+    ]);
+    std::fs::write(&path, doc.pretty()).expect("write json");
+    println!("wrote {path}");
+}

@@ -36,15 +36,30 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// `--chaos-seed`/`--chaos-profile` as a fault plan (inactive when absent).
+fn chaos_plan(args: &[String]) -> smache_mem::FaultPlan {
+    let profile = arg_value(args, "--chaos-profile")
+        .map(|name| {
+            smache_mem::ChaosProfile::from_name(&name)
+                .expect("--chaos-profile wants off|jitter|storms|drain|heavy|flip:<k>")
+        })
+        .unwrap_or_else(smache_mem::ChaosProfile::none);
+    let seed: u64 = arg_value(args, "--chaos-seed")
+        .map(|v| v.parse().expect("--chaos-seed wants a number"))
+        .unwrap_or(0);
+    smache_mem::FaultPlan::new(seed, profile)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let jobs: usize = arg_value(&args, "--jobs")
         .map(|v| v.parse().expect("--jobs wants a number"))
         .unwrap_or(1);
+    let chaos = chaos_plan(&args);
     if let Some(sweep) = arg_value(&args, "--sweep") {
         let seeds: u64 = sweep.parse().expect("--sweep wants a seed count");
         let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_fig2.json".into());
-        run_sweep(seeds, jobs, &path);
+        run_sweep(seeds, jobs, &path, chaos);
         return;
     }
 
@@ -57,7 +72,13 @@ fn main() {
         .run(&input, workload.instances)
         .expect("baseline run");
 
-    let mut smache = workload.smache(HybridMode::default());
+    let mut smache = workload.smache_with(
+        HybridMode::default(),
+        smache::system::smache_system::SystemConfig {
+            fault_plan: chaos,
+            ..Default::default()
+        },
+    );
     let sm_report = smache.run(&input, workload.instances).expect("smache run");
 
     // --- Validate both against the golden reference ----------------------
@@ -168,15 +189,23 @@ fn main() {
 /// Multi-seed sweep: Smache lanes batched through
 /// [`SmacheSystem::run_batch`], baseline lanes through `parallel_map`,
 /// outputs cross-checked per seed, summary written as JSON.
-fn run_sweep(seeds: u64, jobs: usize, json_path: &str) {
+fn run_sweep(seeds: u64, jobs: usize, json_path: &str, chaos: smache_mem::FaultPlan) {
     let workload = paper_problem(11, 11, 100);
     println!(
         "== Fig. 2 sweep: {seeds} seeds x {} instances, {jobs} job(s) ==",
         workload.instances
     );
 
+    let config = smache::system::smache_system::SystemConfig {
+        fault_plan: chaos,
+        ..Default::default()
+    };
     let smache_jobs: Vec<_> = (0..seeds)
-        .map(|s| workload.batch_job(s, HybridMode::default()))
+        .map(|s| {
+            workload
+                .batch_job(s, HybridMode::default())
+                .with_config(config)
+        })
         .collect();
     let t0 = Instant::now();
     let batch = SmacheSystem::run_batch(smache_jobs, jobs);
@@ -200,22 +229,19 @@ fn run_sweep(seeds: u64, jobs: usize, json_path: &str) {
     ]);
     for (seed, (lane, base)) in batch.lanes.iter().zip(&base_reports).enumerate() {
         let lane = lane.as_ref().expect("smache lane");
-        let matches = lane.report.output == base.output;
+        let matches = lane.output == base.output;
         assert!(matches, "seed {seed}: smache and baseline outputs differ");
-        let ratio = lane.report.metrics.cycles as f64 / base.metrics.cycles as f64;
+        let ratio = lane.metrics.cycles as f64 / base.metrics.cycles as f64;
         t.row(vec![
             seed.to_string(),
-            lane.report.metrics.cycles.to_string(),
+            lane.metrics.cycles.to_string(),
             base.metrics.cycles.to_string(),
             format!("{ratio:.3}"),
             "identical".to_string(),
         ]);
         rows.push(Json::obj(vec![
             ("seed", Json::Int(seed as i64)),
-            (
-                "smache_cycles",
-                Json::Int(lane.report.metrics.cycles as i64),
-            ),
+            ("smache_cycles", Json::Int(lane.metrics.cycles as i64)),
             ("baseline_cycles", Json::Int(base.metrics.cycles as i64)),
             ("cycle_ratio", Json::Num(ratio)),
             ("outputs_match", Json::Bool(matches)),

@@ -77,6 +77,8 @@ const VALUED: &[&str] = &[
     "lanes",
     "batch",
     "jobs",
+    "chaos-seed",
+    "chaos-profile",
 ];
 const FLAGS: &[&str] = &["verify", "quiet"];
 
@@ -113,6 +115,8 @@ SIMULATE OPTIONS:
   --lanes P                multi-lane Smache (P elements/cycle) [1]
   --batch N                run N seeds (seed, seed+1, ...) as a batch [off]
   --jobs J                 worker threads for --batch             [1]
+  --chaos-profile P        off|jitter|storms|drain|heavy|flip:<k> [off]
+  --chaos-seed S           fault-injection seed     [0]
   --verify                 check against the golden reference
 
 CODEGEN OPTIONS:
@@ -264,6 +268,18 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses `--chaos-seed`/`--chaos-profile` into a [`smache_mem::FaultPlan`].
+fn chaos_plan(args: &Args) -> Result<smache_mem::FaultPlan, CliError> {
+    let name = args.get_or("chaos-profile", "off");
+    let profile = smache_mem::ChaosProfile::from_name(name).ok_or_else(|| ArgError::BadValue {
+        key: "chaos-profile".into(),
+        value: name.into(),
+        expected: "off|jitter|storms|drain|heavy|flip:<k>".into(),
+    })?;
+    let seed: u64 = args.get_num("chaos-seed", 0)?;
+    Ok(smache_mem::FaultPlan::new(seed, profile))
+}
+
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let spec = ProblemSpec::from_args(args)?;
     let instances: u64 = args.get_num("instances", 100)?;
@@ -277,6 +293,8 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         }
         .into());
     }
+
+    let chaos = chaos_plan(args)?;
 
     let batch: u64 = args.get_num("batch", 0)?;
     if batch > 0 {
@@ -305,16 +323,20 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if design == "smache" || design == "both" {
         let (metrics, output, warmup) = if lanes > 1 {
             let plan = spec.builder().plan()?;
+            let config = smache::system::smache_system::SystemConfig {
+                fault_plan: chaos,
+                ..Default::default()
+            };
             let mut system = smache::system::multilane::MultilaneSystem::new(
                 plan,
                 Box::new(AverageKernel),
                 lanes,
-                smache::system::smache_system::SystemConfig::default(),
+                config,
             )?;
             let report = system.run(&input, instances)?;
             (report.metrics, report.output, 0)
         } else {
-            let mut system = spec.builder().build()?;
+            let mut system = spec.builder().fault_plan(chaos).build()?;
             let report = system.run(&input, instances)?;
             (report.metrics, report.output, report.warmup_cycles)
         };
@@ -324,6 +346,9 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
             "  warm-up {} cycles; resources: {}",
             warmup, metrics.resources
         );
+        if chaos.is_active() {
+            let _ = writeln!(out, "  chaos (seed {}): {}", chaos.seed, metrics.faults);
+        }
         if let Some(g) = &golden {
             if &output == g {
                 let _ = writeln!(out, "  verified against golden reference");
@@ -374,6 +399,11 @@ fn cmd_simulate_batch(
     batch: u64,
 ) -> Result<String, CliError> {
     let jobs: usize = args.get_num("jobs", 1)?;
+    let chaos = chaos_plan(args)?;
+    let config = smache::system::smache_system::SystemConfig {
+        fault_plan: chaos,
+        ..Default::default()
+    };
     let plan = spec.builder().plan()?;
     let n = spec.grid.len();
 
@@ -392,6 +422,7 @@ fn cmd_simulate_batch(
                 input.clone(),
                 instances,
             )
+            .with_config(config)
         })
         .collect();
 
@@ -410,9 +441,12 @@ fn cmd_simulate_batch(
             out,
             "  seed {:>4}: {:>8} cycles, {:>6} beats",
             seed + lane as u64,
-            lane_report.report.metrics.cycles,
+            lane_report.metrics.cycles,
             lane_report.stats.transfers
         );
+        if chaos.is_active() {
+            let _ = writeln!(out, "    chaos: {}", lane_report.metrics.faults);
+        }
         if args.flag("verify") {
             let golden = golden_run(
                 &spec.grid,
@@ -422,10 +456,9 @@ fn cmd_simulate_batch(
                 input,
                 instances,
             )?;
-            if lane_report.report.output != golden {
+            if lane_report.output != golden {
                 return Err(smache::CoreError::Mismatch {
                     index: lane_report
-                        .report
                         .output
                         .iter()
                         .zip(&golden)
@@ -554,6 +587,43 @@ mod tests {
             .unwrap()
             .to_string();
         assert!(batch.contains(&format!("{solo_cycles} cycles")), "{batch}");
+    }
+
+    #[test]
+    fn chaos_heavy_still_verifies_against_golden() {
+        let out = run_str(
+            "simulate --grid 8x8 --instances 2 --chaos-seed 7 --chaos-profile heavy --verify",
+        )
+        .unwrap();
+        assert!(out.contains("verified against golden reference"), "{out}");
+        assert!(out.contains("chaos (seed 7)"), "{out}");
+    }
+
+    #[test]
+    fn chaos_bit_flip_is_a_detected_fault_not_a_mismatch() {
+        let err = run_str("simulate --grid 8x8 --instances 1 --chaos-profile flip:5 --verify")
+            .unwrap_err();
+        assert!(
+            matches!(err, CliError::Core(smache::CoreError::FaultDetected(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn chaos_profile_name_is_validated() {
+        assert!(matches!(
+            run_str("simulate --chaos-profile frobnicate"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn chaos_batch_reports_per_lane_counters() {
+        let out =
+            run_str("simulate --grid 8x8 --instances 1 --batch 2 --chaos-profile jitter --verify")
+                .unwrap();
+        assert!(out.contains("chaos:"), "{out}");
+        assert!(out.contains("all lanes verified"), "{out}");
     }
 
     #[test]

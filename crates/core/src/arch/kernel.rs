@@ -142,9 +142,7 @@ impl WeightedKernel {
     /// At least one weight must be non-zero.
     pub fn new(name: &str, weights: Vec<u64>) -> Result<Self, crate::CoreError> {
         if weights.is_empty() || weights.iter().all(|&w| w == 0) {
-            return Err(crate::CoreError::Config(
-                "weighted kernel needs a non-zero weight".into(),
-            ));
+            return Err(crate::CoreError::KernelNeedsNonZeroWeight);
         }
         Ok(WeightedKernel {
             name: name.to_string(),

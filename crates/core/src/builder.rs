@@ -113,6 +113,16 @@ impl SmacheBuilder {
         self
     }
 
+    /// Arms a seeded fault-injection plan (see `docs/RESILIENCE.md`).
+    ///
+    /// Latency-only faults are absorbed bit-exactly; data-corrupting faults
+    /// surface as [`CoreError::FaultDetected`]
+    /// (see [`crate::error::FaultDiagnostic`]).
+    pub fn fault_plan(mut self, plan: smache_mem::FaultPlan) -> Self {
+        self.system.fault_plan = plan;
+        self
+    }
+
     /// Merges overlapping static-buffer regions into single physical
     /// buffers (see [`BufferPlan::dedupe_static_regions`]); off by default
     /// to preserve the paper's per-tuple-element accounting.
@@ -217,6 +227,23 @@ mod tests {
         let input: Vec<u64> = (0..25).collect();
         let report = sys.run(&input, 2).unwrap();
         assert_eq!(report.output.len(), 25);
+    }
+
+    #[test]
+    fn fault_plan_flows_into_the_system() {
+        use smache_mem::{ChaosProfile, FaultPlan};
+        let mut sys = SmacheBuilder::new(GridSpec::d2(5, 5).unwrap())
+            .fault_plan(FaultPlan::new(3, ChaosProfile::jitter()))
+            .build()
+            .unwrap();
+        let input: Vec<u64> = (0..25).collect();
+        let report = sys.run(&input, 1).unwrap();
+        assert!(report.metrics.faults.jitter_events > 0);
+        // Jitter is latency-only: output still matches the plain build.
+        let mut plain = SmacheBuilder::new(GridSpec::d2(5, 5).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(report.output, plain.run(&input, 1).unwrap().output);
     }
 
     #[test]

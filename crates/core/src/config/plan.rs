@@ -328,30 +328,26 @@ impl BufferPlan {
         word_bits: u32,
     ) -> CoreResult<Self> {
         if shape.ndim() != grid.ndim() {
-            return Err(CoreError::Config(format!(
-                "shape is {}D but grid is {}D",
-                shape.ndim(),
-                grid.ndim()
-            )));
+            return Err(CoreError::DimensionMismatch {
+                what: "shape",
+                got: shape.ndim(),
+                grid: grid.ndim(),
+            });
         }
         if bounds.ndim() != grid.ndim() {
-            return Err(CoreError::Config(format!(
-                "boundary spec is {}D but grid is {}D",
-                bounds.ndim(),
-                grid.ndim()
-            )));
+            return Err(CoreError::DimensionMismatch {
+                what: "boundary spec",
+                got: bounds.ndim(),
+                grid: grid.ndim(),
+            });
         }
         if let HybridMode::CaseH { min_bram_stretch } = hybrid {
             if min_bram_stretch < 3 {
-                return Err(CoreError::Config(
-                    "min_bram_stretch must be >= 3 (in-reg + bram + out-reg)".into(),
-                ));
+                return Err(CoreError::HybridStretchTooShort { min_bram_stretch });
             }
         }
         if word_bits == 0 || word_bits > 64 {
-            return Err(CoreError::Config(format!(
-                "word width {word_bits} outside 1..=64 bits"
-            )));
+            return Err(CoreError::WordBitsOutOfRange { bits: word_bits });
         }
         // Decisions run over the *exact* ranges (maximal runs of identical
         // per-element tuples). Coalesced/union ranges would attribute wrap

@@ -30,8 +30,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use smache::builder::SmacheBuilder;
-//! use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+//! use smache::prelude::*;
 //!
 //! // The paper's validation problem: 11×11 grid, 4-point stencil,
 //! // circular top/bottom boundaries, open left/right.
@@ -67,3 +66,27 @@ pub type CoreResult<T> = Result<T, CoreError>;
 
 /// Logical word width used by every experiment in the paper.
 pub const WORD_BITS: u32 = 32;
+
+/// One-line import for the common workflow: configure a problem with
+/// [`SmacheBuilder`], run it, read the [`RunReport`](system::RunReport).
+///
+/// ```
+/// use smache::prelude::*;
+///
+/// let mut system = SmacheBuilder::new(GridSpec::d2(8, 8).unwrap())
+///     .build()
+///     .unwrap();
+/// let report = system.run(&(0..64).collect::<Vec<Word>>(), 1).unwrap();
+/// assert_eq!(report.output.len(), 64);
+/// ```
+pub mod prelude {
+    pub use crate::arch::kernel::{AverageKernel, Kernel, MaxKernel, SumKernel, WeightedKernel};
+    pub use crate::builder::SmacheBuilder;
+    pub use crate::config::{BufferPlan, HybridMode, PlanStrategy};
+    pub use crate::error::{CoreError, FaultDiagnostic};
+    pub use crate::functional::golden::golden_run;
+    pub use crate::system::{DesignMetrics, RunReport, SmacheSystem, SystemConfig};
+    pub use crate::{CoreResult, WORD_BITS};
+    pub use smache_mem::{ChaosProfile, FaultPlan, MemKind, Word};
+    pub use smache_stencil::{AxisBoundaries, Boundary, BoundarySpec, GridSpec, StencilShape};
+}

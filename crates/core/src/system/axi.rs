@@ -13,13 +13,16 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use smache_mem::Word;
-use smache_sim::{Beat, Module, ResourceUsage, Sensitivity, StreamLink};
+use smache_mem::{FaultCounters, FaultEvent, FaultKind, FaultPlan, StormGen, Word};
+use smache_sim::{Beat, Module, ResourceUsage, Sensitivity, SinkBuffer, StreamLink};
 
 use crate::arch::controller::ControllerPhase;
-use crate::error::CoreError;
+use crate::error::{CoreError, FaultDiagnostic};
 use crate::system::smache_system::SmacheSystem;
 use crate::CoreResult;
+
+/// Component name used by the stream fuzzers in events and diagnostics.
+pub const AXI_COMPONENT: &str = "axi.stream";
 
 /// Observer hooked into the system's write-back path.
 type TapBuffer = Rc<RefCell<VecDeque<Beat>>>;
@@ -143,6 +146,262 @@ impl Module for AxiSmache {
     }
 }
 
+/// What a [`StallFuzzSink`] has detected so far, shared through a
+/// [`FuzzProbe`] so it stays readable after the simulator takes ownership
+/// of the sink.
+#[derive(Debug, Default, Clone)]
+pub struct FuzzFindings {
+    /// First protocol violation observed, if any.
+    pub violation: Option<FaultEvent>,
+    /// Storm stall cycles plus detected drop/duplicate counts.
+    pub counters: FaultCounters,
+}
+
+impl FuzzFindings {
+    /// The first violation as a typed [`CoreError::FaultDetected`], if any.
+    pub fn error(&self) -> Option<CoreError> {
+        self.violation.map(|event| {
+            CoreError::FaultDetected(FaultDiagnostic {
+                cycle: event.cycle,
+                phase: "AXI stream",
+                component: event.component,
+                kind: event.kind,
+                detail: event.detail,
+            })
+        })
+    }
+}
+
+/// Shared handle to a sink's [`FuzzFindings`].
+pub type FuzzProbe = Rc<RefCell<FuzzFindings>>;
+
+/// A consumer that fuzzes `ready` with seeded stall storms and checks the
+/// beat sequence for protocol violations.
+///
+/// The storms are latency-only: a correct producer delivers every beat in
+/// order regardless, which is exactly what the checker verifies. Beats are
+/// expected as `(instance, index)` counting `0..elements_per_instance` per
+/// instance; a skipped position is reported as a [`FaultKind::DroppedBeat`]
+/// and a repeated position as a [`FaultKind::DuplicatedBeat`], both
+/// surfaced through the [`FuzzProbe`] as a typed
+/// [`CoreError::FaultDetected`].
+pub struct StallFuzzSink {
+    name: String,
+    link: StreamLink,
+    collected: SinkBuffer,
+    probe: FuzzProbe,
+    storm: StormGen,
+    /// `ready` for the cycle currently being evaluated (decided once per
+    /// cycle in the previous `commit`, so `eval` stays idempotent).
+    ready_now: bool,
+    elements_per_instance: u64,
+    /// Next expected flattened position (`instance * epi + index`).
+    expected: u64,
+    detected: FaultCounters,
+}
+
+impl StallFuzzSink {
+    /// Creates a fuzzing sink under `plan`; returns the sink, a shared
+    /// handle to its collected beats, and the findings probe.
+    pub fn new(
+        name: &str,
+        link: StreamLink,
+        plan: FaultPlan,
+        elements_per_instance: u64,
+    ) -> (Self, SinkBuffer, FuzzProbe) {
+        let buf: SinkBuffer = Rc::new(RefCell::new(Vec::new()));
+        let probe: FuzzProbe = Rc::new(RefCell::new(FuzzFindings::default()));
+        let mut storm = StormGen::new(plan, AXI_COMPONENT);
+        let ready_now = !storm.stalled(0);
+        (
+            StallFuzzSink {
+                name: name.to_string(),
+                link,
+                collected: Rc::clone(&buf),
+                probe: Rc::clone(&probe),
+                storm,
+                ready_now,
+                elements_per_instance: elements_per_instance.max(1),
+                expected: 0,
+                detected: FaultCounters::default(),
+            },
+            buf,
+            probe,
+        )
+    }
+
+    fn check_sequence(&mut self, beat: Beat, cycle: u64) {
+        let got = beat.instance * self.elements_per_instance + beat.index;
+        if got == self.expected {
+            self.expected += 1;
+            return;
+        }
+        let kind = if got < self.expected {
+            self.detected.beats_duplicated += 1;
+            FaultKind::DuplicatedBeat
+        } else {
+            self.detected.beats_dropped += got - self.expected;
+            FaultKind::DroppedBeat
+        };
+        let event = FaultEvent {
+            cycle,
+            component: AXI_COMPONENT,
+            kind,
+            detail: self.expected,
+        };
+        let mut findings = self.probe.borrow_mut();
+        if findings.violation.is_none() {
+            findings.violation = Some(event);
+        }
+        // Resynchronise so one violation does not cascade into many.
+        self.expected = got + 1;
+    }
+}
+
+impl Module for StallFuzzSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, _cycle: u64) {
+        self.link.ready.drive(self.ready_now);
+    }
+
+    fn commit(&mut self, cycle: u64) {
+        if self.link.fires() {
+            let beat = self.link.beat.get();
+            self.collected.borrow_mut().push(beat);
+            self.check_sequence(beat, cycle);
+        }
+        // Decide next cycle's ready exactly once per cycle.
+        self.ready_now = !self.storm.stalled(cycle + 1);
+        // Publish a counters snapshot (storm totals plus detections).
+        let mut snap = *self.storm.counters();
+        snap.merge(&self.detected);
+        self.probe.borrow_mut().counters = snap;
+    }
+
+    fn sensitivity(&self) -> Option<Sensitivity> {
+        // `ready` follows the seeded storm schedule, not any wire.
+        Some(Sensitivity::sequential(vec![], vec![self.link.ready.id()]))
+    }
+}
+
+/// A producer that emits a preloaded beat sequence with seeded valid
+/// bubbles, optionally corrupting the sequence (dropping or duplicating
+/// the k-th beat) so a downstream checker can prove it notices.
+///
+/// The bubble schedule reuses the plan's `stall_storm_prob`/`max` fields as
+/// valid-deassertion bursts — latency-only by construction. Corruption
+/// comes from `drop_beat`/`dup_beat` in the profile and is applied to the
+/// item sequence up front, deterministically.
+pub struct StallFuzzSource {
+    name: String,
+    link: StreamLink,
+    items: Vec<Beat>,
+    pos: usize,
+    bubble: StormGen,
+    valid_now: bool,
+    counters: FaultCounters,
+    events: Vec<FaultEvent>,
+}
+
+impl StallFuzzSource {
+    /// Creates a source that emits `items` (after any configured drop/dup
+    /// corruption) under `plan`'s bubble schedule.
+    pub fn new(name: &str, link: StreamLink, plan: FaultPlan, items: Vec<Beat>) -> Self {
+        let mut items = items;
+        let mut counters = FaultCounters::default();
+        let mut events = Vec::new();
+        if let Some(k) = plan.profile.drop_beat {
+            if (k as usize) < items.len() {
+                items.remove(k as usize);
+                counters.beats_dropped += 1;
+                events.push(FaultEvent {
+                    cycle: 0,
+                    component: AXI_COMPONENT,
+                    kind: FaultKind::DroppedBeat,
+                    detail: k,
+                });
+            }
+        }
+        if let Some(k) = plan.profile.dup_beat {
+            if (k as usize) < items.len() {
+                let b = items[k as usize];
+                items.insert(k as usize, b);
+                counters.beats_duplicated += 1;
+                events.push(FaultEvent {
+                    cycle: 0,
+                    component: AXI_COMPONENT,
+                    kind: FaultKind::DuplicatedBeat,
+                    detail: k,
+                });
+            }
+        }
+        let mut bubble = StormGen::new(plan, AXI_COMPONENT);
+        let valid_now = !bubble.stalled(0);
+        StallFuzzSource {
+            name: name.to_string(),
+            link,
+            items,
+            pos: 0,
+            bubble,
+            valid_now,
+            counters,
+            events,
+        }
+    }
+
+    /// True when every item has been transferred.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.items.len()
+    }
+
+    /// Counters of the corruption injected at construction.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// The injection events (at most one drop and one duplicate).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+impl Module for StallFuzzSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, _cycle: u64) {
+        if self.valid_now && self.pos < self.items.len() {
+            let last = self.pos + 1 == self.items.len();
+            self.link.offer(self.items[self.pos], last);
+        } else {
+            self.link.idle();
+        }
+    }
+
+    fn commit(&mut self, cycle: u64) {
+        if self.valid_now && self.pos < self.items.len() && self.link.fires() {
+            self.pos += 1;
+        }
+        self.valid_now = !self.bubble.stalled(cycle + 1);
+    }
+
+    fn sensitivity(&self) -> Option<Sensitivity> {
+        // Like `StreamSource`: no eval-time inputs, drives the valid side.
+        Some(Sensitivity::sequential(
+            vec![],
+            vec![
+                self.link.valid.id(),
+                self.link.beat.id(),
+                self.link.last.id(),
+            ],
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +486,112 @@ mod tests {
         assert!(!axi.finished());
         assert!(axi.resources().registers > 0);
         let _ = &mut sim;
+    }
+
+    use smache_mem::ChaosProfile;
+
+    #[test]
+    fn fuzz_sink_storms_are_absorbed_bit_exact() {
+        let mut sim = Simulator::new();
+        let input: Vec<Word> = (0..121).map(|i| i * 7 + 2).collect();
+        let (axi, link) = paper_axi(&sim, &input, 1);
+        sim.add(Box::new(axi));
+        let plan = FaultPlan::new(0xC0FFEE, ChaosProfile::storms());
+        let (sink, buf, probe) = StallFuzzSink::new("fuzz-consumer", link, plan, 121);
+        sim.add(Box::new(sink));
+
+        sim.run_until(80_000, "fuzzed stream completion", |_| {
+            buf.borrow().len() == 121
+        })
+        .expect("completes under storms");
+
+        let data: Vec<Word> = buf.borrow().iter().map(|b| b.data).collect();
+        assert_eq!(data, golden(&input, 1), "storms must be latency-only");
+        let findings = probe.borrow();
+        assert!(findings.violation.is_none());
+        assert!(findings.counters.storm_cycles > 0, "storms actually fired");
+    }
+
+    /// Builds the flat `(instance, index)` beat sequence the sink expects.
+    fn sequential_beats(instances: u64, epi: u64) -> Vec<Beat> {
+        (0..instances)
+            .flat_map(|inst| {
+                (0..epi).map(move |i| Beat {
+                    data: (inst * epi + i) as Word,
+                    index: i,
+                    instance: inst,
+                })
+            })
+            .collect()
+    }
+
+    fn run_source_to_sink(profile: ChaosProfile, seed: u64) -> (Vec<Beat>, FuzzFindings) {
+        let mut sim = Simulator::new();
+        let link = StreamLink::new(sim.ctx(), "fuzzed");
+        let plan = FaultPlan::new(seed, profile);
+        let items = sequential_beats(2, 8);
+        let n = items.len();
+        let source = StallFuzzSource::new("fuzz-src", link.clone(), plan, items);
+        let expected_beats =
+            n + usize::from(profile.dup_beat.is_some()) - usize::from(profile.drop_beat.is_some());
+        let (sink, buf, probe) = StallFuzzSink::new("fuzz-dst", link, plan, 8);
+        sim.add(Box::new(source));
+        sim.add(Box::new(sink));
+        sim.run_until(10_000, "source drained", |_| {
+            buf.borrow().len() == expected_beats
+        })
+        .expect("drains");
+        let beats = buf.borrow().clone();
+        let findings = probe.borrow().clone();
+        (beats, findings)
+    }
+
+    #[test]
+    fn fuzz_source_clean_sequence_passes_checker() {
+        let (beats, findings) = run_source_to_sink(ChaosProfile::storms(), 42);
+        assert_eq!(beats.len(), 16);
+        assert!(findings.violation.is_none());
+        assert!(findings.error().is_none());
+    }
+
+    #[test]
+    fn dropped_beat_is_detected_with_provenance() {
+        let profile = ChaosProfile {
+            drop_beat: Some(5),
+            ..ChaosProfile::storms()
+        };
+        let (_beats, findings) = run_source_to_sink(profile, 7);
+        let err = findings.error().expect("drop must be detected");
+        match err {
+            CoreError::FaultDetected(d) => {
+                assert_eq!(d.kind, FaultKind::DroppedBeat);
+                assert_eq!(d.component, AXI_COMPONENT);
+                assert_eq!(d.phase, "AXI stream");
+                assert_eq!(d.detail, 5, "first missing flat position");
+                assert!(d.cycle > 0);
+            }
+            other => panic!("expected FaultDetected, got {other}"),
+        }
+        assert_eq!(findings.counters.beats_dropped, 1);
+    }
+
+    #[test]
+    fn duplicated_beat_is_detected_with_provenance() {
+        let profile = ChaosProfile {
+            dup_beat: Some(11),
+            ..ChaosProfile::none()
+        };
+        let (beats, findings) = run_source_to_sink(profile, 7);
+        assert_eq!(beats.len(), 17, "duplicate adds one beat");
+        let err = findings.error().expect("duplicate must be detected");
+        match err {
+            CoreError::FaultDetected(d) => {
+                assert_eq!(d.kind, FaultKind::DuplicatedBeat);
+                assert_eq!(d.component, AXI_COMPONENT);
+                assert_eq!(d.detail, 12, "expected position when the repeat arrived");
+            }
+            other => panic!("expected FaultDetected, got {other}"),
+        }
+        assert_eq!(findings.counters.beats_duplicated, 1);
     }
 }

@@ -61,22 +61,16 @@ impl BatchJob {
     }
 }
 
-/// One completed lane: the run's report plus its cycle accounting.
-#[derive(Debug, Clone)]
-pub struct LaneReport {
-    /// Everything [`SmacheSystem::run`] returned for this lane.
-    pub report: RunReport,
-    /// The lane's cycle accounting: total cycles, result-beat transfers,
-    /// and the remainder as idle (warm-up, DRAM latency, write-back).
-    pub stats: CycleStats,
-}
+/// A batch lane is a plain [`RunReport`] — the unified result shape.
+#[deprecated(since = "0.2.0", note = "a batch lane is a plain `RunReport` now")]
+pub type LaneReport = RunReport;
 
 /// The outcome of [`SmacheSystem::run_batch`]: per-lane results in job
 /// order, plus the merged cycle accounting of the successful lanes.
 #[derive(Debug)]
 pub struct BatchReport {
     /// One entry per job, in the order the jobs were submitted.
-    pub lanes: Vec<CoreResult<LaneReport>>,
+    pub lanes: Vec<CoreResult<RunReport>>,
     /// [`CycleStats`] merged over every successful lane.
     pub aggregate: CycleStats,
 }
@@ -88,18 +82,9 @@ impl BatchReport {
     }
 }
 
-fn run_one(job: BatchJob) -> CoreResult<LaneReport> {
-    let beats = job.plan.grid.len() as u64 * job.instances;
+fn run_one(job: BatchJob) -> CoreResult<RunReport> {
     let mut system = SmacheSystem::new(job.plan, (job.kernel)(), job.config)?;
-    let report = system.run(&job.input, job.instances)?;
-    let cycles = report.metrics.cycles;
-    let stats = CycleStats {
-        cycles,
-        transfers: beats.min(cycles),
-        stall_cycles: 0,
-        idle_cycles: cycles.saturating_sub(beats),
-    };
-    Ok(LaneReport { report, stats })
+    system.run(&job.input, job.instances)
 }
 
 impl SmacheSystem {
@@ -157,8 +142,8 @@ mod tests {
                 a.as_ref().expect("serial ok"),
                 b.as_ref().expect("batch ok"),
             );
-            assert_eq!(a.report.output, b.report.output);
-            assert_eq!(a.report.metrics.cycles, b.report.metrics.cycles);
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.metrics.cycles, b.metrics.cycles);
             assert_eq!(a.stats, b.stats);
         }
         assert_eq!(report_serial.aggregate, report_batched.aggregate);
@@ -171,7 +156,7 @@ mod tests {
         let firsts: Vec<u64> = report
             .lanes
             .iter()
-            .map(|l| l.as_ref().expect("ok").report.output[0])
+            .map(|l| l.as_ref().expect("ok").output[0])
             .collect();
         assert!(firsts[0] < firsts[1] && firsts[1] < firsts[2]);
     }

@@ -85,7 +85,10 @@ impl CascadeSystem {
             ));
         }
         if kernel.latency() == 0 {
-            return Err(CoreError::Config("kernel latency must be >= 1".into()));
+            return Err(CoreError::KernelLatencyZero);
+        }
+        if config.fault_plan.is_active() {
+            return Err(CoreError::ChaosUnsupported { system: "cascade" });
         }
         let n = plan.grid.len();
         let row = config.dram.row_words;
@@ -256,6 +259,7 @@ impl CascadeSystem {
             dram: *self.dram.stats(),
             ops: plan.shape.ops_per_point() * self.n as u64 * depth * passes,
             resources,
+            faults: smache_mem::FaultCounters::default(),
         };
         Ok(CascadeReport {
             output,

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use smache_mem::DramStats;
+use smache_mem::{DramStats, FaultCounters};
 use smache_sim::ResourceUsage;
 
 /// Measured metrics of one design on one workload.
@@ -21,6 +21,8 @@ pub struct DesignMetrics {
     pub ops: u64,
     /// Synthesised resource footprint.
     pub resources: ResourceUsage,
+    /// Injected-fault counters (all zero without an active fault plan).
+    pub faults: FaultCounters,
 }
 
 impl DesignMetrics {
@@ -140,6 +142,7 @@ mod tests {
             },
             ops,
             resources: ResourceUsage::ZERO,
+            faults: FaultCounters::default(),
         }
     }
 

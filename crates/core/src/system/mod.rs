@@ -5,11 +5,15 @@ pub mod batch;
 pub mod cascade;
 pub mod metrics;
 pub mod multilane;
+pub mod report;
 pub mod smache_system;
 
-pub use axi::AxiSmache;
-pub use batch::{BatchJob, BatchReport, KernelFactory, LaneReport};
+pub use axi::{AxiSmache, StallFuzzSink, StallFuzzSource};
+#[allow(deprecated)]
+pub use batch::LaneReport;
+pub use batch::{BatchJob, BatchReport, KernelFactory};
 pub use cascade::{CascadeReport, CascadeSystem};
 pub use metrics::{DesignMetrics, NormalisedMetrics};
 pub use multilane::{MultilaneReport, MultilaneSystem};
-pub use smache_system::{RunReport, SmacheSystem, SystemConfig};
+pub use report::RunReport;
+pub use smache_system::{SmacheSystem, SystemConfig};

@@ -86,7 +86,12 @@ impl MultilaneSystem {
         mut config: SystemConfig,
     ) -> CoreResult<Self> {
         if lanes == 0 || lanes > 16 {
-            return Err(CoreError::Config("lanes must be in 1..=16".into()));
+            return Err(CoreError::LaneCountUnsupported { lanes, max: 16 });
+        }
+        if config.fault_plan.is_active() {
+            return Err(CoreError::ChaosUnsupported {
+                system: "multilane",
+            });
         }
         if plan.statics_are_regions {
             return Err(CoreError::Config(
@@ -101,7 +106,7 @@ impl MultilaneSystem {
             ));
         }
         if kernel.latency() == 0 {
-            return Err(CoreError::Config("kernel latency must be >= 1".into()));
+            return Err(CoreError::KernelLatencyZero);
         }
         config.dram.bus_words = lanes;
         let n = plan.grid.len();
@@ -369,11 +374,10 @@ impl MultilaneSystem {
     /// Runs `instances` work-instances.
     pub fn run(&mut self, input: &[Word], instances: u64) -> CoreResult<MultilaneReport> {
         if input.len() != self.n {
-            return Err(CoreError::Config(format!(
-                "input length {} does not match grid size {}",
-                input.len(),
-                self.n
-            )));
+            return Err(CoreError::InputLengthMismatch {
+                expected: self.n,
+                actual: input.len(),
+            });
         }
         self.dram.preload(self.base[0], input)?;
         self.dram.reset_stats();
@@ -419,6 +423,7 @@ impl MultilaneSystem {
             dram: *self.dram.stats(),
             ops: self.plan.shape.ops_per_point() * self.n as u64 * instances,
             resources,
+            faults: smache_mem::FaultCounters::default(),
         };
         Ok(MultilaneReport {
             output,

@@ -1,0 +1,44 @@
+//! The unified run report — one result shape for every way of running a
+//! Smache system.
+//!
+//! Historically three ad-hoc shapes grew side by side: the report returned
+//! by [`SmacheSystem::run`](crate::system::SmacheSystem::run), the per-lane
+//! wrapper produced by
+//! [`SmacheSystem::run_batch`](crate::system::SmacheSystem::run_batch), and
+//! the row tuples assembled by the bench sweeps. They carried overlapping
+//! data under different names. [`RunReport`] replaces all three: a batch
+//! lane *is* a `RunReport`, and the bench harnesses consume it directly.
+//! The old `LaneReport` name survives one release as a deprecated alias.
+
+use smache_mem::{FaultEvent, Word};
+use smache_sim::CycleStats;
+
+use crate::arch::controller::SmacheResourceBreakdown;
+use crate::system::metrics::DesignMetrics;
+
+/// Everything a completed run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The final grid contents after the last work-instance.
+    pub output: Vec<Word>,
+    /// The Fig. 2 metrics of the run (cycles, Fmax, DRAM traffic, ops,
+    /// resources, fault counters).
+    pub metrics: DesignMetrics,
+    /// Cycles spent in the FSM-1 warm-up prefetch.
+    pub warmup_cycles: u64,
+    /// Chronological log of injected faults (empty without a fault plan;
+    /// capped per component — the counters in `metrics.faults` stay exact).
+    pub fault_events: Vec<FaultEvent>,
+    /// Cycle accounting of the run: transfers (kernel results emitted),
+    /// stall cycles (datapath frozen by back-pressure or chaos), idle.
+    pub stats: CycleStats,
+    /// Per-module resource breakdown (Table I's columns).
+    pub breakdown: SmacheResourceBreakdown,
+}
+
+impl RunReport {
+    /// Fraction of cycles the datapath was frozen by stalls.
+    pub fn stall_fraction(&self) -> f64 {
+        self.stats.stall_fraction()
+    }
+}

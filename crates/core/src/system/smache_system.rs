@@ -12,16 +12,21 @@
 
 use std::collections::VecDeque;
 
-use smache_mem::{Dram, DramConfig, Word};
-use smache_sim::{Beat, ResourceUsage};
+use smache_mem::{DramConfig, FaultPlan, FaultyDram, FaultyFifo, StormGen, Word};
+use smache_sim::{Beat, CycleStats, ResourceUsage};
 
 use crate::arch::controller::{ControllerPhase, SmacheModule, SmacheResourceBreakdown};
 use crate::arch::kernel::Kernel;
 use crate::config::BufferPlan;
 use crate::cost::FreqModel;
-use crate::error::CoreError;
+use crate::error::{CoreError, FaultDiagnostic};
 use crate::system::metrics::DesignMetrics;
 use crate::CoreResult;
+
+pub use crate::system::report::RunReport;
+
+/// Component name used by the system-level chaos stall generator.
+const STALL_COMPONENT: &str = "sys.stall";
 
 /// Tunables of the simulated system.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +44,10 @@ pub struct SystemConfig {
     /// FSM-1 warm-up and re-prefetches the static buffers from DRAM — the
     /// design double buffering makes unnecessary (ablation).
     pub double_buffering: bool,
+    /// Seeded fault-injection schedule (inactive by default). Latency-only
+    /// faults are absorbed; data faults surface as
+    /// [`CoreError::FaultDetected`].
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SystemConfig {
@@ -48,21 +57,18 @@ impl Default for SystemConfig {
             resp_high_water: 8,
             watchdog_cycles_per_element: 64,
             double_buffering: true,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
 
-/// What a completed run produced.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// The final grid contents after the last work-instance.
-    pub output: Vec<Word>,
-    /// The Fig. 2 metrics of the run.
-    pub metrics: DesignMetrics,
-    /// Cycles spent in the FSM-1 warm-up prefetch.
-    pub warmup_cycles: u64,
-    /// Per-module resource breakdown (Table I's columns).
-    pub breakdown: SmacheResourceBreakdown,
+/// Human-readable FSM provenance for fault diagnostics.
+fn phase_name(phase: ControllerPhase) -> &'static str {
+    match phase {
+        ControllerPhase::Warmup => "FSM-1 warm-up",
+        ControllerPhase::Streaming => "FSM-2/3 streaming",
+        ControllerPhase::Done => "done",
+    }
 }
 
 /// What the system stages on the DRAM read channel.
@@ -78,7 +84,7 @@ pub struct SmacheSystem {
     module: SmacheModule,
     kernel: Box<dyn Kernel>,
     config: SystemConfig,
-    dram: Dram,
+    dram: FaultyDram,
     n: usize,
     base: [usize; 2],
     /// Region index the current instance reads from.
@@ -89,7 +95,9 @@ pub struct SmacheSystem {
     prefetch_resp_remaining: usize,
     read_ptr: usize,
     issued_kind: ReadKind,
-    resp_queue: VecDeque<Word>,
+    resp_queue: FaultyFifo,
+    /// Chaos stall-storm generator (present only with an active plan).
+    storm: Option<StormGen>,
     /// Kernel pipeline entries: (remaining latency, element, result).
     kernel_pipe: VecDeque<(u64, usize, Word)>,
     write_queue: VecDeque<(usize, Word)>,
@@ -98,6 +106,10 @@ pub struct SmacheSystem {
     total_instances: u64,
     cycle: u64,
     warmup_cycles: u64,
+    /// Cycles the datapath was frozen (external stall, schedule, or storm).
+    stall_cycles: u64,
+    /// Kernel results emitted (one per element per instance).
+    transfer_count: u64,
     stall: Option<Box<dyn FnMut(u64) -> bool>>,
     /// Observer invoked for every kernel result (the AXI output stream).
     result_tap: Option<Box<dyn FnMut(Beat)>>,
@@ -114,19 +126,21 @@ impl SmacheSystem {
         config: SystemConfig,
     ) -> CoreResult<Self> {
         if kernel.latency() == 0 {
-            return Err(CoreError::Config("kernel latency must be >= 1".into()));
+            return Err(CoreError::KernelLatencyZero);
         }
         let n = plan.grid.len();
         // Ping-pong regions aligned to DRAM rows so reads and writes of one
         // instance live in distinct rows.
         let row = config.dram.row_words;
         let region = n.div_ceil(row) * row;
-        let dram = Dram::new(2 * region + row, config.dram)?;
+        let dram = FaultyDram::new(2 * region + row, config.dram, config.fault_plan)?;
+        let storm = (config.fault_plan.is_active()
+            && config.fault_plan.profile.stall_storm_prob > 0.0)
+            .then(|| StormGen::new(config.fault_plan, STALL_COMPONENT));
         let module = SmacheModule::new(plan)?;
         Ok(SmacheSystem {
             module,
             kernel,
-            config,
             dram,
             n,
             base: [0, region],
@@ -135,7 +149,8 @@ impl SmacheSystem {
             prefetch_resp_remaining: 0,
             read_ptr: 0,
             issued_kind: ReadKind::None,
-            resp_queue: VecDeque::new(),
+            resp_queue: FaultyFifo::new(config.fault_plan),
+            storm,
             kernel_pipe: VecDeque::new(),
             write_queue: VecDeque::new(),
             writes_done: 0,
@@ -143,6 +158,9 @@ impl SmacheSystem {
             total_instances: 0,
             cycle: 0,
             warmup_cycles: 0,
+            stall_cycles: 0,
+            transfer_count: 0,
+            config,
             stall: None,
             result_tap: None,
             tracer: None,
@@ -193,11 +211,10 @@ impl SmacheSystem {
     /// and sets the instance count, without stepping the clock.
     pub fn arm(&mut self, input: &[Word], instances: u64) -> CoreResult<()> {
         if input.len() != self.n {
-            return Err(CoreError::Config(format!(
-                "input length {} does not match grid size {}",
-                input.len(),
-                self.n
-            )));
+            return Err(CoreError::InputLengthMismatch {
+                expected: self.n,
+                actual: input.len(),
+            });
         }
         self.reset();
         self.dram.preload(self.base[0], input)?;
@@ -216,7 +233,16 @@ impl SmacheSystem {
     /// (OR-ed with the installed stall schedule) — the AXI integration
     /// point.
     pub fn step_external(&mut self, external_stall: bool) -> CoreResult<()> {
+        // Chaos decisions are drawn exactly once per cycle, before anything
+        // else, so the fault schedule depends only on the cycle count (and
+        // is therefore identical in both scheduler modes).
+        let chaos_stall = match self.storm.as_mut() {
+            Some(s) => s.stalled(self.cycle),
+            None => false,
+        };
+        self.resp_queue.begin_cycle();
         let stalled = external_stall
+            || chaos_stall
             || match self.stall.as_mut() {
                 Some(f) => f(self.cycle),
                 None => false,
@@ -259,6 +285,17 @@ impl SmacheSystem {
 
         // --- Clock the DRAM ---------------------------------------------
         let report = self.dram.tick();
+        // Parity-style corruption check at the response ingress: a flipped
+        // word must never flow silently into the buffers.
+        if let Some(fault) = self.dram.take_fault() {
+            return Err(CoreError::FaultDetected(FaultDiagnostic {
+                cycle: self.cycle,
+                phase: phase_name(self.module.phase()),
+                component: fault.component,
+                kind: fault.kind,
+                detail: fault.detail,
+            }));
+        }
         if report.read_accepted.is_some() {
             match self.issued_kind {
                 ReadKind::Prefetch => {
@@ -357,6 +394,14 @@ impl SmacheSystem {
             self.in_region = 1 - self.in_region;
         }
 
+        // --- Cycle accounting ---------------------------------------------
+        if stalled {
+            self.stall_cycles += 1;
+        }
+        if emitted {
+            self.transfer_count += 1;
+        }
+
         // --- Waveform probes ----------------------------------------------
         if let Some(tracer) = self.tracer.as_mut() {
             let phase = match self.module.phase() {
@@ -397,11 +442,18 @@ impl SmacheSystem {
         self.read_ptr = 0;
         self.issued_kind = ReadKind::None;
         self.resp_queue.clear();
+        self.resp_queue.reset_chaos();
+        self.dram.reset_chaos();
+        if let Some(s) = self.storm.as_mut() {
+            s.reset_chaos();
+        }
         self.kernel_pipe.clear();
         self.write_queue.clear();
         self.writes_done = 0;
         self.cycle = 0;
         self.warmup_cycles = 0;
+        self.stall_cycles = 0;
+        self.transfer_count = 0;
     }
 
     /// Loads `input` into DRAM, runs `instances` work-instances, and
@@ -428,6 +480,26 @@ impl SmacheSystem {
         let out_region = (instances % 2) as usize;
         let output = self.dram.dump(self.base[out_region], self.n)?;
 
+        let mut faults = *self.dram.counters();
+        faults.merge(self.resp_queue.counters());
+        if let Some(s) = self.storm.as_ref() {
+            faults.merge(s.counters());
+        }
+        let mut fault_events = self.dram.drain_events();
+        if let Some(s) = self.storm.as_mut() {
+            fault_events.extend(s.drain_events());
+        }
+        fault_events.sort_by_key(|e| e.cycle);
+
+        let stats = CycleStats {
+            cycles: self.cycle,
+            transfers: self.transfer_count,
+            stall_cycles: self.stall_cycles,
+            idle_cycles: self
+                .cycle
+                .saturating_sub(self.transfer_count + self.stall_cycles),
+        };
+
         let plan = self.module.plan();
         let breakdown = self.module.resource_breakdown();
         let resources = breakdown.total() + self.kernel.resources();
@@ -438,11 +510,14 @@ impl SmacheSystem {
             dram: *self.dram.stats(),
             ops: plan.shape.ops_per_point() * self.n as u64 * instances,
             resources,
+            faults,
         };
         Ok(RunReport {
             output,
             metrics,
             warmup_cycles: self.warmup_cycles,
+            fault_events,
+            stats,
             breakdown,
         })
     }
@@ -713,6 +788,93 @@ mod tests {
         // A waveform can be rendered.
         let wave = tracer.render_wave(&["fsm2.emit"], 0, 80);
         assert!(wave.contains("fsm2.emit"));
+    }
+
+    fn chaos_system(plan: smache_mem::FaultPlan) -> SmacheSystem {
+        let bp = BufferPlan::analyse(
+            GridSpec::d2(11, 11).unwrap(),
+            StencilShape::four_point_2d(),
+            BoundarySpec::paper_case(),
+            PlanStrategy::GlobalWindow,
+            HybridMode::default(),
+            MemKind::Bram,
+            32,
+        )
+        .unwrap();
+        SmacheSystem::new(
+            bp,
+            Box::new(AverageKernel),
+            SystemConfig {
+                fault_plan: plan,
+                ..SystemConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn latency_only_chaos_is_absorbed_and_costs_cycles() {
+        use smache_mem::{ChaosProfile, FaultPlan};
+        let input: Vec<Word> = (0..121).map(|i| i * 13 + 5).collect();
+        let mut clean = paper_system(HybridMode::default());
+        let clean_report = clean.run(&input, 3).unwrap();
+
+        let mut chaotic = chaos_system(FaultPlan::new(77, ChaosProfile::heavy()));
+        let report = chaotic.run(&input, 3).unwrap();
+
+        assert_eq!(report.output, clean_report.output, "chaos must be absorbed");
+        assert!(report.metrics.cycles > clean_report.metrics.cycles);
+        assert!(
+            report.metrics.faults.any(),
+            "faults must have been injected"
+        );
+        assert_eq!(report.metrics.faults.data_faults_injected(), 0);
+        assert!(!report.fault_events.is_empty());
+        assert!(report.stats.stall_cycles > 0, "storms freeze the datapath");
+    }
+
+    #[test]
+    fn chaos_runs_are_seed_reproducible() {
+        use smache_mem::{ChaosProfile, FaultPlan};
+        let input: Vec<Word> = (0..121).collect();
+        let mut sys = chaos_system(FaultPlan::new(5, ChaosProfile::heavy()));
+        let a = sys.run(&input, 2).unwrap();
+        let b = sys.run(&input, 2).unwrap();
+        assert_eq!(a.metrics.cycles, b.metrics.cycles, "same seed, same run");
+        assert_eq!(a.metrics.faults, b.metrics.faults);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn bit_flip_surfaces_as_typed_fault_with_provenance() {
+        use smache_mem::{ChaosProfile, FaultKind, FaultPlan};
+        let input: Vec<Word> = (0..121).collect();
+        // Response 30 lands mid-stream of the first instance (after the
+        // 22-word warm-up prefetch).
+        let mut sys = chaos_system(FaultPlan::new(9, ChaosProfile::flip(30)));
+        let err = sys.run(&input, 1).unwrap_err();
+        match err {
+            CoreError::FaultDetected(d) => {
+                assert_eq!(d.component, smache_mem::fault::DRAM_COMPONENT);
+                assert_eq!(d.kind, FaultKind::BitFlip);
+                assert!(d.cycle > 0);
+                assert_eq!(d.phase, "FSM-2/3 streaming");
+                assert!(d.detail < 32, "flipped bit position");
+            }
+            other => panic!("expected FaultDetected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_report_stats_account_every_cycle() {
+        let mut sys = paper_system(HybridMode::default());
+        let input: Vec<Word> = (0..121).collect();
+        let report = sys.run(&input, 4).unwrap();
+        let s = &report.stats;
+        assert_eq!(s.cycles, report.metrics.cycles);
+        assert_eq!(s.transfers, 121 * 4, "one emission per element");
+        assert_eq!(s.cycles, s.transfers + s.stall_cycles + s.idle_cycles);
+        assert_eq!(s.stall_cycles, 0, "no stalls without back-pressure");
     }
 
     #[test]

@@ -185,6 +185,25 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
+    /// Returns the device to its power-on timing state: precharges every
+    /// bank, forgets burst detection and cancels all staged and in-flight
+    /// traffic. Contents and statistics are kept. Without this, a run
+    /// following another starts with warm row buffers and finishes a few
+    /// cycles earlier — breaking run-to-run reproducibility.
+    pub fn precharge_all(&mut self) {
+        self.open_rows = vec![None; self.config.num_banks];
+        self.read_busy_until = 0;
+        self.write_busy_until = 0;
+        self.last_read_end = None;
+        self.inflight.clear();
+        self.inflight_wide.clear();
+        self.staged_read = None;
+        self.staged_read_wide = None;
+        self.staged_write = None;
+        self.staged_write_wide = None;
+        self.cycle = 0;
+    }
+
     /// Loads initial contents starting at `base`.
     pub fn preload(&mut self, base: usize, words: &[Word]) -> SimResult<()> {
         let end = base

@@ -25,12 +25,16 @@
 //! are *staged* with idempotent setters during evaluation and take effect in
 //! `tick()`, which the owning module calls exactly once per cycle from its
 //! commit phase.
+//!
+//! The [`fault`] module adds seed-reproducible chaos wrappers around the
+//! substrates ([`FaultyDram`], [`FaultyFifo`]) — see `docs/RESILIENCE.md`.
 
 #![warn(missing_docs)]
 
 pub mod bram;
 pub mod double_buffer;
 pub mod dram;
+pub mod fault;
 pub mod fifo;
 pub mod regfile;
 pub mod shift;
@@ -38,6 +42,10 @@ pub mod shift;
 pub use bram::Bram;
 pub use double_buffer::{DoubleBuffer, MemKind};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use fault::{
+    ChaosProfile, ChaosRng, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultyDram,
+    FaultyFifo, StormGen,
+};
 pub use fifo::{BramFifo, RegFifo};
 pub use regfile::RegFile;
 pub use shift::ShiftReg;

@@ -70,13 +70,22 @@ impl fmt::Display for CycleStats {
 
 /// Streaming min/max/mean/variance accumulator (Welford's algorithm), used
 /// by the benchmark harness to summarise sweeps without storing samples.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// `default()` must match `new()`: a derived implementation would zero
+/// `min`/`max` instead of using the infinities, making the first pushed
+/// sample report `min(x, 0.0)` / `max(x, 0.0)`.
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RunningStats {
@@ -256,6 +265,69 @@ mod tests {
         e.merge(&a);
         assert_eq!(e.count(), 2);
         assert_eq!(e.mean(), before_mean);
+    }
+
+    #[test]
+    fn default_behaves_like_new_for_min_max() {
+        // Regression: a derived Default zeroed min/max, so default().push(5)
+        // reported min = 0.0 and default().push(-5) reported max = 0.0.
+        let mut d = RunningStats::default();
+        d.push(5.0);
+        assert_eq!(d.min(), Some(5.0));
+        assert_eq!(d.max(), Some(5.0));
+        let mut neg = RunningStats::default();
+        neg.push(-5.0);
+        assert_eq!(neg.min(), Some(-5.0));
+        assert_eq!(neg.max(), Some(-5.0));
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_keeps_min_max_and_variance() {
+        let mut a = RunningStats::new();
+        for x in [2.0, 8.0, 5.0] {
+            a.push(x);
+        }
+        let (min, max, var) = (a.min(), a.max(), a.variance());
+        a.merge(&RunningStats::default());
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), min);
+        assert_eq!(a.max(), max);
+        assert!((a.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_nonempty_into_empty_adopts_all_fields() {
+        let mut src = RunningStats::new();
+        src.push(-3.0);
+        src.push(7.0);
+        let mut dst = RunningStats::default();
+        dst.merge(&src);
+        assert_eq!(dst.count(), 2);
+        assert_eq!(dst.min(), Some(-3.0));
+        assert_eq!(dst.max(), Some(7.0));
+        assert!((dst.mean() - 2.0).abs() < 1e-12);
+        // And merging two empties stays empty (min/max stay None).
+        let mut e = RunningStats::default();
+        e.merge(&RunningStats::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+    }
+
+    #[test]
+    fn cycle_stats_merge_with_empty_operands() {
+        let full = CycleStats {
+            cycles: 10,
+            transfers: 4,
+            stall_cycles: 3,
+            idle_cycles: 3,
+        };
+        let mut a = full;
+        a.merge(&CycleStats::default());
+        assert_eq!(a, full);
+        let mut b = CycleStats::default();
+        b.merge(&full);
+        assert_eq!(b, full);
     }
 
     #[test]

@@ -5,10 +5,7 @@
 //! cargo run --example quickstart --release
 //! ```
 
-use smache::arch::kernel::AverageKernel;
-use smache::functional::golden::golden_run;
-use smache::SmacheBuilder;
-use smache_stencil::{BoundarySpec, GridSpec, StencilShape};
+use smache::prelude::*;
 
 fn main() {
     // The paper's validation configuration: an 11×11 grid, a 4-point

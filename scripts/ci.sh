@@ -29,11 +29,16 @@ for bin in fig2 table1 ablations mpstream; do
   cargo run -p smache-bench --bin "$bin" --release >/dev/null
 done
 
+echo "== chaos smoke (fixed seed) =="
+cargo run -p smache-bench --bin chaos --release -- --chaos-seed 7 --instances 5 >/dev/null
+
 echo "== cli smoke =="
 cargo run -p smache-cli --release -- plan >/dev/null
 cargo run -p smache-cli --release -- cost --grid 64x64 >/dev/null
 cargo run -p smache-cli --release -- predict --grid 32x32 --instances 10 >/dev/null
 cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --design both --verify >/dev/null
 cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --batch 2 --jobs 2 --verify >/dev/null
+cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 5 \
+  --chaos-seed 7 --chaos-profile heavy --verify >/dev/null
 
 echo "ALL GREEN"

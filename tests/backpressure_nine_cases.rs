@@ -1,0 +1,147 @@
+//! Golden-equivalence regression for `SimMode::EventDriven` vs
+//! `SimMode::Naive` *under back-pressure*, pinned per boundary case.
+//!
+//! The 11×11 validation grid exhibits all nine 2D boundary cases (four
+//! corners, four edges, interior). For a matrix of stall schedules — both
+//! periodic consumer stalls and seeded chaos stall storms — each case's
+//! representative element must be bit-identical across the two scheduler
+//! modes and equal to the golden functional model. This is the
+//! "correct under any stall pattern" claim of the paper's stall-signal
+//! integration, sliced by boundary case so a regression names the case it
+//! broke.
+
+use smache::prelude::*;
+use smache::system::axi::{AxiSmache, StallFuzzSink};
+use smache_sim::{SimMode, Simulator, StreamLink, StreamSink};
+use smache_stencil::Case2d;
+
+const W: usize = 11;
+
+/// One representative element per boundary case, `(case, row, col)`.
+const REPRESENTATIVES: [(Case2d, usize, usize); 9] = [
+    (Case2d::NorthWest, 0, 0),
+    (Case2d::North, 0, 5),
+    (Case2d::NorthEast, 0, 10),
+    (Case2d::West, 5, 0),
+    (Case2d::Interior, 5, 5),
+    (Case2d::East, 5, 10),
+    (Case2d::SouthWest, 10, 0),
+    (Case2d::South, 10, 5),
+    (Case2d::SouthEast, 10, 10),
+];
+
+fn paper_golden(input: &[Word], instances: u64) -> Vec<Word> {
+    golden_run(
+        &GridSpec::d2(W, W).expect("grid"),
+        &BoundarySpec::paper_case(),
+        &StencilShape::four_point_2d(),
+        &AverageKernel,
+        input,
+        instances,
+    )
+    .expect("golden")
+}
+
+fn paper_system() -> SmacheSystem {
+    SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+        .build()
+        .expect("system")
+}
+
+/// Runs through the AXI boundary with a periodically stalling consumer.
+fn run_periodic(mode: SimMode, input: &[Word], instances: u64, period: u64) -> (Vec<Word>, u64) {
+    let mut sim = Simulator::with_mode(mode);
+    let link = StreamLink::new(sim.ctx(), "results");
+    let axi = AxiSmache::new(paper_system(), link.clone(), input, instances).expect("arm");
+    sim.add(Box::new(axi));
+    let (sink, buf) = if period == 0 {
+        StreamSink::new("consumer", link)
+    } else {
+        StreamSink::with_stalls("consumer", link, period, period / 2)
+    };
+    sim.add(Box::new(sink));
+    let expect = (W * W) as u64 * instances;
+    let done = sim
+        .run_until(200_000, "stalled stream", |_| {
+            buf.borrow().len() as u64 == expect
+        })
+        .expect("completes");
+    let out: Vec<Word> = buf.borrow().iter().map(|b| b.data).collect();
+    (out, done)
+}
+
+/// Runs with a seeded chaos consumer (stall storms on `ready`).
+fn run_stormy(mode: SimMode, input: &[Word], instances: u64, seed: u64) -> (Vec<Word>, u64) {
+    let mut sim = Simulator::with_mode(mode);
+    let link = StreamLink::new(sim.ctx(), "results");
+    let axi = AxiSmache::new(paper_system(), link.clone(), input, instances).expect("arm");
+    sim.add(Box::new(axi));
+    let plan = FaultPlan::new(seed, ChaosProfile::storms());
+    let (sink, buf, probe) = StallFuzzSink::new("consumer", link, plan, (W * W) as u64);
+    sim.add(Box::new(sink));
+    let expect = (W * W) as u64 * instances;
+    let done = sim
+        .run_until(400_000, "stormy stream", |_| {
+            buf.borrow().len() as u64 == expect
+        })
+        .expect("completes");
+    assert!(probe.borrow().violation.is_none());
+    let out: Vec<Word> = buf.borrow().iter().map(|b| b.data).collect();
+    (out, done)
+}
+
+/// Asserts per-case equality of the final instance against the golden
+/// model, naming the boundary case on failure.
+fn assert_nine_cases(tag: &str, out: &[Word], golden: &[Word]) {
+    let last = &out[out.len() - W * W..];
+    for (case, r, c) in REPRESENTATIVES {
+        assert_eq!(Case2d::classify(r, c, W, W).expect("in grid"), case);
+        assert_eq!(
+            last[r * W + c],
+            golden[r * W + c],
+            "{tag}: boundary case {case:?} at ({r},{c})"
+        );
+    }
+    // And the whole grid, not just the representatives.
+    assert_eq!(last, golden, "{tag}: full grid");
+}
+
+#[test]
+fn nine_cases_under_periodic_backpressure_both_modes() {
+    let input: Vec<Word> = (0..(W * W) as u64).map(|i| i * 5 + 3).collect();
+    let golden = paper_golden(&input, 2);
+    for period in [0u64, 2, 3, 7] {
+        let (ev, ev_done) = run_periodic(SimMode::EventDriven, &input, 2, period);
+        let (nv, nv_done) = run_periodic(SimMode::Naive, &input, 2, period);
+        assert_eq!(ev, nv, "period {period}: modes must agree");
+        assert_eq!(ev_done, nv_done, "period {period}: cycle counts agree");
+        assert_nine_cases(&format!("period {period} (event-driven)"), &ev, &golden);
+        assert_nine_cases(&format!("period {period} (naive)"), &nv, &golden);
+    }
+}
+
+#[test]
+fn nine_cases_under_chaos_storms_both_modes() {
+    let input: Vec<Word> = (0..(W * W) as u64).map(|i| i * 9 + 1).collect();
+    let golden = paper_golden(&input, 2);
+    for seed in [1u64, 17, 4096] {
+        let (ev, ev_done) = run_stormy(SimMode::EventDriven, &input, 2, seed);
+        let (nv, nv_done) = run_stormy(SimMode::Naive, &input, 2, seed);
+        assert_eq!(ev, nv, "seed {seed}: modes must agree");
+        assert_eq!(ev_done, nv_done, "seed {seed}: cycle counts agree");
+        assert_nine_cases(&format!("storm seed {seed} (event-driven)"), &ev, &golden);
+        assert_nine_cases(&format!("storm seed {seed} (naive)"), &nv, &golden);
+    }
+}
+
+#[test]
+fn backpressure_only_costs_cycles_never_beats() {
+    let input: Vec<Word> = (0..(W * W) as u64).collect();
+    let (free, free_done) = run_periodic(SimMode::EventDriven, &input, 1, 0);
+    let (slow, slow_done) = run_periodic(SimMode::EventDriven, &input, 1, 2);
+    assert_eq!(free, slow, "stalls must not change the data");
+    assert!(
+        slow_done > free_done,
+        "stalling every other cycle must cost time ({slow_done} vs {free_done})"
+    );
+}

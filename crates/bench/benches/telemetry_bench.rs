@@ -1,0 +1,75 @@
+//! Telemetry overhead guard.
+//!
+//! The observability contract (`docs/OBSERVABILITY.md`) promises that a
+//! system with no telemetry attached pays one branch per cycle and nothing
+//! else. This bench pins that promise with three rungs on the same
+//! workload:
+//!
+//! - `off` — no telemetry attached (the default build, the protected path);
+//! - `counters_only` — telemetry attached with the probe event stream
+//!   disabled (counters, residency and histograms still accumulate);
+//! - `full` — probes and counters both on.
+//!
+//! The `off` rung should match the pre-telemetry baseline; regressions
+//! here mean the zero-overhead gate broke. Alongside the wall-clock
+//! comparison, every rung asserts the simulated cycle count is identical —
+//! telemetry may cost host time, never simulated time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smache::SmacheBuilder;
+use smache_sim::TelemetryConfig;
+use smache_stencil::GridSpec;
+
+fn paper_system() -> SmacheBuilder {
+    SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let input: Vec<u64> = (0..121).collect();
+    let instances = 10u64;
+
+    // The guard proper: all three rungs must simulate the same cycles.
+    let reference = {
+        let mut sys = paper_system().build().expect("system");
+        sys.run(&input, instances).expect("run").metrics.cycles
+    };
+
+    let mut group = c.benchmark_group("telemetry_11x11_10inst");
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let mut sys = paper_system().build().expect("system");
+            let cycles = sys.run(&input, instances).expect("run").metrics.cycles;
+            assert_eq!(cycles, reference, "telemetry-off run must be bit-identical");
+            cycles
+        })
+    });
+    group.bench_function("counters_only", |b| {
+        b.iter(|| {
+            let mut sys = paper_system()
+                .telemetry(TelemetryConfig::default())
+                .build()
+                .expect("system");
+            if let Some(tel) = sys.telemetry_mut() {
+                tel.probes.set_enabled(false);
+            }
+            let cycles = sys.run(&input, instances).expect("run").metrics.cycles;
+            assert_eq!(cycles, reference, "counters must not change the simulation");
+            cycles
+        })
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let mut sys = paper_system()
+                .telemetry(TelemetryConfig::default())
+                .build()
+                .expect("system");
+            let cycles = sys.run(&input, instances).expect("run").metrics.cycles;
+            assert_eq!(cycles, reference, "probes must not change the simulation");
+            cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

@@ -21,12 +21,16 @@ use smache_bench::report::{bar, Table};
 use smache_bench::workloads::paper_problem;
 use smache_mem::{ChaosProfile, FaultPlan};
 
-/// `--flag value` lookup over raw args.
+/// `--flag value` (or `--flag=value`) lookup over raw args.
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
+        })
 }
 
 fn main() {
@@ -38,6 +42,14 @@ fn main() {
         .map(|v| v.parse().expect("--instances wants a number"))
         .unwrap_or(50);
     let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_chaos.json".into());
+    let trace_fmt = arg_value(&args, "--trace");
+    if let Some(fmt) = &trace_fmt {
+        assert!(
+            ["vcd", "chrome", "ascii"].contains(&fmt.as_str()),
+            "--trace wants vcd|chrome|ascii"
+        );
+    }
+    let trace_out = arg_value(&args, "--trace-out");
 
     let workload = paper_problem(11, 11, instances);
     let input = workload.ramp_input();
@@ -81,7 +93,8 @@ fn main() {
         "Throughput",
     ]);
     println!("== Chaos sweep: 11x11, {instances} instance(s), seed {seed} ==\n");
-    for (label, profile) in &points {
+    let n_points = points.len();
+    for (point_ix, (label, profile)) in points.iter().enumerate() {
         let plan = FaultPlan::new(seed, *profile);
         let mut system = workload.smache_with(
             HybridMode::default(),
@@ -90,6 +103,14 @@ fn main() {
                 ..SystemConfig::default()
             },
         );
+        // Counters (stall attribution per fault kind) are always recorded;
+        // the per-cycle probe event stream only when a trace was requested.
+        system.attach_telemetry(smache_sim::TelemetryConfig::default());
+        if trace_fmt.is_none() {
+            if let Some(tel) = system.telemetry_mut() {
+                tel.probes.set_enabled(false);
+            }
+        }
         let report = system
             .run(&input, instances)
             .expect("latency-only chaos must be absorbed");
@@ -107,6 +128,15 @@ fn main() {
             format!("{slowdown:.3}x"),
             bar(throughput, 1.0, 28),
         ]);
+        let tel = report.telemetry.as_ref().expect("telemetry attached");
+        let counters_obj = |pairs: Vec<(String, u64)>| {
+            Json::Obj(
+                pairs
+                    .into_iter()
+                    .map(|(name, v)| (name, Json::Int(v as i64)))
+                    .collect(),
+            )
+        };
         rows.push(Json::obj(vec![
             ("profile", Json::str(label.clone())),
             ("cycles", Json::Int(report.metrics.cycles as i64)),
@@ -125,7 +155,35 @@ fn main() {
             ),
             ("slowdown", Json::Num(slowdown)),
             ("output_matches_golden", Json::Bool(true)),
+            (
+                "telemetry",
+                Json::obj(vec![
+                    // Per-fault-kind stall attribution (cycles the datapath
+                    // froze, keyed by cause) straight from the counters.
+                    ("stall_attribution", counters_obj(tel.with_prefix("stall"))),
+                    ("chaos_counters", counters_obj(tel.with_prefix("chaos"))),
+                    ("fsm2_residency", counters_obj(tel.residency("fsm2"))),
+                ]),
+            ),
         ]));
+        if let (Some(fmt), true) = (&trace_fmt, point_ix + 1 == n_points) {
+            let artifact = system
+                .export_trace(fmt, "smache")
+                .expect("validated trace format");
+            let ext = if *fmt == "chrome" {
+                "json"
+            } else {
+                fmt.as_str()
+            };
+            let out_path = trace_out
+                .clone()
+                .unwrap_or_else(|| format!("BENCH_chaos_trace.{ext}"));
+            std::fs::write(&out_path, &artifact).expect("write trace artifact");
+            println!(
+                "trace ({fmt}, profile `{label}`): {} bytes -> {out_path}",
+                artifact.len()
+            );
+        }
     }
     println!("{t}");
     println!("every run verified bit-exact against the golden reference");

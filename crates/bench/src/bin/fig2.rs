@@ -28,12 +28,16 @@ use smache_bench::parallel_map;
 use smache_bench::report::{bar, Table};
 use smache_bench::workloads::{paper_problem, PaperWorkload};
 
-/// `--flag value` lookup over raw args.
+/// `--flag value` (or `--flag=value`) lookup over raw args.
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
+        })
 }
 
 /// `--chaos-seed`/`--chaos-profile` as a fault plan (inactive when absent).
@@ -79,7 +83,29 @@ fn main() {
             ..Default::default()
         },
     );
+    let trace_fmt = arg_value(&args, "--trace");
+    if let Some(fmt) = &trace_fmt {
+        assert!(
+            ["vcd", "chrome", "ascii"].contains(&fmt.as_str()),
+            "--trace wants vcd|chrome|ascii"
+        );
+        smache.attach_telemetry(smache_sim::TelemetryConfig::default());
+    }
     let sm_report = smache.run(&input, workload.instances).expect("smache run");
+    if let Some(fmt) = &trace_fmt {
+        let artifact = smache
+            .export_trace(fmt, "smache")
+            .expect("validated trace format");
+        let ext = if fmt == "chrome" {
+            "json"
+        } else {
+            fmt.as_str()
+        };
+        let out_path =
+            arg_value(&args, "--trace-out").unwrap_or_else(|| format!("BENCH_fig2_trace.{ext}"));
+        std::fs::write(&out_path, &artifact).expect("write trace artifact");
+        println!("trace ({fmt}): {} bytes -> {out_path}\n", artifact.len());
+    }
 
     // --- Validate both against the golden reference ----------------------
     let golden = golden_run(

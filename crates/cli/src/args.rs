@@ -69,6 +69,14 @@ impl Args {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnknownOption(tok.clone()));
             };
+            // `--key=value` is accepted as a synonym for `--key value`.
+            if let Some((k, v)) = key.split_once('=') {
+                if valued.contains(&k) {
+                    args.options.insert(k.to_string(), v.to_string());
+                    continue;
+                }
+                return Err(ArgError::UnknownOption(k.to_string()));
+            }
             if flags.contains(&key) {
                 args.flags.push(key.to_string());
             } else if valued.contains(&key) {
@@ -139,6 +147,15 @@ mod tests {
         let a = Args::parse(&raw("plan"), &["grid"], &[]).unwrap();
         assert_eq!(a.get_or("grid", "11x11"), "11x11");
         assert_eq!(a.get_num::<u32>("depth", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn equals_syntax_is_a_synonym() {
+        let a = Args::parse(&raw("trace --grid=8x8 --n 3"), &["grid", "n"], &[]).unwrap();
+        assert_eq!(a.get("grid"), Some("8x8"));
+        assert_eq!(a.get_num::<u64>("n", 0).unwrap(), 3);
+        let e = Args::parse(&raw("trace --bogus=1"), &["grid"], &[]).unwrap_err();
+        assert_eq!(e, ArgError::UnknownOption("bogus".into()));
     }
 
     #[test]

@@ -79,8 +79,11 @@ const VALUED: &[&str] = &[
     "jobs",
     "chaos-seed",
     "chaos-profile",
+    "trace",
+    "trace-out",
+    "top",
 ];
-const FLAGS: &[&str] = &["verify", "quiet"];
+const FLAGS: &[&str] = &["verify", "quiet", "analyze"];
 
 /// Usage text.
 pub fn usage() -> String {
@@ -95,6 +98,7 @@ COMMANDS:
   cost       print estimated vs synthesised on-chip memory (Table I style)
   predict    closed-form cycle/time prediction (no simulation)
   simulate   run the cycle-accurate system (and optionally the baseline)
+  trace      run with telemetry and export/analyse the probe trace
   codegen    generate Verilog for the configured instance
   help       this text
 
@@ -118,6 +122,17 @@ SIMULATE OPTIONS:
   --chaos-profile P        off|jitter|storms|drain|heavy|flip:<k> [off]
   --chaos-seed S           fault-injection seed     [0]
   --verify                 check against the golden reference
+  --trace FMT              export a probe trace (vcd|chrome|ascii); needs
+                           --trace-out, single-system runs only
+  --trace-out PATH         file the trace artifact is written to
+
+TRACE OPTIONS (plus the problem/simulate options above):
+  --instances N            work-instances           [1]
+  --trace FMT              vcd|chrome|ascii         [vcd]
+  --trace-out PATH         write the artifact here (else print it)
+  --analyze                print the bottleneck report (stall attribution,
+                           FSM state residency, occupancy histograms)
+  --top K                  stall causes listed by --analyze [5]
 
 CODEGEN OPTIONS:
   --out DIR                output directory         [smache_rtl]
@@ -133,6 +148,7 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "cost" => cmd_cost(&args),
         "predict" => cmd_predict(&args),
         "simulate" | "sim" => cmd_simulate(&args),
+        "trace" => cmd_trace(&args),
         "codegen" => cmd_codegen(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -280,6 +296,101 @@ fn chaos_plan(args: &Args) -> Result<smache_mem::FaultPlan, CliError> {
     Ok(smache_mem::FaultPlan::new(seed, profile))
 }
 
+/// Validates `--trace` against the known exporter formats.
+fn trace_format<'a>(args: &'a Args, default: &'a str) -> Result<&'a str, CliError> {
+    let fmt = args.get_or("trace", default);
+    if ["vcd", "chrome", "ascii"].contains(&fmt) {
+        Ok(fmt)
+    } else {
+        Err(ArgError::BadValue {
+            key: "trace".into(),
+            value: fmt.into(),
+            expected: "vcd|chrome|ascii".into(),
+        }
+        .into())
+    }
+}
+
+/// Exports the system's probe trace, self-checks it, and either writes it
+/// to `--trace-out` or returns it for inline printing.
+fn export_trace(
+    system: &smache::system::SmacheSystem,
+    fmt: &str,
+    args: &Args,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let artifact = system
+        .export_trace(fmt, "smache")
+        .expect("telemetry attached and format validated");
+    let check = match fmt {
+        "vcd" => smache_sim::telemetry::vcd_self_check(&artifact),
+        "chrome" => smache_sim::telemetry::chrome_self_check(&artifact),
+        _ => Ok(()),
+    };
+    if let Err(e) = check {
+        return Err(smache::CoreError::Config(format!("{fmt} self-check failed: {e}")).into());
+    }
+    let tel = system.telemetry().expect("telemetry attached");
+    let events = tel.probes.events().count();
+    let dropped = tel.probes.dropped();
+    match args.get("trace-out") {
+        Some(path) => {
+            std::fs::write(path, &artifact)?;
+            let _ = writeln!(
+                out,
+                "trace: wrote {} bytes of {fmt} ({} probes, {events} events, {dropped} dropped) to {path}",
+                artifact.len(),
+                tel.probes.probe_count(),
+            );
+        }
+        None => out.push_str(&artifact),
+    }
+    Ok(())
+}
+
+/// `trace`: run the cycle-accurate system with telemetry attached, export
+/// the probe trace, and optionally print the bottleneck analysis.
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let spec = ProblemSpec::from_args(args)?;
+    let instances: u64 = args.get_num("instances", 1)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let top: usize = args.get_num("top", 5)?;
+    let fmt = trace_format(args, "vcd")?;
+    let chaos = chaos_plan(args)?;
+
+    let n = spec.grid.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect();
+
+    let mut system = spec
+        .builder()
+        .fault_plan(chaos)
+        .telemetry(smache_sim::TelemetryConfig::default())
+        .build()?;
+    let report = system.run(&input, instances)?;
+
+    let mut out = String::new();
+    export_trace(&system, fmt, args, &mut out)?;
+    if args.flag("analyze") {
+        let _ = writeln!(
+            out,
+            "run: {} cycles, {} beats, stall fraction {:.3}",
+            report.stats.cycles,
+            report.stats.transfers,
+            report.stall_fraction()
+        );
+        let _ = writeln!(
+            out,
+            "dram: row hit rate {:.3} ({} hits / {} misses)",
+            report.metrics.dram_row_hit_rate(),
+            report.metrics.dram.row_hits,
+            report.metrics.dram.row_misses
+        );
+        out.push_str(&report.render_analysis(top));
+    }
+    Ok(out)
+}
+
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let spec = ProblemSpec::from_args(args)?;
     let instances: u64 = args.get_num("instances", 100)?;
@@ -297,6 +408,28 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let chaos = chaos_plan(args)?;
 
     let batch: u64 = args.get_num("batch", 0)?;
+    let lanes: usize = args.get_num("lanes", 1)?;
+    let trace_fmt: Option<&str> = match args.get("trace") {
+        Some(_) => Some(trace_format(args, "vcd")?),
+        None => None,
+    };
+    if trace_fmt.is_some() {
+        if batch > 0 || lanes > 1 || design == "baseline" {
+            return Err(ArgError::BadValue {
+                key: "trace".into(),
+                value: args.get_or("trace", "vcd").into(),
+                expected: "a single-system smache run (no --batch, --lanes or --design baseline)"
+                    .into(),
+            }
+            .into());
+        }
+        if args.get("trace-out").is_none() {
+            return Err(ArgError::MissingValue(
+                "trace-out (simulate prints metrics; the trace goes to a file)".into(),
+            )
+            .into());
+        }
+    }
     if batch > 0 {
         return cmd_simulate_batch(args, &spec, instances, seed, batch);
     }
@@ -318,7 +451,6 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         None
     };
 
-    let lanes: usize = args.get_num("lanes", 1)?;
     let mut out = String::new();
     if design == "smache" || design == "both" {
         let (metrics, output, warmup) = if lanes > 1 {
@@ -336,8 +468,15 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
             let report = system.run(&input, instances)?;
             (report.metrics, report.output, 0)
         } else {
-            let mut system = spec.builder().fault_plan(chaos).build()?;
+            let mut builder = spec.builder().fault_plan(chaos);
+            if trace_fmt.is_some() {
+                builder = builder.telemetry(smache_sim::TelemetryConfig::default());
+            }
+            let mut system = builder.build()?;
             let report = system.run(&input, instances)?;
+            if let Some(fmt) = trace_fmt {
+                export_trace(&system, fmt, args, &mut out)?;
+            }
             (report.metrics, report.output, report.warmup_cycles)
         };
         let _ = writeln!(out, "{metrics}");
@@ -631,6 +770,109 @@ mod tests {
         let out = run_str("simulate --grid 8x8 --instances 3 --lanes 2 --verify").unwrap();
         assert!(out.contains("Smache-x2"), "{out}");
         assert!(out.contains("verified against golden reference"));
+    }
+
+    #[test]
+    fn trace_ascii_inline_renders_probes() {
+        let out = run_str("trace --grid 8x8 --instances 1 --trace ascii").unwrap();
+        assert!(out.contains("ctrl.phase"), "{out}");
+        assert!(out.contains("sys.stall"), "{out}");
+    }
+
+    #[test]
+    fn trace_vcd_inline_passes_self_check() {
+        let out = run_str("trace --grid 8x8 --trace=vcd").unwrap();
+        assert!(out.starts_with("$date"), "{out}");
+        smache_sim::telemetry::vcd_self_check(&out).expect("well-formed VCD");
+    }
+
+    #[test]
+    fn trace_chrome_inline_passes_self_check() {
+        let out = run_str("trace --grid 8x8 --trace chrome").unwrap();
+        smache_sim::telemetry::chrome_self_check(&out).expect("well-formed JSON");
+    }
+
+    #[test]
+    fn trace_analyze_reports_residency_and_stalls() {
+        let out =
+            run_str("trace --grid 8x8 --instances 2 --trace ascii --analyze --top 3").unwrap();
+        assert!(out.contains("top stall contributors"), "{out}");
+        assert!(out.contains("fsm1 state residency"), "{out}");
+        assert!(out.contains("row hit rate"), "{out}");
+    }
+
+    #[test]
+    fn trace_format_is_validated() {
+        assert!(matches!(
+            run_str("trace --grid 8x8 --trace gtkw"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn trace_out_writes_artifact_file() {
+        let path = std::env::temp_dir().join("smache_cli_trace_test.vcd");
+        let out = run_str(&format!(
+            "trace --grid 8x8 --trace vcd --trace-out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("trace: wrote"), "{out}");
+        let artifact = std::fs::read_to_string(&path).unwrap();
+        smache_sim::telemetry::vcd_self_check(&artifact).expect("well-formed VCD");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_trace_requires_out_and_single_system() {
+        assert!(matches!(
+            run_str("simulate --grid 8x8 --instances 1 --trace vcd"),
+            Err(CliError::Args(ArgError::MissingValue(_)))
+        ));
+        assert!(matches!(
+            run_str("simulate --grid 8x8 --trace vcd --trace-out /tmp/x.vcd --lanes 2"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        assert!(matches!(
+            run_str("simulate --grid 8x8 --trace vcd --trace-out /tmp/x.vcd --batch 2"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn simulate_with_trace_writes_artifact_and_metrics() {
+        let path = std::env::temp_dir().join("smache_cli_sim_trace_test.json");
+        let out = run_str(&format!(
+            "simulate --grid 8x8 --instances 1 --trace chrome --trace-out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("trace: wrote"), "{out}");
+        assert!(out.contains("Smache"), "{out}");
+        let artifact = std::fs::read_to_string(&path).unwrap();
+        smache_sim::telemetry::chrome_self_check(&artifact).expect("well-formed JSON");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_trace_off_is_bit_identical() {
+        // Attaching no telemetry must not change the reported cycle count
+        // vs a traced run of the same seed (cycles are in both outputs).
+        let plain = run_str("simulate --grid 8x8 --instances 2 --seed 5").unwrap();
+        let path = std::env::temp_dir().join("smache_cli_identity_test.vcd");
+        let traced = run_str(&format!(
+            "simulate --grid 8x8 --instances 2 --seed 5 --trace vcd --trace-out {}",
+            path.display()
+        ))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        let cycles = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("cycles @"))
+                .map(String::from)
+                .unwrap()
+        };
+        assert_eq!(cycles(&plain), cycles(&traced));
     }
 
     #[test]

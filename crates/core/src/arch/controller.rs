@@ -23,6 +23,7 @@
 //! then reads position `A+1−o`. After the last real element the controller
 //! flushes zeros until every element has passed the centre.
 
+use smache_sim::telemetry::{ProbeKind, ProbeRegistry, Probed};
 use smache_sim::{ResourceUsage, SimResult, Word};
 
 use crate::arch::static_buffer::StaticBank;
@@ -358,6 +359,60 @@ impl SmacheModule {
     /// Testbench access to the stream buffer.
     pub fn stream_buffer(&self) -> &StreamBuffer {
         &self.stream
+    }
+
+    /// FSM-2: index of the next element to emit (the stream-window tail).
+    pub fn next_emit(&self) -> usize {
+        self.next_emit
+    }
+}
+
+/// Labels for the [`ControllerPhase`] telemetry probe; indices match the
+/// numeric encoding used in traces (0 = warmup, 1 = streaming, 2 = done).
+pub const PHASE_LABELS: &[&str] = &["warmup", "streaming", "done"];
+
+/// Numeric trace encoding of a phase, consistent with [`PHASE_LABELS`].
+pub fn phase_code(phase: ControllerPhase) -> u64 {
+    match phase {
+        ControllerPhase::Warmup => 0,
+        ControllerPhase::Streaming => 1,
+        ControllerPhase::Done => 2,
+    }
+}
+
+impl Probed for SmacheModule {
+    fn register_probes(&self, reg: &mut ProbeRegistry) {
+        reg.register("ctrl.phase", ProbeKind::State(PHASE_LABELS));
+        reg.register("ctrl.instance", ProbeKind::Vector(32));
+        reg.register("fsm1.prefetch_remaining", ProbeKind::Vector(16));
+        reg.register("fsm2.next_emit", ProbeKind::Vector(32));
+        reg.register("sbuf.head", ProbeKind::Vector(32));
+        reg.register("sbuf.tail", ProbeKind::Vector(32));
+        reg.register("sbuf.staged", ProbeKind::Bit);
+        for bank in &self.banks {
+            reg.register(&format!("static.{}.bank", bank.spec().id), ProbeKind::Bit);
+        }
+    }
+
+    fn sample_probes(&self, cycle: u64, reg: &mut ProbeRegistry) {
+        reg.sample_path(cycle, "ctrl.phase", phase_code(self.phase));
+        reg.sample_path(cycle, "ctrl.instance", self.instance);
+        reg.sample_path(
+            cycle,
+            "fsm1.prefetch_remaining",
+            self.prefetch_remaining() as u64,
+        );
+        reg.sample_path(cycle, "fsm2.next_emit", self.next_emit as u64);
+        reg.sample_path(cycle, "sbuf.head", self.stream.pushed());
+        reg.sample_path(cycle, "sbuf.tail", self.next_emit as u64);
+        reg.sample_path(cycle, "sbuf.staged", u64::from(self.stream.shift_staged()));
+        for bank in &self.banks {
+            reg.sample_path(
+                cycle,
+                &format!("static.{}.bank", bank.spec().id),
+                bank.active_bank() as u64,
+            );
+        }
     }
 }
 

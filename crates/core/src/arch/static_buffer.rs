@@ -82,6 +82,12 @@ impl StaticBank {
         self.buf.ideal_bits()
     }
 
+    /// Which physical bank (0/1) currently serves reads — the
+    /// bank-select telemetry probe.
+    pub fn active_bank(&self) -> usize {
+        self.buf.active_bank()
+    }
+
     /// Testbench backdoor into a bank.
     pub fn peek(&self, bank: usize, slot: usize) -> Word {
         self.buf.peek(bank, slot)

@@ -39,6 +39,7 @@ pub struct SmacheBuilder {
     system: SystemConfig,
     budget_bits: Option<u64>,
     dedupe_statics: bool,
+    telemetry: Option<smache_sim::TelemetryConfig>,
 }
 
 impl SmacheBuilder {
@@ -62,6 +63,7 @@ impl SmacheBuilder {
             system: SystemConfig::default(),
             budget_bits: None,
             dedupe_statics: false,
+            telemetry: None,
         }
     }
 
@@ -123,6 +125,16 @@ impl SmacheBuilder {
         self
     }
 
+    /// Attaches structured telemetry to the built system (typed probes,
+    /// stall-attribution counters, FSM residency, occupancy histograms);
+    /// see `docs/OBSERVABILITY.md`. Runs then carry a
+    /// [`TelemetrySnapshot`](smache_sim::TelemetrySnapshot) in their
+    /// report. Off by default — and when off, behaviour is bit-identical.
+    pub fn telemetry(mut self, config: smache_sim::TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// Merges overlapping static-buffer regions into single physical
     /// buffers (see [`BufferPlan::dedupe_static_regions`]); off by default
     /// to preserve the paper's per-tuple-element accounting.
@@ -170,7 +182,11 @@ impl SmacheBuilder {
     /// Builds the runnable cycle-accurate system.
     pub fn build(self) -> CoreResult<SmacheSystem> {
         let plan = self.plan()?;
-        SmacheSystem::new(plan, self.kernel, self.system)
+        let mut system = SmacheSystem::new(plan, self.kernel, self.system)?;
+        if let Some(config) = self.telemetry {
+            system.attach_telemetry(config);
+        }
+        Ok(system)
     }
 }
 

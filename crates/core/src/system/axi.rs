@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use smache_mem::{FaultCounters, FaultEvent, FaultKind, FaultPlan, StormGen, Word};
+use smache_sim::telemetry::{ProbeKind, ProbeRegistry, Probed};
 use smache_sim::{Beat, Module, ResourceUsage, Sensitivity, SinkBuffer, StreamLink};
 
 use crate::arch::controller::ControllerPhase;
@@ -129,6 +130,23 @@ impl Module for AxiSmache {
 
     fn resources(&self) -> ResourceUsage {
         self.system.resources()
+    }
+
+    /// The wrapped system's full probe set plus the stream-side
+    /// ready/valid/last wires, so a simulator-attached
+    /// [`ProbeRegistry`] sees the whole design.
+    fn register_probes(&self, reg: &mut ProbeRegistry) {
+        self.system.register_probes(reg);
+        reg.register("axi.valid", ProbeKind::Bit);
+        reg.register("axi.ready", ProbeKind::Bit);
+        reg.register("axi.last", ProbeKind::Bit);
+    }
+
+    fn sample_probes(&self, cycle: u64, reg: &mut ProbeRegistry) {
+        self.system.sample_probes(cycle, reg);
+        reg.sample_path(cycle, "axi.valid", u64::from(self.link.valid.get()));
+        reg.sample_path(cycle, "axi.ready", u64::from(self.link.ready.get()));
+        reg.sample_path(cycle, "axi.last", u64::from(self.link.last.get()));
     }
 
     fn sensitivity(&self) -> Option<Sensitivity> {

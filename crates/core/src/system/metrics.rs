@@ -45,6 +45,18 @@ impl DesignMetrics {
         self.dram.total_kb()
     }
 
+    /// Fraction of row-addressed DRAM accesses that hit an open row
+    /// (0 when the run made none) — the locality figure the bottleneck
+    /// report prints alongside stall attribution.
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let total = self.dram.row_hits + self.dram.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dram.row_hits as f64 / total as f64
+        }
+    }
+
     /// Normalises `self` against a baseline (the paper's Fig. 2 bars).
     pub fn normalised_against(&self, baseline: &DesignMetrics) -> NormalisedMetrics {
         NormalisedMetrics {

@@ -11,7 +11,7 @@
 //! The old `LaneReport` name survives one release as a deprecated alias.
 
 use smache_mem::{FaultEvent, Word};
-use smache_sim::CycleStats;
+use smache_sim::{CycleStats, TelemetrySnapshot};
 
 use crate::arch::controller::SmacheResourceBreakdown;
 use crate::system::metrics::DesignMetrics;
@@ -34,11 +34,25 @@ pub struct RunReport {
     pub stats: CycleStats,
     /// Per-module resource breakdown (Table I's columns).
     pub breakdown: SmacheResourceBreakdown,
+    /// Profiling counters and histograms of the run (stall attribution,
+    /// FSM state residency, queue occupancy, DRAM row-buffer locality).
+    /// `None` unless telemetry was attached before the run.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl RunReport {
     /// Fraction of cycles the datapath was frozen by stalls.
     pub fn stall_fraction(&self) -> f64 {
         self.stats.stall_fraction()
+    }
+
+    /// Renders the bottleneck report (top-`k` stall contributors, FSM
+    /// state residency, occupancy histograms), or an explanatory line when
+    /// the run carried no telemetry.
+    pub fn render_analysis(&self, top_k: usize) -> String {
+        match &self.telemetry {
+            Some(t) => t.render_analysis(self.stats.cycles, top_k),
+            None => "no telemetry recorded (run with telemetry attached)\n".to_string(),
+        }
     }
 }

@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use smache_mem::{DramConfig, FaultPlan, FaultyDram, FaultyFifo, StormGen, Word};
+use smache_sim::telemetry::{ProbeKind, Probed, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use smache_sim::{Beat, CycleStats, ResourceUsage};
 
 use crate::arch::controller::{ControllerPhase, SmacheModule, SmacheResourceBreakdown};
@@ -79,6 +80,20 @@ enum ReadKind {
     Stream,
 }
 
+/// What happened in one cycle, handed to the telemetry sampler.
+#[derive(Debug, Clone, Copy, Default)]
+struct CycleFacts {
+    stalled: bool,
+    external_stall: bool,
+    chaos_stall: bool,
+    sched_stall: bool,
+    starved: bool,
+    emitted: bool,
+    read_accepted: bool,
+    responded: bool,
+    write_accepted: bool,
+}
+
 /// The simulated system.
 pub struct SmacheSystem {
     module: SmacheModule,
@@ -115,6 +130,14 @@ pub struct SmacheSystem {
     result_tap: Option<Box<dyn FnMut(Beat)>>,
     /// Optional waveform tracer (phase, handshakes, stalls).
     tracer: Option<smache_sim::Tracer>,
+    /// Optional structured telemetry (typed probes + profiling counters).
+    /// `None` costs one branch per cycle; see `docs/OBSERVABILITY.md`.
+    telemetry: Option<Box<Telemetry>>,
+    /// The most recent cycle's handshake/stall facts, kept so an external
+    /// probe registry (e.g. a [`smache_sim::Simulator`] sampling an
+    /// [`AxiSmache`](crate::system::axi::AxiSmache)) can read them through
+    /// [`Probed::sample_probes`].
+    facts: CycleFacts,
     scratch_values: Vec<Word>,
 }
 
@@ -164,6 +187,8 @@ impl SmacheSystem {
             stall: None,
             result_tap: None,
             tracer: None,
+            telemetry: None,
+            facts: CycleFacts::default(),
             scratch_values: Vec::new(),
         })
     }
@@ -195,6 +220,29 @@ impl SmacheSystem {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&smache_sim::Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches structured telemetry: every component's typed probes are
+    /// registered now and sampled once per cycle at the end of the commit
+    /// sequence, and the profiling counters (stall attribution, FSM state
+    /// residency, queue-occupancy histograms) start accumulating. A run's
+    /// counters travel in [`RunReport::telemetry`]. With no telemetry
+    /// attached the per-cycle cost is a single branch and behaviour is
+    /// bit-identical (see `docs/OBSERVABILITY.md`).
+    pub fn attach_telemetry(&mut self, config: TelemetryConfig) {
+        let mut tel = Telemetry::new(config);
+        self.register_probes(&mut tel.probes);
+        self.telemetry = Some(Box::new(tel));
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable access to the attached telemetry (export, clear).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut()
     }
 
     /// Current cycle count.
@@ -241,12 +289,18 @@ impl SmacheSystem {
             None => false,
         };
         self.resp_queue.begin_cycle();
-        let stalled = external_stall
-            || chaos_stall
-            || match self.stall.as_mut() {
+        // The schedule closure is consulted only when nothing earlier
+        // already stalls the cycle (same short-circuit as before, kept
+        // explicit so telemetry can attribute the stall to its cause).
+        let sched_stall = if external_stall || chaos_stall {
+            false
+        } else {
+            match self.stall.as_mut() {
                 Some(f) => f(self.cycle),
                 None => false,
-            };
+            }
+        };
+        let stalled = external_stall || chaos_stall || sched_stall;
 
         // --- Stage DRAM read channel -----------------------------------
         let in_base = self.base[self.in_region];
@@ -329,6 +383,7 @@ impl SmacheSystem {
 
         // --- Smache datapath (FSM-2) ------------------------------------
         let mut emitted = false;
+        let mut starved = false;
         if !stalled && self.module.phase() == ControllerPhase::Streaming {
             // Emission reads the settled (pre-edge) window and bank state.
             if let Some(e) = self.module.emit_ready() {
@@ -345,6 +400,8 @@ impl SmacheSystem {
                 if self.module.real_words_remaining() > 0 {
                     if let Some(w) = self.resp_queue.pop_front() {
                         self.module.shift_in(w);
+                    } else {
+                        starved = true;
                     }
                 } else {
                     self.module.shift_in(0);
@@ -426,10 +483,101 @@ impl SmacheSystem {
             );
         }
 
+        // --- Structured telemetry -----------------------------------------
+        // Sampled at the same point as the tracer — after every state
+        // update, before the clock edge — so enabling it cannot perturb
+        // control flow, chaos draws, or cycle counts.
+        self.facts = CycleFacts {
+            stalled,
+            external_stall,
+            chaos_stall,
+            sched_stall,
+            starved,
+            emitted,
+            read_accepted: report.read_accepted.is_some(),
+            responded: report.response.is_some(),
+            write_accepted: report.write_accepted.is_some(),
+        };
+        if let Some(mut tel) = self.telemetry.take() {
+            self.sample_telemetry(&mut tel);
+            self.telemetry = Some(tel);
+        }
+
         // --- Clock the module --------------------------------------------
         self.module.tick()?;
         self.cycle += 1;
         Ok(())
+    }
+
+    /// Records one cycle's probes, stall attribution, FSM residency and
+    /// queue occupancy. Reads system state only — never mutates it.
+    fn sample_telemetry(&self, tel: &mut Telemetry) {
+        let facts = self.facts;
+        let cycle = self.cycle;
+        if tel.probes.enabled() {
+            self.sample_probes(cycle, &mut tel.probes);
+        }
+        let ctr = &mut tel.counters;
+        let bump = |ctr: &mut smache_sim::CounterRegistry, name: &str| {
+            let id = ctr.counter(name);
+            ctr.inc(id);
+        };
+        // Stall attribution: at most one cause per cycle, priority matching
+        // the short-circuit order of the stall computation. Starvation is
+        // not a frozen-datapath stall (it lands in idle cycles) but it is a
+        // throughput loss, so it competes in the same ranking.
+        if facts.external_stall {
+            bump(ctr, "stall.axi_backpressure");
+        } else if facts.chaos_stall {
+            bump(ctr, "stall.chaos_storm");
+        } else if facts.sched_stall {
+            bump(ctr, "stall.schedule");
+        } else if facts.starved {
+            bump(ctr, "stall.dram_starved");
+        }
+        // FSM state residency: exactly one state per FSM per cycle, so
+        // every FSM's states sum to the run's total cycle count.
+        let phase = self.module.phase();
+        bump(
+            ctr,
+            match phase {
+                ControllerPhase::Warmup => "residency.fsm1.prefetch",
+                ControllerPhase::Streaming => "residency.fsm1.idle",
+                ControllerPhase::Done => "residency.fsm1.done",
+            },
+        );
+        bump(
+            ctr,
+            match phase {
+                ControllerPhase::Warmup => "residency.fsm2.warmup",
+                ControllerPhase::Done => "residency.fsm2.done",
+                ControllerPhase::Streaming => {
+                    if facts.stalled {
+                        "residency.fsm2.stalled"
+                    } else if facts.emitted {
+                        "residency.fsm2.emit"
+                    } else if facts.starved {
+                        "residency.fsm2.starved"
+                    } else {
+                        "residency.fsm2.fill"
+                    }
+                }
+            },
+        );
+        bump(
+            ctr,
+            match phase {
+                ControllerPhase::Done => "residency.fsm3.done",
+                _ if facts.write_accepted => "residency.fsm3.write",
+                _ => "residency.fsm3.idle",
+            },
+        );
+        let h = ctr.histogram("occupancy.resp_fifo");
+        ctr.observe(h, self.resp_queue.len() as u64);
+        let h = ctr.histogram("occupancy.write_queue");
+        ctr.observe(h, self.write_queue.len() as u64);
+        let h = ctr.histogram("occupancy.dram_inflight");
+        ctr.observe(h, self.dram.inflight() as u64);
     }
 
     /// Resets all run state so the system can execute a fresh workload.
@@ -454,6 +602,10 @@ impl SmacheSystem {
         self.warmup_cycles = 0;
         self.stall_cycles = 0;
         self.transfer_count = 0;
+        // Telemetry data is per-run; registrations survive.
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.clear();
+        }
     }
 
     /// Loads `input` into DRAM, runs `instances` work-instances, and
@@ -500,6 +652,31 @@ impl SmacheSystem {
                 .saturating_sub(self.transfer_count + self.stall_cycles),
         };
 
+        // Fold end-of-run component statistics into the telemetry counters
+        // (they are cheaper to copy once than to track per cycle), then
+        // snapshot for the report.
+        let dram_stats = *self.dram.stats();
+        let telemetry: Option<TelemetrySnapshot> = self.telemetry.as_mut().map(|tel| {
+            let ctr = &mut tel.counters;
+            let mut set = |name: &str, value: u64| {
+                let id = ctr.counter(name);
+                ctr.set(id, value);
+            };
+            set("dram.reads", dram_stats.reads);
+            set("dram.writes", dram_stats.writes);
+            set("dram.row_hits", dram_stats.row_hits);
+            set("dram.row_misses", dram_stats.row_misses);
+            set("dram.read_stall_cycles", dram_stats.read_stall_cycles);
+            set("chaos.jitter_events", faults.jitter_events);
+            set("chaos.jitter_cycles_added", faults.jitter_cycles_added);
+            set("chaos.stall_storms", faults.stall_storms);
+            set("chaos.storm_cycles", faults.storm_cycles);
+            set("chaos.slow_drain_cycles", faults.slow_drain_cycles);
+            set("chaos.beats_dropped", faults.beats_dropped);
+            set("chaos.beats_duplicated", faults.beats_duplicated);
+            tel.snapshot()
+        });
+
         let plan = self.module.plan();
         let breakdown = self.module.resource_breakdown();
         let resources = breakdown.total() + self.kernel.resources();
@@ -519,6 +696,7 @@ impl SmacheSystem {
             fault_events,
             stats,
             breakdown,
+            telemetry,
         })
     }
 
@@ -527,9 +705,52 @@ impl SmacheSystem {
         self.module.resource_breakdown().total() + self.kernel.resources()
     }
 
+    /// Render helper for external drivers: exports the probe trace in the
+    /// named format (`vcd`, `chrome` or `ascii`). Returns `None` when no
+    /// telemetry is attached or the format is unknown.
+    pub fn export_trace(&self, format: &str, top: &str) -> Option<String> {
+        let tel = self.telemetry.as_deref()?;
+        match format {
+            "vcd" => Some(tel.probes.export_vcd(top)),
+            "chrome" => Some(tel.probes.export_chrome(top)),
+            "ascii" => Some(tel.probes.export_ascii()),
+            _ => None,
+        }
+    }
+
     /// Per-part resource breakdown.
     pub fn resource_breakdown(&self) -> SmacheResourceBreakdown {
         self.module.resource_breakdown()
+    }
+}
+
+impl Probed for SmacheSystem {
+    /// Registers every component's probes plus the system-level handshake
+    /// and stall bits — the same probe set whether the registry lives on
+    /// the system itself ([`SmacheSystem::attach_telemetry`]) or on an
+    /// enclosing simulator sampling an
+    /// [`AxiSmache`](crate::system::axi::AxiSmache).
+    fn register_probes(&self, reg: &mut smache_sim::ProbeRegistry) {
+        self.module.register_probes(reg);
+        self.dram.register_probes(reg);
+        self.resp_queue.register_probes(reg);
+        reg.register("sys.stall", ProbeKind::Bit);
+        reg.register("fsm2.emit", ProbeKind::Bit);
+        reg.register("axi.read_accept", ProbeKind::Bit);
+        reg.register("axi.resp", ProbeKind::Bit);
+        reg.register("axi.write_accept", ProbeKind::Bit);
+    }
+
+    fn sample_probes(&self, cycle: u64, reg: &mut smache_sim::ProbeRegistry) {
+        self.module.sample_probes(cycle, reg);
+        self.dram.sample_probes(cycle, reg);
+        self.resp_queue.sample_probes(cycle, reg);
+        let facts = self.facts;
+        reg.sample_path(cycle, "sys.stall", u64::from(facts.stalled));
+        reg.sample_path(cycle, "fsm2.emit", u64::from(facts.emitted));
+        reg.sample_path(cycle, "axi.read_accept", u64::from(facts.read_accepted));
+        reg.sample_path(cycle, "axi.resp", u64::from(facts.responded));
+        reg.sample_path(cycle, "axi.write_accept", u64::from(facts.write_accepted));
     }
 }
 

@@ -180,6 +180,13 @@ impl Dram {
         &self.stats
     }
 
+    /// The row currently open in `bank`'s row buffer, or `None` when the
+    /// bank is precharged (or out of range). Exposed for row-buffer-state
+    /// telemetry probes.
+    pub fn open_row(&self, bank: usize) -> Option<usize> {
+        self.open_rows.get(bank).copied().flatten()
+    }
+
     /// Resets the statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();

@@ -27,6 +27,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use smache_sim::telemetry::{ProbeKind, ProbeRegistry, Probed};
 use smache_sim::{SimResult, Word};
 
 use crate::dram::{Dram, DramConfig, DramStats, DramTick};
@@ -536,6 +537,18 @@ impl FaultyDram {
         self.inner.stats()
     }
 
+    /// The row currently open in `bank`'s row buffer (see
+    /// [`Dram::open_row`]).
+    pub fn open_row(&self, bank: usize) -> Option<usize> {
+        self.inner.open_row(bank)
+    }
+
+    /// Number of read responses held back in the in-order chaos release
+    /// queue (0 when the fault plan adds no latency).
+    pub fn inflight(&self) -> usize {
+        self.delayed.len()
+    }
+
     /// Resets the traffic statistics.
     pub fn reset_stats(&mut self) {
         self.inner.reset_stats();
@@ -770,6 +783,41 @@ impl FaultyFifo {
         self.rng = self.plan.stream(FIFO_COMPONENT);
         self.drain_blocked = false;
         self.counters = FaultCounters::default();
+    }
+}
+
+impl Probed for FaultyDram {
+    fn register_probes(&self, reg: &mut ProbeRegistry) {
+        reg.register("dram.inflight", ProbeKind::Vector(16));
+        for bank in 0..self.config().num_banks {
+            reg.register(&format!("dram.row_open.{bank}"), ProbeKind::Vector(32));
+        }
+    }
+
+    fn sample_probes(&self, cycle: u64, reg: &mut ProbeRegistry) {
+        reg.sample_path(cycle, "dram.inflight", self.inflight() as u64);
+        for bank in 0..self.config().num_banks {
+            // Encode the row-buffer state as row+1, with 0 = precharged,
+            // so a closed bank is distinguishable from an open row 0.
+            let v = self.open_row(bank).map(|r| r as u64 + 1).unwrap_or(0);
+            reg.sample_path(cycle, &format!("dram.row_open.{bank}"), v);
+        }
+    }
+}
+
+impl Probed for FaultyFifo {
+    fn register_probes(&self, reg: &mut ProbeRegistry) {
+        reg.register("resp_fifo.occupancy", ProbeKind::Vector(16));
+        reg.register("resp_fifo.stall.drain_blocked", ProbeKind::Bit);
+    }
+
+    fn sample_probes(&self, cycle: u64, reg: &mut ProbeRegistry) {
+        reg.sample_path(cycle, "resp_fifo.occupancy", self.len() as u64);
+        reg.sample_path(
+            cycle,
+            "resp_fifo.stall.drain_blocked",
+            u64::from(self.drain_blocked),
+        );
     }
 }
 

@@ -39,6 +39,10 @@
 //!   (`valid`/`ready`/`data`/`last`), the paper's integration interface.
 //! * [`stats`] — cycle and throughput accounting.
 //! * [`trace`] — a lightweight VCD-like trace recorder for debugging.
+//! * [`telemetry`] — first-class observability: a hierarchical typed
+//!   [`ProbeRegistry`] sampled in the commit
+//!   phase (identical traces in both scheduler modes), profiling
+//!   counters/histograms, and real VCD / Chrome `trace_event` exporters.
 //! * [`resources`] — FPGA resource accounting (ALMs, registers, BRAM bits)
 //!   shared by every simulated module; this is how "actual" utilisation
 //!   numbers for Table I of the paper are produced.
@@ -54,6 +58,7 @@ pub mod signal;
 pub mod sim;
 pub mod stats;
 pub mod stream;
+pub mod telemetry;
 pub mod trace;
 
 pub use error::SimError;
@@ -65,7 +70,11 @@ pub use signal::{Reg, SimCtx, Wire, WireId};
 pub use sim::{SimMode, Simulator};
 pub use stats::{CycleStats, RunningStats};
 pub use stream::{Beat, SinkBuffer, StreamLink, StreamSink, StreamSource};
-pub use trace::{Tracer, TracerConfig};
+pub use telemetry::{
+    CounterRegistry, Histogram, ProbeId, ProbeKind, ProbeRegistry, Probed, Telemetry,
+    TelemetryConfig, TelemetrySnapshot,
+};
+pub use trace::{TraceOverflow, Tracer, TracerConfig};
 
 /// The raw transfer word used throughout the simulated designs.
 ///

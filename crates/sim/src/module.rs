@@ -89,6 +89,19 @@ pub trait Module {
     fn sensitivity(&self) -> Option<Sensitivity> {
         None
     }
+
+    /// Declares this module's telemetry probes; called once when a
+    /// [`ProbeRegistry`](crate::telemetry::ProbeRegistry) is attached to
+    /// the simulator (and again for modules added later). The default
+    /// registers nothing.
+    fn register_probes(&self, _reg: &mut crate::telemetry::ProbeRegistry) {}
+
+    /// Samples this module's probes for `cycle`. Runs once per cycle after
+    /// every [`Module::commit`], when all values have settled — which is
+    /// why the event-driven and naive scheduler modes produce identical
+    /// traces. Must not mutate architectural state. The default samples
+    /// nothing.
+    fn sample_probes(&self, _cycle: u64, _reg: &mut crate::telemetry::ProbeRegistry) {}
 }
 
 #[cfg(test)]

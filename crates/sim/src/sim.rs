@@ -5,6 +5,7 @@ use crate::module::Module;
 use crate::resources::ResourceUsage;
 use crate::sched::{SchedStats, Schedule};
 use crate::signal::SimCtx;
+use crate::telemetry::ProbeRegistry;
 use crate::SimResult;
 
 /// Maximum delta passes per cycle before declaring a combinational loop.
@@ -36,6 +37,8 @@ pub struct Simulator {
     /// Built lazily on the first step, invalidated by [`Simulator::add`].
     schedule: Option<Schedule>,
     stats: SchedStats,
+    /// Attached probe registry; `None` costs one branch per cycle.
+    telemetry: Option<ProbeRegistry>,
 }
 
 impl Simulator {
@@ -54,6 +57,7 @@ impl Simulator {
             mode,
             schedule: None,
             stats: SchedStats::default(),
+            telemetry: None,
         }
     }
 
@@ -71,8 +75,38 @@ impl Simulator {
     /// [`Sensitivity`](crate::Sensitivity) declarations at the next step;
     /// convergence never depends on registration order.
     pub fn add(&mut self, module: Box<dyn Module>) {
+        if let Some(reg) = self.telemetry.as_mut() {
+            module.register_probes(reg);
+        }
         self.modules.push(module);
         self.schedule = None;
+    }
+
+    /// Attaches a probe registry: every registered module declares its
+    /// probes now (late-added modules register on [`Simulator::add`]) and
+    /// is sampled once per cycle after the commit phase. Sampling sees
+    /// settled post-commit values, so both [`SimMode`]s produce identical
+    /// traces. With no registry attached the cost is one branch per cycle.
+    pub fn attach_telemetry(&mut self, mut registry: ProbeRegistry) {
+        for m in &self.modules {
+            m.register_probes(&mut registry);
+        }
+        self.telemetry = Some(registry);
+    }
+
+    /// The attached probe registry, if any.
+    pub fn telemetry(&self) -> Option<&ProbeRegistry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the attached probe registry (to export or clear).
+    pub fn telemetry_mut(&mut self) -> Option<&mut ProbeRegistry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Detaches and returns the probe registry.
+    pub fn take_telemetry(&mut self) -> Option<ProbeRegistry> {
+        self.telemetry.take()
     }
 
     /// Current cycle number (cycles completed so far).
@@ -134,6 +168,15 @@ impl Simulator {
         }
         for m in &mut self.modules {
             m.commit(self.cycle);
+        }
+        // Probe sampling happens here — after every commit, in both
+        // modes — so traces are mode-independent by construction.
+        if let Some(reg) = self.telemetry.as_mut() {
+            if reg.enabled() {
+                for m in &self.modules {
+                    m.sample_probes(self.cycle, reg);
+                }
+            }
         }
         self.cycle += 1;
         self.stats.cycles += 1;
@@ -341,5 +384,54 @@ mod tests {
         let mut sim = Simulator::new();
         sim.run(17).unwrap();
         assert_eq!(sim.cycle(), 17);
+    }
+
+    /// A counter module that exposes its register through a probe.
+    struct Counting {
+        reg: Reg<u32>,
+    }
+    impl Module for Counting {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn eval(&mut self, _c: u64) {
+            self.reg.set(self.reg.q().wrapping_add(1));
+        }
+        fn commit(&mut self, _c: u64) {
+            self.reg.tick();
+        }
+        fn register_probes(&self, reg: &mut ProbeRegistry) {
+            reg.register("counting.value", crate::telemetry::ProbeKind::Vector(32));
+        }
+        fn sample_probes(&self, cycle: u64, reg: &mut ProbeRegistry) {
+            reg.sample_path(cycle, "counting.value", u64::from(self.reg.q()));
+        }
+    }
+
+    #[test]
+    fn telemetry_sampling_is_identical_across_modes() {
+        let run = |mode: SimMode| -> String {
+            let mut sim = Simulator::with_mode(mode);
+            sim.add(Box::new(Counting { reg: Reg::new(0) }));
+            sim.attach_telemetry(ProbeRegistry::new(Default::default()));
+            sim.run(8).unwrap();
+            sim.telemetry().expect("attached").export_vcd("t")
+        };
+        let event_driven = run(SimMode::EventDriven);
+        let naive = run(SimMode::Naive);
+        assert_eq!(event_driven, naive);
+        crate::telemetry::vcd_self_check(&event_driven).expect("valid VCD");
+    }
+
+    #[test]
+    fn late_added_modules_register_probes() {
+        let mut sim = Simulator::new();
+        sim.attach_telemetry(ProbeRegistry::new(Default::default()));
+        sim.add(Box::new(Counting { reg: Reg::new(0) }));
+        sim.run(3).unwrap();
+        let reg = sim.telemetry().expect("attached");
+        assert_eq!(reg.paths(), vec!["counting.value"]);
+        // Post-commit sampling sees the committed value: 1 after cycle 0.
+        assert_eq!(reg.events_for("counting.value")[0], (0, 1));
     }
 }

@@ -31,6 +31,8 @@ done
 
 echo "== chaos smoke (fixed seed) =="
 cargo run -p smache-bench --bin chaos --release -- --chaos-seed 7 --instances 5 >/dev/null
+grep -q '"stall_attribution"' BENCH_chaos.json || {
+  echo "BENCH_chaos.json is missing the telemetry stall attribution"; exit 1; }
 
 echo "== cli smoke =="
 cargo run -p smache-cli --release -- plan >/dev/null
@@ -40,5 +42,28 @@ cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --design 
 cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --batch 2 --jobs 2 --verify >/dev/null
 cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 5 \
   --chaos-seed 7 --chaos-profile heavy --verify >/dev/null
+
+echo "== trace smoke (artifacts + self-checks + no-trace cycle guard) =="
+# The CLI self-checks every artifact before writing; a non-empty file
+# therefore implies a parseable trace.
+trace_tmp=$(mktemp -d)
+cargo run -p smache-cli --release -- trace --grid 8x8 --instances 2 \
+  --trace=vcd --trace-out "$trace_tmp/smoke.vcd" >/dev/null
+test -s "$trace_tmp/smoke.vcd" || { echo "empty VCD artifact"; exit 1; }
+grep -q '\$enddefinitions' "$trace_tmp/smoke.vcd" || { echo "malformed VCD"; exit 1; }
+cargo run -p smache-cli --release -- trace --grid 8x8 --instances 2 \
+  --trace=chrome --trace-out "$trace_tmp/smoke.json" >/dev/null
+test -s "$trace_tmp/smoke.json" || { echo "empty Chrome trace"; exit 1; }
+grep -q '"traceEvents"' "$trace_tmp/smoke.json" || { echo "malformed Chrome trace"; exit 1; }
+cargo run -p smache-cli --release -- trace --grid 8x8 --instances 2 \
+  --trace=ascii --analyze >/dev/null
+# Telemetry off must not move a single cycle: same seed with and without
+# a trace attached reports identical metrics lines.
+plain=$(cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 3 --seed 11 | grep 'cycles @')
+traced=$(cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 3 --seed 11 \
+  --trace vcd --trace-out "$trace_tmp/guard.vcd" | grep 'cycles @')
+[ "$plain" = "$traced" ] || {
+  echo "telemetry changed the cycle count:"; echo " off: $plain"; echo "  on: $traced"; exit 1; }
+rm -rf "$trace_tmp"
 
 echo "ALL GREEN"

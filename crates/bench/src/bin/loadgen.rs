@@ -1,0 +1,275 @@
+//! Load generator for `smache serve`: throughput, latency percentiles,
+//! and cache effectiveness versus request repeat ratio.
+//!
+//! For each repeat ratio (0% / 50% / 100%) a fresh server is started on a
+//! Unix socket and driven two ways:
+//!
+//! * **closed loop** — C client threads (sharded with the same
+//!   [`run_batch`] primitive the simulator uses),
+//!   each holding one connection and issuing requests in lockstep;
+//!   per-request latencies give p50/p99.
+//! * **open loop** — one connection pipelines every request before
+//!   reading any response; wall time gives peak throughput unthrottled
+//!   by client think-time.
+//!
+//! A "repeat" re-issues one hot request (same spec, same seed — a cache
+//! hit after first execution); a "unique" request uses a fresh seed and
+//! must simulate. The headline check: 100%-repeat throughput must beat
+//! 0%-repeat by a wide margin, demonstrating the content-addressed cache.
+//! Results land in `BENCH_serve.json` (`--json PATH` overrides).
+//!
+//! ```text
+//! cargo run -p smache-bench --bin loadgen --release
+//! ```
+
+use std::time::Instant;
+
+use smache_bench::json::Json;
+use smache_bench::report::Table;
+use smache_serve::{start, Client, Listen, ServeConfig};
+use smache_sim::run_batch;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
+        })
+}
+
+/// The benchmark workload: expensive enough that a miss visibly
+/// simulates, small enough that a full sweep stays in seconds.
+const GRID: &str = "32x32";
+const INSTANCES: u64 = 2;
+/// The hot request every "repeat" re-issues.
+const HOT_SEED: u64 = 42;
+
+fn request_line(id: usize, seed: u64) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(format!("r{id}"))),
+        ("cmd", Json::str("simulate")),
+        ("spec", Json::obj(vec![("grid", Json::str(GRID))])),
+        ("seed", Json::Int(seed as i64)),
+        ("instances", Json::Int(INSTANCES as i64)),
+    ])
+}
+
+/// The seed for request `j` of client `client` at `repeat_pct`:
+/// repeats hit [`HOT_SEED`], uniques never collide across clients.
+fn seed_for(repeat_pct: u32, client: usize, j: usize) -> u64 {
+    let is_repeat = match repeat_pct {
+        0 => false,
+        100 => true,
+        _ => j.is_multiple_of(2),
+    };
+    if is_repeat {
+        HOT_SEED
+    } else {
+        1_000 + (client as u64) * 10_000 + j as u64
+    }
+}
+
+struct LoopResult {
+    wall_s: f64,
+    latencies_us: Vec<u64>,
+    hits: u64,
+    oks: u64,
+    rejected: u64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn closed_loop(addr: &str, clients: usize, per_client: usize, repeat_pct: u32) -> LoopResult {
+    let started = Instant::now();
+    let shards = run_batch((0..clients).collect(), clients, |client| {
+        let mut conn = Client::connect(addr).expect("connect");
+        let mut latencies = Vec::with_capacity(per_client);
+        let (mut hits, mut oks, mut rejected) = (0u64, 0u64, 0u64);
+        for j in 0..per_client {
+            let req = request_line(client * per_client + j, seed_for(repeat_pct, client, j));
+            let t0 = Instant::now();
+            let resp = conn.call(&req).expect("call");
+            latencies.push(t0.elapsed().as_micros() as u64);
+            match resp.get("status").and_then(Json::as_str) {
+                Some("ok") => {
+                    oks += 1;
+                    if resp.get("cached").and_then(Json::as_bool) == Some(true) {
+                        hits += 1;
+                    }
+                }
+                Some("rejected") => rejected += 1,
+                other => panic!("unexpected response status {other:?}"),
+            }
+        }
+        (latencies, hits, oks, rejected)
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let mut out = LoopResult {
+        wall_s,
+        latencies_us: Vec::new(),
+        hits: 0,
+        oks: 0,
+        rejected: 0,
+    };
+    for (lat, hits, oks, rejected) in shards {
+        out.latencies_us.extend(lat);
+        out.hits += hits;
+        out.oks += oks;
+        out.rejected += rejected;
+    }
+    out.latencies_us.sort_unstable();
+    out
+}
+
+fn open_loop(addr: &str, total: usize, repeat_pct: u32) -> LoopResult {
+    // Client id 999 keeps open-loop unique seeds disjoint from the
+    // closed-loop pass's, so 0%-repeat traffic really misses.
+    let mut conn = Client::connect(addr).expect("connect");
+    let started = Instant::now();
+    for j in 0..total {
+        conn.send(&request_line(j, seed_for(repeat_pct, 999, j)))
+            .expect("send");
+    }
+    let (mut hits, mut oks, mut rejected) = (0u64, 0u64, 0u64);
+    for _ in 0..total {
+        let resp = conn.recv().expect("recv");
+        match resp.get("status").and_then(Json::as_str) {
+            Some("ok") => {
+                oks += 1;
+                if resp.get("cached").and_then(Json::as_bool) == Some(true) {
+                    hits += 1;
+                }
+            }
+            _ => rejected += 1,
+        }
+    }
+    LoopResult {
+        wall_s: started.elapsed().as_secs_f64(),
+        latencies_us: Vec::new(),
+        hits,
+        oks,
+        rejected,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients: usize = arg_value(&args, "--clients")
+        .map(|v| v.parse().expect("--clients wants a number"))
+        .unwrap_or(4);
+    let per_client: usize = arg_value(&args, "--requests")
+        .map(|v| v.parse().expect("--requests wants a number"))
+        .unwrap_or(16);
+    let workers: usize = arg_value(&args, "--workers")
+        .map(|v| v.parse().expect("--workers wants a number"))
+        .unwrap_or(4);
+    let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let total = clients * per_client;
+    println!(
+        "== serve loadgen: {GRID} x{INSTANCES}, {clients} clients x {per_client} requests, {workers} workers ==\n"
+    );
+
+    let mut table = Table::new(vec![
+        "Repeat", "Mode", "req/s", "p50 us", "p99 us", "hit rate", "rejected",
+    ]);
+    let mut rows = Vec::new();
+    let mut closed_rps = std::collections::BTreeMap::new();
+
+    for repeat_pct in [0u32, 50, 100] {
+        // A fresh server per ratio: cold cache, zeroed metrics. The
+        // open-loop pass reuses the closed-loop pass's warm cache, so it
+        // measures steady-state repeat traffic.
+        let sock = std::env::temp_dir().join(format!(
+            "smache-loadgen-{}-{repeat_pct}.sock",
+            std::process::id()
+        ));
+        let handle = start(ServeConfig {
+            listen: Listen::Unix(sock.clone()),
+            workers,
+            queue_cap: clients * 2 + total,
+            cache_bytes: 64 << 20,
+            default_deadline_ms: None,
+        })
+        .expect("server starts");
+        let addr = handle.addr().to_string();
+
+        let closed = closed_loop(&addr, clients, per_client, repeat_pct);
+        let open = open_loop(&addr, total, repeat_pct);
+        handle.shutdown();
+
+        for (mode, r) in [("closed", &closed), ("open", &open)] {
+            let rps = r.oks as f64 / r.wall_s;
+            let hit_rate = if r.oks == 0 {
+                0.0
+            } else {
+                r.hits as f64 / r.oks as f64
+            };
+            let (p50, p99) = (
+                percentile(&r.latencies_us, 0.50),
+                percentile(&r.latencies_us, 0.99),
+            );
+            table.row(vec![
+                format!("{repeat_pct}%"),
+                mode.to_string(),
+                format!("{rps:.0}"),
+                if r.latencies_us.is_empty() {
+                    "-".into()
+                } else {
+                    p50.to_string()
+                },
+                if r.latencies_us.is_empty() {
+                    "-".into()
+                } else {
+                    p99.to_string()
+                },
+                format!("{:.2}", hit_rate),
+                r.rejected.to_string(),
+            ]);
+            rows.push(Json::obj(vec![
+                ("repeat_pct", Json::Int(repeat_pct as i64)),
+                ("mode", Json::str(mode)),
+                ("requests", Json::Int(r.oks as i64)),
+                ("throughput_rps", Json::Num(rps)),
+                ("p50_us", Json::Int(p50 as i64)),
+                ("p99_us", Json::Int(p99 as i64)),
+                ("hit_rate", Json::Num(hit_rate)),
+                ("rejected", Json::Int(r.rejected as i64)),
+            ]));
+            if mode == "closed" {
+                closed_rps.insert(repeat_pct, rps);
+            }
+        }
+    }
+
+    println!("{table}");
+
+    let speedup = closed_rps[&100] / closed_rps[&0];
+    println!("cache speedup (100% vs 0% repeats, closed loop): {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "content-addressed cache must yield >= 5x throughput on repeat traffic, got {speedup:.1}x"
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("serve_loadgen")),
+        ("grid", Json::str(GRID)),
+        ("instances", Json::Int(INSTANCES as i64)),
+        ("clients", Json::Int(clients as i64)),
+        ("requests_per_client", Json::Int(per_client as i64)),
+        ("workers", Json::Int(workers as i64)),
+        ("cache_speedup_closed", Json::Num(speedup)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    std::fs::write(&path, doc.pretty()).expect("write json");
+    println!("wrote {path}");
+}

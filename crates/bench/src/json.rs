@@ -1,155 +1,8 @@
-//! A minimal JSON value tree and serialiser for the sweep artefacts
-//! (`BENCH_*.json`).
+//! JSON for the sweep artefacts (`BENCH_*.json`).
 //!
-//! The workspace intentionally has no serde dependency; the sweep summaries
-//! are small, write-only documents, so a hand-rolled emitter is all that is
-//! needed. Numbers are emitted as shortest-round-trip floats (Rust's
-//! default `Display` for `f64`) or plain integers.
+//! The value tree, serialisers and parser live in [`smache_sim::json`] so
+//! the bench harnesses, the versioned run reports and the `smache serve`
+//! wire protocol all share one implementation; this module re-exports it
+//! under the historical `smache_bench::json` path.
 
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (kept separate from floats so cycle counts stay exact).
-    Int(i64),
-    /// A float; non-finite values serialise as `null` (JSON has no NaN).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An ordered array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs, preserving order.
-    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Convenience constructor for strings.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Serialises with two-space indentation and a trailing newline,
-    /// suitable for committing as an artefact.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    out.push_str(&n.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    item.write(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalar_rendering() {
-        assert_eq!(Json::Null.pretty(), "null\n");
-        assert_eq!(Json::Bool(true).pretty(), "true\n");
-        assert_eq!(Json::Int(-3).pretty(), "-3\n");
-        assert_eq!(Json::Num(1.5).pretty(), "1.5\n");
-        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
-        assert_eq!(Json::str("a\"b").pretty(), "\"a\\\"b\"\n");
-    }
-
-    #[test]
-    fn nested_structure_round_trips_visually() {
-        let doc = Json::obj(vec![
-            ("name", Json::str("fig2")),
-            ("seeds", Json::Arr(vec![Json::Int(0), Json::Int(1)])),
-            ("empty", Json::Arr(vec![])),
-            ("nested", Json::obj(vec![("ok", Json::Bool(true))])),
-        ]);
-        let text = doc.pretty();
-        assert!(text.starts_with("{\n  \"name\": \"fig2\""));
-        assert!(text.contains("\"seeds\": [\n    0,\n    1\n  ]"));
-        assert!(text.contains("\"empty\": []"));
-        assert!(text.contains("\"nested\": {\n    \"ok\": true\n  }"));
-        assert!(text.ends_with("}\n"));
-    }
-
-    #[test]
-    fn control_chars_are_escaped() {
-        let s = Json::str("line\nbreak\u{1}").pretty();
-        assert!(s.contains("\\n"));
-        assert!(s.contains("\\u0001"));
-    }
-}
+pub use smache_sim::json::{Json, JsonError};

@@ -13,7 +13,7 @@ use smache_baseline::{BaselineConfig, BaselineSystem};
 use smache_codegen::{lint_verilog, VerilogGen};
 
 use crate::args::{ArgError, Args};
-use crate::spec::ProblemSpec;
+use crate::spec::{spec_from_args, ProblemSpec};
 
 /// CLI-level errors.
 #[derive(Debug)]
@@ -82,6 +82,13 @@ const VALUED: &[&str] = &[
     "trace",
     "trace-out",
     "top",
+    "listen",
+    "workers",
+    "queue",
+    "cache-kb",
+    "deadline-ms",
+    "to",
+    "json",
 ];
 const FLAGS: &[&str] = &["verify", "quiet", "analyze"];
 
@@ -100,6 +107,8 @@ COMMANDS:
   simulate   run the cycle-accurate system (and optionally the baseline)
   trace      run with telemetry and export/analyse the probe trace
   codegen    generate Verilog for the configured instance
+  serve      run the job server (newline-delimited JSON over a socket)
+  call       send one JSON request to a running server
   help       this text
 
 PROBLEM OPTIONS (all commands):
@@ -136,6 +145,17 @@ TRACE OPTIONS (plus the problem/simulate options above):
 
 CODEGEN OPTIONS:
   --out DIR                output directory         [smache_rtl]
+
+SERVE OPTIONS (see docs/SERVING.md for the protocol):
+  --listen ADDR            unix:<path> | tcp:<host>:<port> [tcp:127.0.0.1:7227]
+  --workers N              worker threads           [2]
+  --queue N                admission-queue capacity [32]
+  --cache-kb KB            result-cache byte budget [4096]
+  --deadline-ms MS         default per-request deadline [none]
+
+CALL OPTIONS:
+  --to ADDR                server address (unix:... | tcp:...)
+  --json TEXT              the request, e.g. '{\"cmd\":\"stats\"}'
 "
     .to_string()
 }
@@ -150,13 +170,15 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "simulate" | "sim" => cmd_simulate(&args),
         "trace" => cmd_trace(&args),
         "codegen" => cmd_codegen(&args),
+        "serve" => cmd_serve(&args),
+        "call" => cmd_call(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
 
 fn cmd_plan(args: &Args) -> Result<String, CliError> {
-    let spec = ProblemSpec::from_args(args)?;
+    let spec = spec_from_args(args)?;
     let mut builder = spec.builder();
     if let Some(b) = args.get("budget-bits") {
         let bits: u64 = b.parse().map_err(|_| ArgError::BadValue {
@@ -213,7 +235,7 @@ fn cmd_plan(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_cost(args: &Args) -> Result<String, CliError> {
-    let spec = ProblemSpec::from_args(args)?;
+    let spec = spec_from_args(args)?;
     let plan = spec.builder().plan()?;
     let est = CostEstimate.memory(&plan);
     let act = SynthesisModel.memory(&plan);
@@ -245,7 +267,7 @@ fn cmd_cost(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_predict(args: &Args) -> Result<String, CliError> {
-    let spec = ProblemSpec::from_args(args)?;
+    let spec = spec_from_args(args)?;
     let instances: u64 = args.get_num("instances", 100)?;
     let plan = spec.builder().plan()?;
     let dram = smache_mem::DramConfig::default();
@@ -351,7 +373,7 @@ fn export_trace(
 /// `trace`: run the cycle-accurate system with telemetry attached, export
 /// the probe trace, and optionally print the bottleneck analysis.
 fn cmd_trace(args: &Args) -> Result<String, CliError> {
-    let spec = ProblemSpec::from_args(args)?;
+    let spec = spec_from_args(args)?;
     let instances: u64 = args.get_num("instances", 1)?;
     let seed: u64 = args.get_num("seed", 1)?;
     let top: usize = args.get_num("top", 5)?;
@@ -392,7 +414,7 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
-    let spec = ProblemSpec::from_args(args)?;
+    let spec = spec_from_args(args)?;
     let instances: u64 = args.get_num("instances", 100)?;
     let seed: u64 = args.get_num("seed", 1)?;
     let design = args.get_or("design", "smache");
@@ -623,7 +645,7 @@ fn cmd_simulate_batch(
 }
 
 fn cmd_codegen(args: &Args) -> Result<String, CliError> {
-    let spec = ProblemSpec::from_args(args)?;
+    let spec = spec_from_args(args)?;
     let out_dir = args.get_or("out", "smache_rtl");
     let plan = spec.builder().plan()?;
     let design = VerilogGen::new(&plan).generate()?;
@@ -642,12 +664,64 @@ fn cmd_codegen(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let addr = args.get_or("listen", "tcp:127.0.0.1:7227");
+    let listen = smache_serve::Listen::parse(addr).map_err(|_| ArgError::BadValue {
+        key: "listen".into(),
+        value: addr.into(),
+        expected: "unix:<path> or tcp:<host>:<port>".into(),
+    })?;
+    let config = smache_serve::ServeConfig {
+        listen,
+        workers: args.get_num("workers", 2usize)?,
+        queue_cap: args.get_num("queue", 32usize)?,
+        cache_bytes: args.get_num("cache-kb", 4096usize)? * 1024,
+        default_deadline_ms: match args.get("deadline-ms") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
+                key: "deadline-ms".into(),
+                value: v.into(),
+                expected: "milliseconds".into(),
+            })?),
+        },
+    };
+    let handle = smache_serve::start(config)?;
+    let bound = handle.addr().to_string();
+    // The report string only exists after the drain; announce readiness
+    // (and the actual port when `tcp:...:0` was requested) immediately.
+    eprintln!("smache serve: listening on {bound}");
+    handle.join();
+    Ok(format!("smache serve: drained and exited ({bound})\n"))
+}
+
+fn cmd_call(args: &Args) -> Result<String, CliError> {
+    let to = args
+        .get("to")
+        .ok_or_else(|| ArgError::MissingValue("to".into()))?;
+    let text = args
+        .get("json")
+        .ok_or_else(|| ArgError::MissingValue("json".into()))?;
+    let request = smache_sim::Json::parse(text).map_err(|e| ArgError::BadValue {
+        key: "json".into(),
+        value: text.into(),
+        expected: format!("valid JSON ({e})"),
+    })?;
+    let mut client = smache_serve::Client::connect(to)?;
+    Ok(client.call(&request)?.pretty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn run_str(s: &str) -> Result<String, CliError> {
         let raw: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(&raw)
+    }
+
+    /// Like [`run_str`] but for arguments that contain spaces (JSON).
+    fn run_str_with(argv: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         run(&raw)
     }
 
@@ -916,5 +990,53 @@ mod tests {
     fn three_dimensional_problem() {
         let out = run_str("plan --grid 4x6x8 --shape seven --bounds circular").unwrap();
         assert!(out.contains("static buffer"), "{out}");
+    }
+
+    #[test]
+    fn serve_and_call_round_trip_over_a_unix_socket() {
+        let sock = std::env::temp_dir().join(format!("smache-cli-{}.sock", std::process::id()));
+        let addr = format!("unix:{}", sock.display());
+        let server = {
+            let argv = format!("serve --listen {addr} --workers 1 --queue 4");
+            std::thread::spawn(move || run_str(&argv))
+        };
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let call = |json: &str| {
+            run_str_with(&["call", "--to", &addr, "--json", json]).expect("call succeeds")
+        };
+        let first = call(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":1}"#);
+        assert!(first.contains("\"status\": \"ok\""), "{first}");
+        assert!(first.contains("\"cached\": false"), "{first}");
+        let second = call(r#"{"cmd":"simulate","spec":{"grid":"8X8"},"seed":1}"#);
+        assert!(second.contains("\"cached\": true"), "{second}");
+        let stats = call(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("serve.cache.hits"), "{stats}");
+        let bye = call(r#"{"cmd":"shutdown"}"#);
+        assert!(bye.contains("\"draining\": true"), "{bye}");
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("drained and exited"), "{report}");
+        assert!(!sock.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn call_validates_its_arguments() {
+        assert!(matches!(
+            run_str("call --json {}"),
+            Err(CliError::Args(ArgError::MissingValue(_)))
+        ));
+        assert!(matches!(
+            run_str_with(&["call", "--to", "unix:/tmp/x.sock", "--json", "not json"]),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        assert!(matches!(
+            run_str("serve --listen bogus"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
     }
 }

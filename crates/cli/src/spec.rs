@@ -1,188 +1,36 @@
-//! Textual problem specification → library configuration.
+//! CLI adapter over the shared problem-specification schema.
+//!
+//! The parser itself lives in [`smache::spec`] so the CLI and the job
+//! server (`smache serve`) accept exactly the same vocabulary — this
+//! module only bridges [`Args`] into [`SpecSource`] and maps
+//! [`SpecError`] onto the CLI's [`ArgError`].
 
-use smache::config::{Algorithm1, HybridMode, PlanStrategy};
-use smache_mem::MemKind;
-use smache_stencil::{AxisBoundaries, Boundary, BoundarySpec, GridSpec, StencilShape};
+pub use smache::spec::{
+    parse_boundary, parse_grid, parse_hybrid, parse_shape, parse_strategy, ProblemSpec, SpecError,
+    SpecSource,
+};
 
 use crate::args::{ArgError, Args};
 
-/// A fully parsed problem specification.
-#[derive(Debug, Clone)]
-pub struct ProblemSpec {
-    /// The grid.
-    pub grid: GridSpec,
-    /// The stencil shape.
-    pub shape: StencilShape,
-    /// Boundary conditions.
-    pub bounds: BoundarySpec,
-    /// Stream-buffer style.
-    pub hybrid: HybridMode,
-    /// Split strategy.
-    pub strategy: PlanStrategy,
-    /// Static-buffer placement.
-    pub static_kind: MemKind,
-    /// Word width in bits.
-    pub word_bits: u32,
-}
-
-fn bad(key: &str, value: &str, expected: &str) -> ArgError {
-    ArgError::BadValue {
-        key: key.to_string(),
-        value: value.to_string(),
-        expected: expected.to_string(),
+impl SpecSource for Args {
+    fn get_value(&self, key: &str) -> Option<&str> {
+        self.get(key)
     }
 }
 
-/// Parses `HxW` (e.g. `11x11`) or a single `N` for 1D grids.
-pub fn parse_grid(s: &str) -> Result<GridSpec, ArgError> {
-    let mk = |g: Result<GridSpec, _>| g.map_err(|_| bad("grid", s, "positive dimensions"));
-    if let Some((h, w)) = s.split_once(['x', 'X']) {
-        if let Some((hh, rest)) = w.split_once(['x', 'X']) {
-            // 3D: HxWxD style (h=first).
-            let a: usize = h.parse().map_err(|_| bad("grid", s, "DxHxW"))?;
-            let b: usize = hh.parse().map_err(|_| bad("grid", s, "DxHxW"))?;
-            let c: usize = rest.parse().map_err(|_| bad("grid", s, "DxHxW"))?;
-            return mk(GridSpec::d3(a, b, c));
-        }
-        let h: usize = h.parse().map_err(|_| bad("grid", s, "HxW"))?;
-        let w: usize = w.parse().map_err(|_| bad("grid", s, "HxW"))?;
-        return mk(GridSpec::d2(h, w));
-    }
-    let n: usize = s.parse().map_err(|_| bad("grid", s, "HxW or N"))?;
-    mk(GridSpec::d1(n))
-}
-
-/// Parses a boundary word: `open`, `circular`, `mirror`, `const:<v>`.
-pub fn parse_boundary(key: &str, s: &str) -> Result<Boundary, ArgError> {
-    match s {
-        "open" => Ok(Boundary::Open),
-        "circular" | "wrap" | "periodic" => Ok(Boundary::Circular),
-        "mirror" | "reflect" => Ok(Boundary::Mirror),
-        _ => {
-            if let Some(v) = s.strip_prefix("const:") {
-                let v: u64 = v
-                    .parse()
-                    .map_err(|_| bad(key, s, "const:<unsigned value>"))?;
-                Ok(Boundary::Constant(v))
-            } else {
-                Err(bad(key, s, "open|circular|mirror|const:<v>"))
-            }
+impl From<SpecError> for ArgError {
+    fn from(e: SpecError) -> Self {
+        ArgError::BadValue {
+            key: e.key,
+            value: e.value,
+            expected: e.expected,
         }
     }
 }
 
-/// Parses a shape word for the grid's dimensionality.
-pub fn parse_shape(s: &str, ndim: usize) -> Result<StencilShape, ArgError> {
-    match (s, ndim) {
-        ("four" | "4pt", 2) => Ok(StencilShape::four_point_2d()),
-        ("five" | "5pt", 2) => Ok(StencilShape::five_point_2d()),
-        ("nine" | "9pt", 2) => Ok(StencilShape::nine_point_2d()),
-        ("seven" | "7pt", 3) => Ok(StencilShape::seven_point_3d()),
-        (_, 1) => {
-            let k: usize = s.parse().map_err(|_| bad("shape", s, "reach k for 1D"))?;
-            StencilShape::symmetric_1d(k).map_err(|_| bad("shape", s, "k >= 1"))
-        }
-        _ => Err(bad("shape", s, "four|five|nine (2D), seven (3D), k (1D)")),
-    }
-}
-
-/// Parses a hybrid word: `r`, `h`, or `h:<threshold>`.
-pub fn parse_hybrid(s: &str) -> Result<HybridMode, ArgError> {
-    match s {
-        "r" | "caser" | "case-r" => Ok(HybridMode::CaseR),
-        "h" | "caseh" | "case-h" => Ok(HybridMode::default()),
-        _ => {
-            if let Some(thr) = s.strip_prefix("h:") {
-                let t: usize = thr
-                    .parse()
-                    .map_err(|_| bad("hybrid", s, "h:<stretch>=3>"))?;
-                if t < 3 {
-                    return Err(bad("hybrid", s, "threshold >= 3"));
-                }
-                Ok(HybridMode::CaseH {
-                    min_bram_stretch: t,
-                })
-            } else {
-                Err(bad("hybrid", s, "r|h|h:<threshold>"))
-            }
-        }
-    }
-}
-
-/// Parses a strategy word.
-pub fn parse_strategy(s: &str) -> Result<PlanStrategy, ArgError> {
-    match s {
-        "global" => Ok(PlanStrategy::GlobalWindow),
-        "greedy" => Ok(PlanStrategy::PerRange(Algorithm1::Greedy)),
-        "exact" => Ok(PlanStrategy::PerRange(Algorithm1::Exact)),
-        "allstream" | "naive" => Ok(PlanStrategy::AllStream),
-        _ => Err(bad("strategy", s, "global|greedy|exact|allstream")),
-    }
-}
-
-impl ProblemSpec {
-    /// Builds a spec from parsed [`Args`]; every part has the paper's
-    /// default.
-    pub fn from_args(args: &Args) -> Result<ProblemSpec, ArgError> {
-        let grid = parse_grid(args.get_or("grid", "11x11"))?;
-        let ndim = grid.ndim();
-
-        let default_shape = match ndim {
-            1 => "1",
-            3 => "seven",
-            _ => "four",
-        };
-        let shape = parse_shape(args.get_or("shape", default_shape), ndim)?;
-
-        // Boundary defaults: the paper case for 2D, open otherwise.
-        let bounds = if ndim == 2 {
-            let rows = args.get_or("rows", "circular");
-            let cols = args.get_or("cols", "open");
-            BoundarySpec::new(&[
-                AxisBoundaries::both(parse_boundary("rows", rows)?),
-                AxisBoundaries::both(parse_boundary("cols", cols)?),
-            ])
-            .map_err(|_| bad("rows", rows, "valid boundary"))?
-        } else {
-            let word = args.get_or("bounds", "open");
-            let b = parse_boundary("bounds", word)?;
-            BoundarySpec::new(&vec![AxisBoundaries::both(b); ndim])
-                .map_err(|_| bad("bounds", word, "valid boundary"))?
-        };
-
-        let hybrid = parse_hybrid(args.get_or("hybrid", "h"))?;
-        let strategy = parse_strategy(args.get_or("strategy", "global"))?;
-        let static_kind = match args.get_or("statics", "bram") {
-            "bram" => MemKind::Bram,
-            "reg" | "regs" => MemKind::Reg,
-            other => return Err(bad("statics", other, "bram|reg")),
-        };
-        let word_bits: u32 = args.get_num("word-bits", 32)?;
-        if word_bits == 0 || word_bits > 64 {
-            return Err(bad("word-bits", &word_bits.to_string(), "1..=64"));
-        }
-
-        Ok(ProblemSpec {
-            grid,
-            shape,
-            bounds,
-            hybrid,
-            strategy,
-            static_kind,
-            word_bits,
-        })
-    }
-
-    /// Applies the spec to a builder.
-    pub fn builder(&self) -> smache::SmacheBuilder {
-        smache::SmacheBuilder::new(self.grid.clone())
-            .shape(self.shape.clone())
-            .boundaries(self.bounds.clone())
-            .hybrid(self.hybrid)
-            .strategy(self.strategy)
-            .static_kind(self.static_kind)
-            .word_bits(self.word_bits)
-    }
+/// Builds a [`ProblemSpec`] from parsed CLI arguments.
+pub fn spec_from_args(args: &Args) -> Result<ProblemSpec, ArgError> {
+    ProblemSpec::from_source(args).map_err(ArgError::from)
 }
 
 #[cfg(test)]
@@ -211,7 +59,7 @@ mod tests {
 
     #[test]
     fn defaults_reproduce_paper_case() {
-        let spec = ProblemSpec::from_args(&args("plan")).unwrap();
+        let spec = spec_from_args(&args("plan")).unwrap();
         assert_eq!(spec.grid.dims(), &[11, 11]);
         assert_eq!(spec.shape.len(), 4);
         assert!(spec.bounds.has_circular());
@@ -221,66 +69,38 @@ mod tests {
     }
 
     #[test]
-    fn grid_forms() {
-        assert_eq!(parse_grid("11x11").unwrap().dims(), &[11, 11]);
-        assert_eq!(parse_grid("3x4x5").unwrap().dims(), &[3, 4, 5]);
-        assert_eq!(parse_grid("64").unwrap().dims(), &[64]);
-        assert!(parse_grid("0x4").is_err());
-        assert!(parse_grid("abc").is_err());
-    }
-
-    #[test]
-    fn boundary_words() {
-        assert_eq!(parse_boundary("rows", "open").unwrap(), Boundary::Open);
-        assert_eq!(parse_boundary("rows", "wrap").unwrap(), Boundary::Circular);
-        assert_eq!(parse_boundary("rows", "mirror").unwrap(), Boundary::Mirror);
-        assert_eq!(
-            parse_boundary("rows", "const:9").unwrap(),
-            Boundary::Constant(9)
-        );
-        assert!(parse_boundary("rows", "const:x").is_err());
-        assert!(parse_boundary("rows", "weird").is_err());
-    }
-
-    #[test]
-    fn shapes_match_dimensionality() {
-        assert!(parse_shape("four", 2).is_ok());
-        assert!(parse_shape("seven", 3).is_ok());
-        assert!(parse_shape("2", 1).is_ok());
-        assert!(parse_shape("four", 3).is_err());
-        assert!(parse_shape("seven", 2).is_err());
-    }
-
-    #[test]
-    fn hybrid_forms() {
-        assert_eq!(parse_hybrid("r").unwrap(), HybridMode::CaseR);
-        assert_eq!(parse_hybrid("h").unwrap(), HybridMode::default());
-        assert_eq!(
-            parse_hybrid("h:8").unwrap(),
-            HybridMode::CaseH {
-                min_bram_stretch: 8
-            }
-        );
-        assert!(parse_hybrid("h:2").is_err());
-        assert!(parse_hybrid("q").is_err());
-    }
-
-    #[test]
     fn full_custom_spec() {
-        let spec = ProblemSpec::from_args(&args(
+        let spec = spec_from_args(&args(
             "plan --grid 8x16 --shape nine --rows mirror --cols const:5 --hybrid h:4 --strategy exact --statics reg --word-bits 16",
         ))
         .unwrap();
         assert_eq!(spec.grid.dims(), &[8, 16]);
         assert_eq!(spec.shape.len(), 9);
         assert_eq!(spec.word_bits, 16);
-        assert_eq!(spec.static_kind, MemKind::Reg);
         assert!(spec.builder().plan().is_ok());
     }
 
     #[test]
-    fn bad_word_bits_rejected() {
-        assert!(ProblemSpec::from_args(&args("plan --word-bits 0")).is_err());
-        assert!(ProblemSpec::from_args(&args("plan --word-bits 65")).is_err());
+    fn spec_errors_surface_as_arg_errors() {
+        let err = spec_from_args(&args("plan --word-bits 0")).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("word-bits"));
+        let err = spec_from_args(&args("plan --grid abc")).unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn cli_and_map_sources_agree() {
+        // The same key/value pairs through the CLI route and through a
+        // plain map (the server route) parse to the same spec — the
+        // anti-drift guarantee.
+        let via_args = spec_from_args(&args("plan --grid 8x8 --rows mirror")).unwrap();
+        let map: std::collections::BTreeMap<String, String> = [("grid", "8x8"), ("rows", "mirror")]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let via_map = ProblemSpec::from_source(&map).unwrap();
+        assert_eq!(via_args, via_map);
+        assert_eq!(via_args.canonical(), via_map.canonical());
     }
 }

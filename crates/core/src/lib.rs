@@ -26,6 +26,7 @@
 //! | [`system`] | the full cycle-accurate Smache system (DRAM → Smache → kernel → DRAM), its metrics, and the batched sweep driver [`SmacheSystem::run_batch`](system::SmacheSystem::run_batch) |
 //! | [`functional`] | the fast golden/functional models used for verification |
 //! | [`builder`] | the high-level public API: [`builder::SmacheBuilder`] |
+//! | [`spec`] | the textual problem schema shared by the CLI and `smache serve` |
 //!
 //! ## Quick start
 //!
@@ -54,11 +55,13 @@ pub mod config;
 pub mod cost;
 pub mod error;
 pub mod functional;
+pub mod spec;
 pub mod system;
 
 pub use builder::SmacheBuilder;
 pub use config::{Algorithm1, BufferPlan, HybridMode, PlanStrategy};
 pub use error::CoreError;
+pub use spec::{ProblemSpec, SpecError, SpecSource};
 pub use system::{DesignMetrics, SmacheSystem};
 
 /// Result alias for this crate.

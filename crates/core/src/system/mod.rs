@@ -6,6 +6,7 @@ pub mod cascade;
 pub mod metrics;
 pub mod multilane;
 pub mod report;
+pub mod report_json;
 pub mod smache_system;
 
 pub use axi::{AxiSmache, StallFuzzSink, StallFuzzSource};
@@ -16,4 +17,5 @@ pub use cascade::{CascadeReport, CascadeSystem};
 pub use metrics::{DesignMetrics, NormalisedMetrics};
 pub use multilane::{MultilaneReport, MultilaneSystem};
 pub use report::RunReport;
+pub use report_json::REPORT_SCHEMA_VERSION;
 pub use smache_system::{SmacheSystem, SystemConfig};

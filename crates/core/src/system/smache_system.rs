@@ -27,7 +27,8 @@ use crate::CoreResult;
 pub use crate::system::report::RunReport;
 
 /// Component name used by the system-level chaos stall generator.
-const STALL_COMPONENT: &str = "sys.stall";
+/// Component name the system-level stall-storm generator reports under.
+pub const STALL_COMPONENT: &str = "sys.stall";
 
 /// Tunables of the simulated system.
 #[derive(Debug, Clone, Copy)]

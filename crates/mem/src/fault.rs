@@ -27,6 +27,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use smache_sim::hash::splitmix64;
 use smache_sim::telemetry::{ProbeKind, ProbeRegistry, Probed};
 use smache_sim::{SimResult, Word};
 
@@ -54,6 +55,31 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// The stable textual label (also the `Display` form).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LatencyJitter => "latency-jitter",
+            FaultKind::StallStorm => "stall-storm",
+            FaultKind::SlowDrain => "slow-drain",
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::DroppedBeat => "dropped-beat",
+            FaultKind::DuplicatedBeat => "duplicated-beat",
+        }
+    }
+
+    /// Parses the stable textual label back into the kind.
+    pub fn from_label(s: &str) -> Option<FaultKind> {
+        Some(match s {
+            "latency-jitter" => FaultKind::LatencyJitter,
+            "stall-storm" => FaultKind::StallStorm,
+            "slow-drain" => FaultKind::SlowDrain,
+            "bit-flip" => FaultKind::BitFlip,
+            "dropped-beat" => FaultKind::DroppedBeat,
+            "duplicated-beat" => FaultKind::DuplicatedBeat,
+            _ => return None,
+        })
+    }
+
     /// True for fault kinds that only reshape timing and must be absorbed.
     pub fn is_latency_only(&self) -> bool {
         matches!(
@@ -65,15 +91,7 @@ impl FaultKind {
 
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            FaultKind::LatencyJitter => "latency-jitter",
-            FaultKind::StallStorm => "stall-storm",
-            FaultKind::SlowDrain => "slow-drain",
-            FaultKind::BitFlip => "bit-flip",
-            FaultKind::DroppedBeat => "dropped-beat",
-            FaultKind::DuplicatedBeat => "duplicated-beat",
-        };
-        f.write_str(s)
+        f.write_str(self.label())
     }
 }
 
@@ -318,26 +336,14 @@ impl FaultPlan {
     }
 
     /// Derives the deterministic per-component random stream.
+    ///
+    /// The `seed ^ fnv1a(name)` rule is the shared
+    /// [`smache_sim::hash::stream_seed`] helper, so every seeded subsystem
+    /// (chaos here, the serve-layer result cache, future samplers) derives
+    /// keys the same pinned way.
     pub fn stream(&self, component: &str) -> ChaosRng {
-        ChaosRng::new(self.seed ^ fnv1a(component))
+        ChaosRng::new(smache_sim::hash::stream_seed(self.seed, component))
     }
-}
-
-/// FNV-1a hash of a component name (stable across runs and platforms).
-fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
 }
 
 /// A small, dependency-free xorshift64* PRNG for fault decisions.

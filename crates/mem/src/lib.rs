@@ -44,7 +44,7 @@ pub use double_buffer::{DoubleBuffer, MemKind};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use fault::{
     ChaosProfile, ChaosRng, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultyDram,
-    FaultyFifo, StormGen,
+    FaultyFifo, StormGen, DRAM_COMPONENT, FIFO_COMPONENT,
 };
 pub use fifo::{BramFifo, RegFifo};
 pub use regfile::RegFile;

@@ -1,0 +1,133 @@
+//! A small blocking client for the serve protocol.
+//!
+//! Connects over the same `unix:<path>` / `tcp:<host>:<port>` address
+//! forms the server reports, sends one JSON request per line, and reads
+//! one JSON response per line. [`Client::call`] is the lockstep
+//! convenience; open-loop callers use [`send`](Client::send) /
+//! [`recv`](Client::recv) directly and correlate responses by `id`
+//! (responses to pipelined requests may arrive in any order).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use smache_sim::Json;
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to `unix:<path>` or `tcp:<host>:<port>`.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let (reader, writer) = if let Some(path) = addr.strip_prefix("unix:") {
+            let s = UnixStream::connect(path)?;
+            let r = s.try_clone()?;
+            (Stream::Unix(r), Stream::Unix(s))
+        } else if let Some(hostport) = addr.strip_prefix("tcp:") {
+            let s = TcpStream::connect(hostport)?;
+            s.set_nodelay(true)?;
+            let r = s.try_clone()?;
+            (Stream::Tcp(r), Stream::Tcp(s))
+        } else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("address `{addr}` must start with unix: or tcp:"),
+            ));
+        };
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer,
+        })
+    }
+
+    /// Sends one request without waiting for its response.
+    pub fn send(&mut self, request: &Json) -> std::io::Result<()> {
+        self.writer.write_all(request.compact().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Sends a raw line verbatim — for driving the server with inputs a
+    /// [`Json`] value could never produce (malformed-request tests).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line. EOF and unparseable responses are
+    /// I/O errors — a healthy server never produces either.
+    pub fn recv(&mut self) -> std::io::Result<Json> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+
+    /// Sends `request` and waits for the next response — lockstep use
+    /// only (one request in flight on this connection).
+    pub fn call(&mut self, request: &Json) -> std::io::Result<Json> {
+        self.send(request)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_addresses_are_rejected_up_front() {
+        match Client::connect("http://nope") {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+            Ok(_) => panic!("bad scheme accepted"),
+        }
+    }
+
+    #[test]
+    fn connecting_to_nothing_fails_cleanly() {
+        assert!(Client::connect("unix:/nonexistent/deep/path.sock").is_err());
+    }
+}

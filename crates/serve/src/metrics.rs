@@ -1,0 +1,242 @@
+//! Server-side metrics, reusing the simulator's telemetry primitives.
+//!
+//! The same [`CounterRegistry`] that attributes simulator stalls also
+//! counts server events here: request outcomes, cache effectiveness,
+//! queue depth, and a power-of-two service-latency histogram. A `stats`
+//! request snapshots the registry into the same `counters`/`histograms`
+//! JSON shape reports use, so one decoder reads both.
+
+use smache_sim::telemetry::{CounterId, CounterRegistry, HistogramId};
+use smache_sim::Json;
+use std::sync::Mutex;
+
+/// Thread-safe server metrics.
+pub struct ServerMetrics {
+    reg: Mutex<Registry>,
+}
+
+struct Registry {
+    counters: CounterRegistry,
+    requests: CounterId,
+    ok: CounterId,
+    cached: CounterId,
+    rejected_overload: CounterId,
+    rejected_deadline: CounterId,
+    rejected_draining: CounterId,
+    errors: CounterId,
+    cache_hits: CounterId,
+    cache_misses: CounterId,
+    cache_evictions: CounterId,
+    cache_bytes: CounterId,
+    cache_entries: CounterId,
+    queue_depth: CounterId,
+    latency_us: HistogramId,
+}
+
+/// The rejection reasons [`ServerMetrics::rejected`] recognises.
+const REASONS: &[&str] = &["overloaded", "deadline", "draining"];
+
+impl ServerMetrics {
+    /// Creates a zeroed metrics registry.
+    pub fn new() -> ServerMetrics {
+        let mut counters = CounterRegistry::new();
+        let requests = counters.counter("serve.requests");
+        let ok = counters.counter("serve.ok");
+        let cached = counters.counter("serve.ok_cached");
+        let rejected_overload = counters.counter("serve.rejected.overloaded");
+        let rejected_deadline = counters.counter("serve.rejected.deadline");
+        let rejected_draining = counters.counter("serve.rejected.draining");
+        let errors = counters.counter("serve.errors");
+        let cache_hits = counters.counter("serve.cache.hits");
+        let cache_misses = counters.counter("serve.cache.misses");
+        let cache_evictions = counters.counter("serve.cache.evictions");
+        let cache_bytes = counters.counter("serve.cache.bytes");
+        let cache_entries = counters.counter("serve.cache.entries");
+        let queue_depth = counters.counter("serve.queue.depth");
+        let latency_us = counters.histogram("serve.latency_us");
+        ServerMetrics {
+            reg: Mutex::new(Registry {
+                counters,
+                requests,
+                ok,
+                cached,
+                rejected_overload,
+                rejected_deadline,
+                rejected_draining,
+                errors,
+                cache_hits,
+                cache_misses,
+                cache_evictions,
+                cache_bytes,
+                cache_entries,
+                queue_depth,
+                latency_us,
+            }),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
+        f(&mut self.reg.lock().expect("metrics poisoned"))
+    }
+
+    /// Counts an arriving request (any command).
+    pub fn request(&self) -> &Self {
+        self.with(|r| r.counters.inc(r.requests));
+        self
+    }
+
+    /// Counts a successful run response; `cached` marks cache hits.
+    pub fn ok(&self, cached: bool) {
+        self.with(|r| {
+            r.counters.inc(r.ok);
+            if cached {
+                r.counters.inc(r.cached);
+            }
+        });
+    }
+
+    /// Counts a typed rejection (`overloaded` / `deadline` / `draining`).
+    pub fn rejected(&self, reason: &str) {
+        debug_assert!(REASONS.contains(&reason), "unknown reason {reason}");
+        self.with(|r| {
+            let id = match reason {
+                "deadline" => r.rejected_deadline,
+                "draining" => r.rejected_draining,
+                _ => r.rejected_overload,
+            };
+            r.counters.inc(id);
+        });
+    }
+
+    /// Counts an error response (parse failures, failed runs).
+    pub fn error(&self) {
+        self.with(|r| r.counters.inc(r.errors));
+    }
+
+    /// Records a cache lookup outcome.
+    pub fn cache_lookup(&self, hit: bool) {
+        self.with(|r| {
+            r.counters
+                .inc(if hit { r.cache_hits } else { r.cache_misses })
+        });
+    }
+
+    /// Publishes the cache's current totals (evictions, bytes, entries).
+    pub fn cache_state(&self, evictions: u64, bytes: u64, entries: u64) {
+        self.with(|r| {
+            r.counters.set(r.cache_evictions, evictions);
+            r.counters.set(r.cache_bytes, bytes);
+            r.counters.set(r.cache_entries, entries);
+        });
+    }
+
+    /// Publishes the queue depth gauge.
+    pub fn queue_depth(&self, depth: u64) {
+        self.with(|r| r.counters.set(r.queue_depth, depth));
+    }
+
+    /// Records one served request's admission→response latency.
+    pub fn observe_latency_us(&self, us: u64) {
+        self.with(|r| r.counters.observe(r.latency_us, us));
+    }
+
+    /// The value of one counter, for tests and assertions.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with(|r| r.counters.get(name).unwrap_or(0))
+    }
+
+    /// Snapshots every counter and histogram as the `stats` payload.
+    pub fn to_json(&self) -> Json {
+        let snap = self.with(|r| r.counters.snapshot());
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    snap.counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::Int(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    snap.histograms
+                        .iter()
+                        .map(|(name, buckets)| {
+                            (
+                                name.clone(),
+                                Json::Obj(
+                                    buckets
+                                        .iter()
+                                        .map(|(b, v)| (b.clone(), Json::Int(*v as i64)))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_outcome() {
+        let m = ServerMetrics::new();
+        m.request().ok(false);
+        m.request().ok(true);
+        m.request().rejected("overloaded");
+        m.request().rejected("deadline");
+        m.request().error();
+        assert_eq!(m.counter("serve.requests"), 5);
+        assert_eq!(m.counter("serve.ok"), 2);
+        assert_eq!(m.counter("serve.ok_cached"), 1);
+        assert_eq!(m.counter("serve.rejected.overloaded"), 1);
+        assert_eq!(m.counter("serve.rejected.deadline"), 1);
+        assert_eq!(m.counter("serve.errors"), 1);
+    }
+
+    #[test]
+    fn gauges_set_rather_than_add() {
+        let m = ServerMetrics::new();
+        m.queue_depth(7);
+        m.queue_depth(3);
+        assert_eq!(m.counter("serve.queue.depth"), 3);
+        m.cache_state(2, 4096, 9);
+        assert_eq!(m.counter("serve.cache.bytes"), 4096);
+        assert_eq!(m.counter("serve.cache.entries"), 9);
+    }
+
+    #[test]
+    fn snapshot_serialises_counters_and_latency_histogram() {
+        let m = ServerMetrics::new();
+        m.request().ok(false);
+        m.observe_latency_us(100);
+        m.observe_latency_us(90_000);
+        let doc = m.to_json();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("serve.ok"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("serve.latency_us"))
+            .and_then(Json::as_obj)
+            .expect("latency histogram present");
+        let total: i64 = hist.iter().filter_map(|(_, v)| v.as_i64()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,496 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request per line, one response per line. A request names a command
+//! and, for run commands, a problem specification in exactly the
+//! vocabulary the CLI accepts (the `spec` object's keys are
+//! [`smache::spec::SPEC_KEYS`]):
+//!
+//! ```json
+//! {"id":"r1","cmd":"simulate","spec":{"grid":"11x11","rows":"circular"},"seed":7,"instances":2}
+//! ```
+//!
+//! Responses carry the request's `id` back (or `null`), a `status` of
+//! `ok` / `rejected` / `error`, and for successful runs the versioned
+//! [`RunReport`](smache::system::RunReport) JSON under `report` plus a
+//! `cached` flag. Rejections are *typed*: `reason` is `overloaded`
+//! (admission control), `deadline` (expired before a worker picked it
+//! up), or `draining` (server shutting down).
+//!
+//! ## Content addressing
+//!
+//! Every run request has a [canonical text](RunRequest::canonical) built
+//! from the spec's canonical form plus the run parameters that affect the
+//! result — and nothing else (`id` and `deadline_ms` are excluded).
+//! Equivalent spellings canonicalise identically, and the 128-bit
+//! [`fingerprint`](RunRequest::cache_key) of that text is the result-cache
+//! key. This is sound because runs are deterministic: a `(spec, seed,
+//! fault plan, trace options)` tuple names exactly one report.
+
+use smache::spec::{seeded_input, ProblemSpec, SPEC_KEYS};
+use smache::SmacheSystem;
+use smache_mem::{ChaosProfile, FaultPlan};
+use smache_sim::hash::fingerprint128;
+use smache_sim::{Json, TelemetryConfig};
+
+/// Protocol revision spoken by this build (bumped on breaking changes).
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// What kind of run a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// Plan only: run Algorithm 1 and return the buffer split. No
+    /// simulation, cheap, still cacheable.
+    Plan,
+    /// Cycle-accurate simulation of the specified problem.
+    Simulate,
+    /// Simulation under a seeded fault-injection plan.
+    Chaos,
+    /// Simulation with telemetry attached; the report carries the
+    /// counters and histograms.
+    Trace,
+}
+
+impl RunKind {
+    /// The wire name (also the `cmd` value that selects this kind).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunKind::Plan => "plan",
+            RunKind::Simulate => "simulate",
+            RunKind::Chaos => "chaos",
+            RunKind::Trace => "trace",
+        }
+    }
+}
+
+/// A fully parsed, validated run request.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// What to run.
+    pub kind: RunKind,
+    /// The problem, parsed through the shared schema.
+    pub spec: ProblemSpec,
+    /// Input-generation seed (`seeded_input`).
+    pub seed: u64,
+    /// Work instances (timesteps) to simulate.
+    pub instances: u64,
+    /// Chaos profile name (canonical; `"off"` unless `kind` is `Chaos`).
+    pub profile: String,
+    /// Fault-plan seed (chaos runs only).
+    pub chaos_seed: u64,
+    /// Per-request deadline in milliseconds, measured from admission: if
+    /// no worker has picked the job up when it expires, the server
+    /// responds `rejected`/`deadline` instead of running it.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// The command.
+    pub body: RequestBody,
+}
+
+/// The command a request carries.
+#[derive(Debug, Clone)]
+pub enum RequestBody {
+    /// Execute (or serve from cache) a run.
+    Run(Box<RunRequest>),
+    /// Snapshot the server's metrics.
+    Stats,
+    /// Begin a graceful drain: finish queued work, then exit.
+    Shutdown,
+}
+
+const TOP_KEYS: &[&str] = &[
+    "cmd",
+    "id",
+    "spec",
+    "seed",
+    "instances",
+    "profile",
+    "chaos-seed",
+    "deadline_ms",
+];
+
+impl Request {
+    /// Parses one request line. Errors are human-readable strings that go
+    /// straight into an `error` response.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let obj = doc.as_obj().ok_or("request must be a JSON object")?;
+        for (key, _) in obj {
+            if !TOP_KEYS.contains(&key.as_str()) {
+                return Err(format!("unknown request key `{key}`"));
+            }
+        }
+        let id = doc.get("id").and_then(Json::as_str).map(String::from);
+        let cmd = doc
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd`")?;
+
+        let kind = match cmd {
+            "stats" => {
+                return Ok(Request {
+                    id,
+                    body: RequestBody::Stats,
+                })
+            }
+            "shutdown" => {
+                return Ok(Request {
+                    id,
+                    body: RequestBody::Shutdown,
+                })
+            }
+            "plan" => RunKind::Plan,
+            "simulate" => RunKind::Simulate,
+            "chaos" => RunKind::Chaos,
+            "trace" => RunKind::Trace,
+            other => {
+                return Err(format!(
+                    "unknown cmd `{other}` (plan|simulate|chaos|trace|stats|shutdown)"
+                ))
+            }
+        };
+
+        let spec = parse_spec(&doc)?;
+        let seed = opt_u64(&doc, "seed")?.unwrap_or(0);
+        let instances = opt_u64(&doc, "instances")?.unwrap_or(1);
+        if instances == 0 {
+            return Err("`instances` must be >= 1".to_string());
+        }
+        let deadline_ms = opt_u64(&doc, "deadline_ms")?;
+
+        let (profile, chaos_seed) = if kind == RunKind::Chaos {
+            let name = doc.get("profile").and_then(Json::as_str).unwrap_or("heavy");
+            if ChaosProfile::from_name(name).is_none() {
+                return Err(format!(
+                    "unknown chaos profile `{name}` (off|jitter|storms|drain|heavy|flip:<k>)"
+                ));
+            }
+            (
+                name.to_string(),
+                opt_u64(&doc, "chaos-seed")?.unwrap_or(seed),
+            )
+        } else {
+            if doc.get("profile").is_some() || doc.get("chaos-seed").is_some() {
+                return Err(format!(
+                    "`profile`/`chaos-seed` only apply to cmd `chaos`, not `{cmd}`"
+                ));
+            }
+            ("off".to_string(), 0)
+        };
+
+        Ok(Request {
+            id,
+            body: RequestBody::Run(Box::new(RunRequest {
+                kind,
+                spec,
+                seed,
+                instances,
+                profile,
+                chaos_seed,
+                deadline_ms,
+            })),
+        })
+    }
+}
+
+fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn parse_spec(doc: &Json) -> Result<ProblemSpec, String> {
+    let mut map = std::collections::BTreeMap::new();
+    if let Some(spec) = doc.get("spec") {
+        let pairs = spec.as_obj().ok_or("`spec` must be an object")?;
+        for (key, value) in pairs {
+            if !SPEC_KEYS.contains(&key.as_str()) {
+                return Err(format!("unknown spec key `{key}`"));
+            }
+            let text = value
+                .as_str()
+                .map(String::from)
+                .or_else(|| value.as_i64().map(|i| i.to_string()))
+                .ok_or_else(|| format!("spec key `{key}` must be a string"))?;
+            map.insert(key.clone(), text);
+        }
+    }
+    ProblemSpec::from_source(&map).map_err(|e| e.to_string())
+}
+
+impl RunRequest {
+    /// The canonical request text: everything that determines the result,
+    /// nothing that doesn't. Equivalent requests produce byte-identical
+    /// canonical texts.
+    pub fn canonical(&self) -> String {
+        let mut s = format!(
+            "v{PROTOCOL_VERSION};cmd={};spec={}",
+            self.kind.label(),
+            self.spec.canonical()
+        );
+        match self.kind {
+            RunKind::Plan => {}
+            RunKind::Simulate | RunKind::Trace => {
+                s.push_str(&format!(";seed={};instances={}", self.seed, self.instances));
+            }
+            RunKind::Chaos => {
+                s.push_str(&format!(
+                    ";seed={};instances={};chaos={}:{}",
+                    self.seed, self.instances, self.profile, self.chaos_seed
+                ));
+            }
+        }
+        s
+    }
+
+    /// The content-address of this request: the 128-bit fingerprint of
+    /// [`canonical`](Self::canonical).
+    pub fn cache_key(&self) -> (u64, u64) {
+        fingerprint128(self.canonical().as_bytes())
+    }
+
+    /// Runs the request to completion on the calling thread and returns
+    /// the result JSON (a versioned report, or a plan summary).
+    pub fn execute(&self) -> Result<Json, String> {
+        if self.kind == RunKind::Plan {
+            let plan = self.spec.builder().plan().map_err(|e| e.to_string())?;
+            return Ok(Json::obj(vec![
+                ("spec", Json::str(self.spec.canonical())),
+                ("capacity", Json::Int(plan.capacity as i64)),
+                ("lookahead", Json::Int(plan.lookahead as i64)),
+                ("lookback", Json::Int(plan.lookback as i64)),
+                (
+                    "taps",
+                    Json::Arr(plan.taps.iter().map(|&t| Json::Int(t as i64)).collect()),
+                ),
+                (
+                    "static_buffers",
+                    Json::Int(plan.static_buffers.len() as i64),
+                ),
+                ("n_cases", Json::Int(plan.n_cases as i64)),
+            ]));
+        }
+
+        let mut builder = self.spec.builder();
+        if self.kind == RunKind::Chaos {
+            let profile = ChaosProfile::from_name(&self.profile)
+                .ok_or_else(|| format!("unknown chaos profile `{}`", self.profile))?;
+            builder = builder.fault_plan(FaultPlan::new(self.chaos_seed, profile));
+        }
+        if self.kind == RunKind::Trace {
+            builder = builder.telemetry(TelemetryConfig::default());
+        }
+        let mut system: SmacheSystem = builder.build().map_err(|e| e.to_string())?;
+        let input = seeded_input(self.spec.grid.len(), self.seed);
+        let report = system
+            .run(&input, self.instances)
+            .map_err(|e| e.to_string())?;
+        Ok(report.to_json())
+    }
+}
+
+/// Builds a success response line. `report_text` is the already-compact
+/// result JSON — it is embedded verbatim, so a cached report is handed
+/// out byte-identically to the run that produced it.
+pub fn ok_line(id: Option<&str>, cached: bool, report_text: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"ok\",\"cached\":{cached},\"report\":{report_text}}}",
+        id_json(id)
+    )
+}
+
+/// Builds a typed rejection response line.
+pub fn rejected_line(id: Option<&str>, reason: &str) -> String {
+    Json::obj(vec![
+        ("id", id_value(id)),
+        ("status", Json::str("rejected")),
+        ("reason", Json::str(reason)),
+    ])
+    .compact()
+}
+
+/// Builds an error response line.
+pub fn error_line(id: Option<&str>, message: &str) -> String {
+    Json::obj(vec![
+        ("id", id_value(id)),
+        ("status", Json::str("error")),
+        ("error", Json::str(message)),
+    ])
+    .compact()
+}
+
+fn id_value(id: Option<&str>) -> Json {
+    match id {
+        Some(s) => Json::str(s),
+        None => Json::Null,
+    }
+}
+
+fn id_json(id: Option<&str>) -> String {
+    id_value(id).compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> RunRequest {
+        match Request::parse_line(line).expect("parses").body {
+            RequestBody::Run(r) => *r,
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_full_simulate_request() {
+        let r = run(
+            r#"{"id":"r1","cmd":"simulate","spec":{"grid":"8x8","rows":"mirror"},"seed":7,"instances":2,"deadline_ms":500}"#,
+        );
+        assert_eq!(r.kind, RunKind::Simulate);
+        assert_eq!(r.spec.grid.dims(), &[8, 8]);
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.instances, 2);
+        assert_eq!(r.deadline_ms, Some(500));
+        assert_eq!(r.profile, "off");
+    }
+
+    #[test]
+    fn defaults_match_the_cli() {
+        let r = run(r#"{"cmd":"simulate"}"#);
+        assert_eq!(r.spec.grid.dims(), &[11, 11]);
+        assert_eq!(r.seed, 0);
+        assert_eq!(r.instances, 1);
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn chaos_requests_carry_profile_and_seed() {
+        let r = run(r#"{"cmd":"chaos","profile":"jitter","chaos-seed":3,"seed":9}"#);
+        assert_eq!(r.kind, RunKind::Chaos);
+        assert_eq!(r.profile, "jitter");
+        assert_eq!(r.chaos_seed, 3);
+        // chaos-seed defaults to seed.
+        let r = run(r#"{"cmd":"chaos","seed":9}"#);
+        assert_eq!(r.chaos_seed, 9);
+        assert_eq!(r.profile, "heavy");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("not json", "bad JSON"),
+            ("[1,2]", "object"),
+            (r#"{"id":"x"}"#, "missing `cmd`"),
+            (r#"{"cmd":"frobnicate"}"#, "unknown cmd"),
+            (r#"{"cmd":"simulate","bogus":1}"#, "unknown request key"),
+            (
+                r#"{"cmd":"simulate","spec":{"gird":"8x8"}}"#,
+                "unknown spec key",
+            ),
+            (r#"{"cmd":"simulate","spec":{"grid":"abc"}}"#, "grid"),
+            (r#"{"cmd":"simulate","seed":-1}"#, "non-negative"),
+            (r#"{"cmd":"simulate","instances":0}"#, ">= 1"),
+            (r#"{"cmd":"chaos","profile":"nope"}"#, "chaos profile"),
+            (r#"{"cmd":"simulate","profile":"jitter"}"#, "only apply"),
+        ] {
+            let err = Request::parse_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn stats_and_shutdown_parse() {
+        assert!(matches!(
+            Request::parse_line(r#"{"cmd":"stats"}"#).unwrap().body,
+            RequestBody::Stats
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"cmd":"shutdown","id":"bye"}"#)
+                .unwrap()
+                .body,
+            RequestBody::Shutdown
+        ));
+    }
+
+    #[test]
+    fn canonical_ignores_spelling_id_and_deadline() {
+        let a =
+            run(r#"{"id":"a","cmd":"simulate","spec":{"grid":"11X11","rows":"wrap"},"seed":7}"#);
+        let b = run(
+            r#"{"id":"b","cmd":"simulate","spec":{"grid":"11x11","rows":"circular"},"seed":7,"deadline_ms":9}"#,
+        );
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn canonical_separates_what_changes_the_result() {
+        let base = run(r#"{"cmd":"simulate","seed":7}"#);
+        for other in [
+            run(r#"{"cmd":"simulate","seed":8}"#),
+            run(r#"{"cmd":"simulate","seed":7,"instances":2}"#),
+            run(r#"{"cmd":"trace","seed":7}"#),
+            run(r#"{"cmd":"chaos","seed":7,"profile":"jitter"}"#),
+            run(r#"{"cmd":"simulate","seed":7,"spec":{"grid":"11x12"}}"#),
+        ] {
+            assert_ne!(base.cache_key(), other.cache_key(), "{}", other.canonical());
+        }
+        // Plan requests ignore seed entirely.
+        let p1 = run(r#"{"cmd":"plan","seed":1}"#);
+        let p2 = run(r#"{"cmd":"plan","seed":2}"#);
+        assert_eq!(p1.cache_key(), p2.cache_key());
+    }
+
+    #[test]
+    fn execute_plan_and_simulate() {
+        let plan = run(r#"{"cmd":"plan"}"#).execute().expect("plan");
+        assert_eq!(plan.get("capacity").and_then(Json::as_i64), Some(25));
+        assert_eq!(plan.get("n_cases").and_then(Json::as_i64), Some(9));
+
+        let report = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":1}"#)
+            .execute()
+            .expect("simulate");
+        assert_eq!(report.get("schema_version").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            report
+                .get("output")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(64)
+        );
+        // Trace runs attach telemetry; plain runs don't.
+        assert_eq!(report.get("telemetry"), Some(&Json::Null));
+        let traced = run(r#"{"cmd":"trace","spec":{"grid":"8x8"},"seed":1}"#)
+            .execute()
+            .expect("trace");
+        assert!(traced.get("telemetry").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        let ok = ok_line(Some("r\"1"), true, r#"{"x":1}"#);
+        let doc = Json::parse(&ok).expect("ok line parses");
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some("r\"1"));
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("report").unwrap().get("x").and_then(Json::as_i64),
+            Some(1)
+        );
+
+        let rej = Json::parse(&rejected_line(None, "overloaded")).expect("parses");
+        assert_eq!(rej.get("id"), Some(&Json::Null));
+        assert_eq!(rej.get("reason").and_then(Json::as_str), Some("overloaded"));
+
+        let err = Json::parse(&error_line(Some("x"), "boom")).expect("parses");
+        assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+    }
+}

@@ -1,0 +1,425 @@
+//! The long-running job server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──► acceptor ──► connection threads ──┬─► cache hit ─► respond
+//!                                                └─► BoundedQueue ─► workers ─► respond
+//! ```
+//!
+//! One thread accepts connections (Unix socket or TCP); each connection
+//! gets a reader thread that parses newline-delimited requests. Run
+//! requests are first checked against the content-addressed
+//! [`ResultCache`] — a hit responds immediately, byte-identical to the
+//! run that populated it. Misses go through admission control: a
+//! [`BoundedQueue`] that either accepts the job or refuses it *right
+//! now* with a typed `overloaded` rejection. A fixed pool of worker
+//! threads pulls jobs, checks each job's deadline at dequeue (expired →
+//! typed `deadline` rejection), executes, populates the cache, and
+//! writes the response to the owning connection.
+//!
+//! `shutdown` begins a **graceful drain**: admission stops (`draining`
+//! rejections), queued jobs still run to completion and their responses
+//! are delivered, then workers and the acceptor exit.
+//!
+//! Responses may interleave across a connection in any order when
+//! multiple requests are in flight — clients correlate by `id`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::metrics::ServerMetrics;
+use crate::pool::BoundedQueue;
+use crate::protocol::{error_line, ok_line, rejected_line, Request, RequestBody, RunRequest};
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A Unix-domain socket at this path (created on start, removed on
+    /// clean shutdown).
+    Unix(PathBuf),
+    /// A TCP bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    Tcp(String),
+}
+
+impl Listen {
+    /// Parses the textual address form shared with the client:
+    /// `unix:<path>` or `tcp:<host>:<port>`.
+    pub fn parse(addr: &str) -> Result<Listen, String> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            Ok(Listen::Unix(PathBuf::from(path)))
+        } else if let Some(hostport) = addr.strip_prefix("tcp:") {
+            Ok(Listen::Tcp(hostport.to_string()))
+        } else {
+            Err(format!("address `{addr}` must start with unix: or tcp:"))
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Worker threads executing runs.
+    pub workers: usize,
+    /// Admission-queue capacity (jobs waiting for a worker).
+    pub queue_cap: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            workers: 2,
+            queue_cap: 32,
+            cache_bytes: 4 << 20,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+type ConnWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    request: RunRequest,
+    id: Option<String>,
+    writer: ConnWriter,
+    admitted: Instant,
+    deadline: Option<Duration>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: Mutex<ResultCache>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    default_deadline: Option<Duration>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.drain();
+    }
+
+    fn publish_cache_state(&self) {
+        let cache = self.cache.lock().expect("cache poisoned");
+        let stats = cache.stats();
+        self.metrics
+            .cache_state(stats.evictions, cache.bytes() as u64, cache.len() as u64);
+    }
+}
+
+enum Acceptor {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](ServerHandle::shutdown) or [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    addr: String,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The server's reachable address in `unix:`/`tcp:` form (with the
+    /// actual port when TCP bound port 0).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Direct metrics access (tests and the stats command share it).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Initiates the graceful drain, then [`join`](Self::join)s.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join_inner();
+    }
+
+    /// Blocks until the server exits (a client's `shutdown` request, or a
+    /// prior [`shutdown`](Self::shutdown) call, triggers the drain).
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Starts the server and returns its handle.
+///
+/// Binds the listen address, spawns the acceptor and `workers` worker
+/// threads, and returns immediately; the handle reports the actual bound
+/// address.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_cap),
+        cache: Mutex::new(ResultCache::new(config.cache_bytes)),
+        metrics: ServerMetrics::new(),
+        shutdown: AtomicBool::new(false),
+        default_deadline: config.default_deadline_ms.map(Duration::from_millis),
+    });
+
+    let (acceptor, addr, unix_path) = match &config.listen {
+        Listen::Unix(path) => {
+            // A stale socket file from a killed process would fail the
+            // bind; remove it (connect() distinguishes live servers).
+            if path.exists() {
+                let _ = std::fs::remove_file(path);
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            (
+                Acceptor::Unix(listener),
+                format!("unix:{}", path.display()),
+                Some(path.clone()),
+            )
+        }
+        Listen::Tcp(hostport) => {
+            let listener = TcpListener::bind(hostport)?;
+            listener.set_nonblocking(true)?;
+            let local = listener.local_addr()?;
+            (Acceptor::Tcp(listener), format!("tcp:{local}"), None)
+        }
+    };
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::spawn(move || accept_loop(acceptor, &accept_shared));
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+        unix_path,
+    })
+}
+
+type ConnPair = (Box<dyn std::io::Read + Send>, Box<dyn Write + Send>);
+
+fn accept_loop(acceptor: Acceptor, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // The listener is nonblocking (so this loop can notice shutdown);
+        // accepted connections are flipped back to blocking I/O.
+        let accepted: std::io::Result<ConnPair> = match &acceptor {
+            Acceptor::Unix(l) => l.accept().and_then(|(s, _)| {
+                s.set_nonblocking(false)?;
+                let reader = s.try_clone()?;
+                Ok((Box::new(reader) as _, Box::new(s) as _))
+            }),
+            Acceptor::Tcp(l) => l.accept().and_then(|(s, _)| {
+                s.set_nonblocking(false)?;
+                let reader = s.try_clone()?;
+                Ok((Box::new(reader) as _, Box::new(s) as _))
+            }),
+        };
+        match accepted {
+            Ok((reader, writer)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    serve_connection(reader, Arc::new(Mutex::new(writer)), &shared)
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn id_text(id: &Option<String>) -> String {
+    match id {
+        Some(s) => smache_sim::Json::str(s.as_str()).compact(),
+        None => "null".to_string(),
+    }
+}
+
+fn write_line(writer: &ConnWriter, line: &str) {
+    let mut w = writer.lock().expect("writer poisoned");
+    // A vanished client is not a server error; drop the response.
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+fn serve_connection(
+    reader: Box<dyn std::io::Read + Send>,
+    writer: ConnWriter,
+    shared: &Arc<Shared>,
+) {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        shared.metrics.request();
+        match Request::parse_line(trimmed) {
+            Err(msg) => {
+                shared.metrics.error();
+                write_line(&writer, &error_line(None, &msg));
+            }
+            Ok(Request { id, body }) => match body {
+                RequestBody::Stats => {
+                    shared.metrics.queue_depth(shared.queue.depth() as u64);
+                    shared.publish_cache_state();
+                    let stats = shared.metrics.to_json().compact();
+                    write_line(
+                        &writer,
+                        &format!(
+                            "{{\"id\":{},\"status\":\"ok\",\"stats\":{stats}}}",
+                            id_text(&id)
+                        ),
+                    );
+                }
+                RequestBody::Shutdown => {
+                    write_line(
+                        &writer,
+                        &format!(
+                            "{{\"id\":{},\"status\":\"ok\",\"draining\":true}}",
+                            id_text(&id)
+                        ),
+                    );
+                    shared.begin_shutdown();
+                }
+                RequestBody::Run(request) => {
+                    handle_run(*request, id, &writer, shared);
+                }
+            },
+        }
+    }
+}
+
+fn handle_run(request: RunRequest, id: Option<String>, writer: &ConnWriter, shared: &Arc<Shared>) {
+    let key = request.cache_key();
+    let hit = shared.cache.lock().expect("cache poisoned").get(key);
+    shared.metrics.cache_lookup(hit.is_some());
+    if let Some(text) = hit {
+        shared.metrics.ok(true);
+        write_line(writer, &ok_line(id.as_deref(), true, &text));
+        return;
+    }
+
+    let deadline = request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.default_deadline);
+    let job = Job {
+        request,
+        id,
+        writer: Arc::clone(writer),
+        admitted: Instant::now(),
+        deadline,
+    };
+    if let Err(refused) = shared.queue.try_push(job) {
+        let reason = refused.reason();
+        let job = refused.into_inner();
+        shared.metrics.rejected(reason);
+        write_line(&job.writer, &rejected_line(job.id.as_deref(), reason));
+    }
+    shared.metrics.queue_depth(shared.queue.depth() as u64);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth(shared.queue.depth() as u64);
+        if let Some(deadline) = job.deadline {
+            if job.admitted.elapsed() >= deadline {
+                shared.metrics.rejected("deadline");
+                write_line(&job.writer, &rejected_line(job.id.as_deref(), "deadline"));
+                continue;
+            }
+        }
+        match job.request.execute() {
+            Ok(result) => {
+                let text = result.compact();
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(job.request.cache_key(), text.clone());
+                shared.publish_cache_state();
+                shared.metrics.ok(false);
+                let us = job.admitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                shared.metrics.observe_latency_us(us);
+                write_line(&job.writer, &ok_line(job.id.as_deref(), false, &text));
+            }
+            Err(msg) => {
+                shared.metrics.error();
+                write_line(&job.writer, &error_line(job.id.as_deref(), &msg));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addresses_parse() {
+        assert_eq!(
+            Listen::parse("unix:/tmp/s.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/s.sock"))
+        );
+        assert_eq!(
+            Listen::parse("tcp:127.0.0.1:7777").unwrap(),
+            Listen::Tcp("127.0.0.1:7777".to_string())
+        );
+        assert!(Listen::parse("http://x").is_err());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_cap >= 1);
+        assert!(c.cache_bytes > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Stable, dependency-free hashing shared across the workspace.
+//!
+//! Several subsystems need a hash that is *identical on every platform and
+//! in every run* — `std::collections::hash_map::DefaultHasher` is
+//! explicitly not that. Two users with hard reproducibility contracts
+//! share these helpers:
+//!
+//! * **Chaos streams** (`smache-mem`'s fault injection) derive one PRNG
+//!   stream per component as [`stream_seed`]`(seed, name)`, so a fault
+//!   schedule is a pure function of the `(seed, component)` pair.
+//! * **The result cache** (`smache-serve`) content-addresses responses by
+//!   [`fingerprint128`] of the canonical request text, so a cache key
+//!   computed today matches one computed by any future run of any build.
+//!
+//! The exact output values are part of the workspace's compatibility
+//! surface; the unit tests below pin them.
+
+/// 64-bit FNV-1a over a byte string.
+///
+/// The offset basis and prime are the standard Fowler–Noll–Vo constants,
+/// so values can be cross-checked against any independent implementation.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The splitmix64 finaliser — a cheap, well-mixed `u64 -> u64` bijection.
+///
+/// Used to turn structured inputs (seeds XORed with name hashes) into
+/// PRNG states and secondary fingerprint lanes.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives a per-component stream seed: `seed ^ fnv1a(name)`.
+///
+/// This is the seed-derivation rule documented in `docs/RESILIENCE.md`:
+/// each named consumer gets an independent, reproducible stream from one
+/// master seed, and adding a new named stream never perturbs existing
+/// ones.
+pub fn stream_seed(seed: u64, name: &str) -> u64 {
+    seed ^ fnv1a(name.as_bytes())
+}
+
+/// A 128-bit content fingerprint of a byte string, as two `u64` lanes.
+///
+/// Lane one is plain FNV-1a; lane two re-walks the bytes through a
+/// splitmix64-chained state so the lanes fail independently. 128 bits make
+/// accidental collisions in a content-addressed cache implausible
+/// (birthday bound ~2^64 entries) without pulling in a crypto hash.
+pub fn fingerprint128(bytes: &[u8]) -> (u64, u64) {
+    let h1 = fnv1a(bytes);
+    let mut h2 = splitmix64(h1 ^ bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h2 = splitmix64(h2 ^ u64::from_le_bytes(word));
+    }
+    (h1, h2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn stream_seed_is_stable_across_runs() {
+        // These exact values are relied on by recorded chaos schedules:
+        // changing them silently would invalidate every seeded artefact.
+        assert_eq!(stream_seed(0, "mem.dram"), fnv1a(b"mem.dram"));
+        assert_eq!(stream_seed(7, "mem.dram"), 7 ^ fnv1a(b"mem.dram"));
+        assert_eq!(stream_seed(7, "mem.dram"), 0x12f5_7058_8239_7673);
+        assert_eq!(stream_seed(7, "axi.stream"), 0x9018_cac3_ca07_cefc);
+    }
+
+    #[test]
+    fn stream_seed_separates_components() {
+        let a = stream_seed(1, "mem.dram");
+        let b = stream_seed(1, "mem.resp_fifo");
+        let c = stream_seed(2, "mem.dram");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn splitmix_is_a_bijection_on_samples() {
+        let mut seen = std::collections::BTreeSet::new();
+        for x in 0..1000u64 {
+            assert!(seen.insert(splitmix64(x)));
+        }
+    }
+
+    #[test]
+    fn fingerprint_lanes_are_independent_and_stable() {
+        let (a1, a2) = fingerprint128(b"simulate grid=11x11 seed=1");
+        let (b1, b2) = fingerprint128(b"simulate grid=11x11 seed=2");
+        assert_ne!((a1, a2), (b1, b2));
+        // Pinned values: the content-addressed cache key format.
+        assert_eq!(a1, fnv1a(b"simulate grid=11x11 seed=1"));
+        let again = fingerprint128(b"simulate grid=11x11 seed=1");
+        assert_eq!((a1, a2), again);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_zero_padding() {
+        // Chunked folding must not confuse a short string with its
+        // zero-padded extension.
+        let a = fingerprint128(b"abc");
+        let b = fingerprint128(b"abc\0\0");
+        assert_ne!(a, b);
+    }
+}

@@ -46,10 +46,16 @@
 //! * [`resources`] — FPGA resource accounting (ALMs, registers, BRAM bits)
 //!   shared by every simulated module; this is how "actual" utilisation
 //!   numbers for Table I of the paper are produced.
+//! * [`json`] — the workspace's dependency-free JSON tree, serialisers
+//!   (pretty artefacts, compact wire format) and strict parser.
+//! * [`hash`] — stable FNV-1a/splitmix64 helpers: per-component chaos
+//!   stream seeds and content-addressed cache fingerprints.
 
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
+pub mod json;
 pub mod module;
 pub mod parallel;
 pub mod resources;
@@ -62,6 +68,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use error::SimError;
+pub use json::{Json, JsonError};
 pub use module::{Module, Sensitivity};
 pub use parallel::run_batch;
 pub use resources::ResourceUsage;

@@ -43,6 +43,36 @@ cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --batch 2
 cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 5 \
   --chaos-seed 7 --chaos-profile heavy --verify >/dev/null
 
+echo "== serve smoke (unix socket: cache hit, malformed request, clean drain) =="
+serve_sock="/tmp/smache-ci-$$.sock"
+rm -f "$serve_sock"
+# Build first so the backgrounded server is up within the wait window.
+cargo build -p smache-cli --release
+cargo run -p smache-cli --release -- serve --listen "unix:$serve_sock" --workers 2 &
+serve_pid=$!
+for _ in $(seq 1 120); do [ -S "$serve_sock" ] && break; sleep 0.5; done
+[ -S "$serve_sock" ] || { echo "server socket never appeared"; exit 1; }
+serve_req='{"id":"s1","cmd":"simulate","spec":{"grid":"11x11"},"seed":7,"instances":2}'
+cargo run -p smache-cli --release -- call --to "unix:$serve_sock" --json "$serve_req" \
+  | grep -Eq '"cached": ?false' || { echo "first call unexpectedly cached"; exit 1; }
+cargo run -p smache-cli --release -- call --to "unix:$serve_sock" --json "$serve_req" \
+  | grep -Eq '"cached": ?true' || { echo "repeat call missed the cache"; exit 1; }
+cargo run -p smache-cli --release -- call --to "unix:$serve_sock" \
+  --json '{"cmd":"simulate","bogus":1}' \
+  | grep -Eq '"status": ?"error"' || { echo "malformed request not answered with error"; exit 1; }
+cargo run -p smache-cli --release -- call --to "unix:$serve_sock" \
+  --json '{"cmd":"stats"}' \
+  | grep -Eq '"serve.cache.hits": ?1' || { echo "stats does not report the cache hit"; exit 1; }
+cargo run -p smache-cli --release -- call --to "unix:$serve_sock" \
+  --json '{"cmd":"shutdown"}' >/dev/null
+wait "$serve_pid"
+[ ! -S "$serve_sock" ] || { echo "socket file survived the drain"; exit 1; }
+
+echo "== serve loadgen (cache speedup artefact) =="
+cargo run -p smache-bench --bin loadgen --release >/dev/null
+grep -q '"cache_speedup_closed"' BENCH_serve.json || {
+  echo "BENCH_serve.json is missing the cache speedup"; exit 1; }
+
 echo "== trace smoke (artifacts + self-checks + no-trace cycle guard) =="
 # The CLI self-checks every artifact before writing; a non-empty file
 # therefore implies a parseable trace.

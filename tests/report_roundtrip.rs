@@ -1,0 +1,105 @@
+//! The report-compatibility contract for caching and serving:
+//! `RunReport::to_json` → `RunReport::from_json` → `to_json` is
+//! **byte-identical**, on plain runs and on the richest reports the
+//! system can produce (chaos fault events + full telemetry).
+//!
+//! Byte identity is stronger than field equality: it means a cached
+//! serialised report can be handed out verbatim and re-parsed by any
+//! client without ever drifting from a freshly-serialised one.
+
+use smache::prelude::*;
+use smache::spec::seeded_input;
+use smache::system::REPORT_SCHEMA_VERSION;
+use smache_sim::{Json, TelemetryConfig};
+
+fn paper_system() -> SmacheSystem {
+    SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+        .shape(StencilShape::four_point_2d())
+        .boundaries(BoundarySpec::paper_case())
+        .build()
+        .expect("build")
+}
+
+fn assert_byte_identical(report: &RunReport) {
+    let doc = report.to_json();
+    let text = doc.compact();
+    let parsed_doc = Json::parse(&text).expect("wire text parses");
+    let parsed = RunReport::from_json(&parsed_doc).expect("report parses");
+    assert_eq!(
+        parsed.to_json().compact(),
+        text,
+        "compact round-trip drifted"
+    );
+    assert_eq!(parsed.to_json().pretty(), doc.pretty(), "pretty drifted");
+}
+
+#[test]
+fn plain_run_round_trips_byte_identically() {
+    let input = seeded_input(121, 7);
+    let report = paper_system().run(&input, 2).expect("run");
+    assert!(report.telemetry.is_none());
+    assert_byte_identical(&report);
+}
+
+#[test]
+fn chaos_and_telemetry_round_trip_byte_identically() {
+    // The richest report shape: jitter faults populate `fault_events`
+    // and `metrics.faults`; telemetry fills counters and histograms.
+    let mut system = SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+        .shape(StencilShape::four_point_2d())
+        .boundaries(BoundarySpec::paper_case())
+        .fault_plan(FaultPlan::new(3, ChaosProfile::heavy()))
+        .telemetry(TelemetryConfig::default())
+        .build()
+        .expect("build");
+    let input = seeded_input(121, 3);
+    let report = system.run(&input, 2).expect("run");
+    assert!(
+        !report.fault_events.is_empty(),
+        "heavy chaos injected nothing"
+    );
+    assert!(report.telemetry.is_some());
+    assert_byte_identical(&report);
+}
+
+#[test]
+fn parsed_report_matches_original_field_for_field() {
+    let input = seeded_input(121, 11);
+    let report = paper_system().run(&input, 1).expect("run");
+    let parsed = RunReport::from_json(&report.to_json()).expect("parse");
+    assert_eq!(parsed.output, report.output);
+    assert_eq!(parsed.metrics.name, report.metrics.name);
+    assert_eq!(parsed.metrics.cycles, report.metrics.cycles);
+    assert_eq!(parsed.metrics.fmax_mhz, report.metrics.fmax_mhz);
+    assert_eq!(parsed.metrics.dram, report.metrics.dram);
+    assert_eq!(parsed.metrics.resources, report.metrics.resources);
+    assert_eq!(parsed.metrics.faults, report.metrics.faults);
+    assert_eq!(parsed.warmup_cycles, report.warmup_cycles);
+    assert_eq!(parsed.stats, report.stats);
+    assert_eq!(parsed.breakdown.stream, report.breakdown.stream);
+    assert_eq!(parsed.breakdown.statics, report.breakdown.statics);
+    assert_eq!(parsed.breakdown.controller, report.breakdown.controller);
+    assert_eq!(parsed.fault_events, report.fault_events);
+    assert_eq!(parsed.telemetry, report.telemetry);
+}
+
+#[test]
+fn schema_version_is_first_and_guarded() {
+    let input = seeded_input(121, 1);
+    let report = paper_system().run(&input, 1).expect("run");
+    let text = report.to_json().compact();
+    assert!(
+        text.starts_with(&format!("{{\"schema_version\":{REPORT_SCHEMA_VERSION}")),
+        "schema_version must lead the document: {}",
+        &text[..40.min(text.len())]
+    );
+    // A future version must be rejected, not misread.
+    let bumped = text.replacen(
+        &format!("\"schema_version\":{REPORT_SCHEMA_VERSION}"),
+        "\"schema_version\":9999",
+        1,
+    );
+    let doc = Json::parse(&bumped).expect("still valid JSON");
+    let err = RunReport::from_json(&doc).unwrap_err();
+    assert!(err.contains("9999"), "{err}");
+}

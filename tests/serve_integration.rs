@@ -1,0 +1,304 @@
+//! End-to-end tests for `smache serve`: bit-exactness of served results
+//! against direct [`SmacheSystem`](smache::SmacheSystem) runs, typed
+//! admission-control rejections, deadline expiry, malformed-request
+//! handling, and graceful drain.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use smache::spec::{seeded_input, ProblemSpec};
+use smache_serve::{start, Client, Listen, ServeConfig};
+use smache_sim::Json;
+
+/// A unique per-test Unix socket path.
+fn sock(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smache-it-{}-{tag}.sock", std::process::id()))
+}
+
+fn simulate_request(id: &str, grid: &str, seed: u64, instances: u64) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(id)),
+        ("cmd", Json::str("simulate")),
+        ("spec", Json::obj(vec![("grid", Json::str(grid))])),
+        ("seed", Json::Int(seed as i64)),
+        ("instances", Json::Int(instances as i64)),
+    ])
+}
+
+/// Runs the same problem directly — no server, no threads — and returns
+/// the report in the exact wire form the server must produce.
+fn reference_report_text(grid: &str, seed: u64, instances: u64) -> String {
+    let mut src = BTreeMap::new();
+    src.insert("grid".to_string(), grid.to_string());
+    let spec = ProblemSpec::from_source(&src).expect("spec parses");
+    let mut system = spec.builder().build().expect("system builds");
+    let input = seeded_input(spec.grid.len(), seed);
+    let report = system.run(&input, instances).expect("reference run");
+    report.to_json().compact()
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results_to_direct_runs() {
+    let handle = start(ServeConfig {
+        listen: Listen::Tcp("127.0.0.1:0".to_string()),
+        workers: 3,
+        queue_cap: 64,
+        cache_bytes: 16 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: u64 = 3;
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let addr = &addr;
+            scope.spawn(move || {
+                let mut conn = Client::connect(addr).expect("connect");
+                for j in 0..PER_CLIENT {
+                    let seed = 100 * client as u64 + j;
+                    let resp = conn
+                        .call(&simulate_request("c", "11x11", seed, 2))
+                        .expect("call");
+                    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+                    // Every (client, j) seed is unique, so nothing is served
+                    // from cache: each response is a fresh concurrent run.
+                    assert_eq!(resp.get("cached").and_then(Json::as_bool), Some(false));
+                    let served = resp.get("report").expect("report present").compact();
+                    assert_eq!(
+                        served,
+                        reference_report_text("11x11", seed, 2),
+                        "served report for seed {seed} diverged from the direct run"
+                    );
+                }
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_requests_are_cache_hits_with_identical_reports() {
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock("cache")),
+        workers: 1,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+
+    let first = conn
+        .call(&simulate_request("a", "8x8", 5, 1))
+        .expect("first call");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+
+    // A respelled-but-equivalent request (different id, spaced grid
+    // spelling normalises away) must hit the cache byte-identically.
+    let again = conn
+        .call(&simulate_request("b", "8X8", 5, 1))
+        .expect("second call");
+    assert_eq!(again.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        first.get("report").unwrap().compact(),
+        again.get("report").unwrap().compact()
+    );
+    assert_eq!(handle.metrics().counter("serve.cache.hits"), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn overload_returns_typed_rejections_and_every_request_gets_a_response() {
+    // One slow worker, a one-slot queue, and eight concurrent clients:
+    // admission control must shed load with `rejected`/`overloaded`
+    // rather than block or drop connections.
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock("overload")),
+        workers: 1,
+        queue_cap: 1,
+        cache_bytes: 16 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    const CLIENTS: u64 = 8;
+    const PER_CLIENT: u64 = 2;
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut conn = Client::connect(addr).expect("connect");
+                    let (mut ok, mut overloaded) = (0u64, 0u64);
+                    for j in 0..PER_CLIENT {
+                        // Unique seeds: no request can be absorbed by the cache.
+                        let seed = 1_000 + client * 100 + j;
+                        let resp = conn
+                            .call(&simulate_request("o", "32x32", seed, 4))
+                            .expect("every request gets a response");
+                        match resp.get("status").and_then(Json::as_str) {
+                            Some("ok") => ok += 1,
+                            Some("rejected") => {
+                                assert_eq!(
+                                    resp.get("reason").and_then(Json::as_str),
+                                    Some("overloaded")
+                                );
+                                overloaded += 1;
+                            }
+                            other => panic!("unexpected status {other:?}"),
+                        }
+                    }
+                    (ok, overloaded)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok: u64 = outcomes.iter().map(|(o, _)| o).sum();
+    let overloaded: u64 = outcomes.iter().map(|(_, r)| r).sum();
+    assert_eq!(
+        ok + overloaded,
+        CLIENTS * PER_CLIENT,
+        "a response went missing"
+    );
+    assert!(ok >= 1, "at least the job holding the worker must finish");
+    assert!(
+        overloaded >= 1,
+        "16 lockstep requests against a 1-slot queue must trip admission control"
+    );
+    assert_eq!(
+        handle.metrics().counter("serve.rejected.overloaded"),
+        overloaded
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn an_already_expired_deadline_is_rejected_without_running() {
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock("deadline")),
+        workers: 1,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+
+    // deadline_ms 0 expires the moment it is admitted: the worker must
+    // observe the expiry at dequeue and answer `rejected`/`deadline`.
+    let mut req = simulate_request("d", "8x8", 9, 1);
+    if let Json::Obj(pairs) = &mut req {
+        pairs.push(("deadline_ms".to_string(), Json::Int(0)));
+    }
+    let resp = conn.call(&req).expect("call");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("rejected"));
+    assert_eq!(resp.get("reason").and_then(Json::as_str), Some("deadline"));
+    assert_eq!(handle.metrics().counter("serve.rejected.deadline"), 1);
+
+    // The same key without a deadline now runs: the expired request was
+    // never executed, so it never populated the cache.
+    let resp = conn
+        .call(&simulate_request("d2", "8x8", 9, 1))
+        .expect("call");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(resp.get("cached").and_then(Json::as_bool), Some(false));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_connection_survives() {
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock("malformed")),
+        workers: 1,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+
+    conn.send_raw("this is not json").expect("send");
+    let resp = conn.recv().expect("error response");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+
+    conn.send_raw(r#"{"cmd":"simulate","bogus":1}"#)
+        .expect("send");
+    let resp = conn.recv().expect("error response");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("bogus")),
+        "the error names the offending key"
+    );
+
+    // Two garbage lines later, the connection still serves real work.
+    let resp = conn
+        .call(&simulate_request("ok", "8x8", 3, 1))
+        .expect("call");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    handle.shutdown();
+}
+
+#[test]
+fn client_initiated_shutdown_drains_queued_work_then_exits() {
+    let path = sock("drain");
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(path.clone()),
+        workers: 1,
+        queue_cap: 16,
+        cache_bytes: 16 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let mut conn = Client::connect(&addr).expect("connect");
+    const PIPELINED: u64 = 4;
+    for j in 0..PIPELINED {
+        conn.send(&simulate_request("p", "16x16", 50 + j, 2))
+            .expect("send");
+    }
+    // Reading the first response proves the backlog is in the queue.
+    let first = conn.recv().expect("first response");
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    let resp = admin
+        .call(&Json::obj(vec![
+            ("id", Json::str("bye")),
+            ("cmd", Json::str("shutdown")),
+        ]))
+        .expect("shutdown acknowledged");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(resp.get("draining").and_then(Json::as_bool), Some(true));
+
+    // Drain guarantee: every pipelined request still gets a response —
+    // completed if it was queued before the drain began, a typed
+    // `draining` rejection if it raced past it. Nothing hangs, nothing
+    // is silently dropped.
+    for _ in 1..PIPELINED {
+        let resp = conn.recv().expect("drained response");
+        match resp.get("status").and_then(Json::as_str) {
+            Some("ok") => {}
+            Some("rejected") => {
+                assert_eq!(resp.get("reason").and_then(Json::as_str), Some("draining"));
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    handle.join();
+    assert!(!path.exists(), "socket file is removed on exit");
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(
+        Client::connect(&addr).is_err(),
+        "a drained server accepts no new connections"
+    );
+}

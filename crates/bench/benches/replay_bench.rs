@@ -1,0 +1,69 @@
+//! Criterion group: control-schedule capture and replay vs full simulation.
+//!
+//! `capture` measures the one-off cost of recording the control plane;
+//! `replay_vs_full` measures a single replay against a single full run;
+//! the `batch` pair measures the end-to-end sweep speedup at 8 lanes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smache::system::{ReplayMode, SmacheSystem};
+use smache::HybridMode;
+use smache_bench::workloads::paper_problem;
+
+fn capture_and_replay(c: &mut Criterion) {
+    let workload = paper_problem(11, 11, 10);
+    let input = workload.ramp_input();
+    let mut group = c.benchmark_group("replay_11x11");
+    group.sample_size(10);
+
+    group.bench_function("full_sim", |b| {
+        b.iter(|| {
+            let mut system = workload.smache(HybridMode::default());
+            system.run(&input, workload.instances).expect("run").stats
+        })
+    });
+    group.bench_function("capture", |b| {
+        b.iter(|| {
+            let mut system = workload.smache(HybridMode::default());
+            system
+                .run_captured(&input, workload.instances)
+                .expect("capture")
+                .0
+                .stats
+        })
+    });
+    let mut system = workload.smache(HybridMode::default());
+    let (_, schedule) = system
+        .run_captured(&input, workload.instances)
+        .expect("capture");
+    group.bench_function("replay", |b| {
+        b.iter(|| {
+            schedule
+                .replay(&smache::arch::kernel::AverageKernel, &input)
+                .expect("replay")
+                .stats
+        })
+    });
+    group.finish();
+}
+
+fn batch_sweep(c: &mut Criterion) {
+    let workload = paper_problem(11, 11, 10);
+    let mut group = c.benchmark_group("replay_batch_11x11");
+    group.sample_size(10);
+    for (label, mode) in [("full", ReplayMode::Off), ("replay", ReplayMode::Auto)] {
+        group.bench_function(BenchmarkId::new("sweep8", label), |b| {
+            b.iter(|| {
+                let jobs: Vec<_> = (0..8)
+                    .map(|s| workload.batch_job(s, HybridMode::default()))
+                    .collect();
+                let report = SmacheSystem::run_batch_replay(jobs, 2, mode);
+                assert_eq!(report.succeeded(), 8);
+                report.aggregate
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, capture_and_replay, batch_sweep);
+criterion_main!(benches);

@@ -213,8 +213,11 @@ fn main() {
 }
 
 /// Multi-seed sweep: Smache lanes batched through
-/// [`SmacheSystem::run_batch`], baseline lanes through `parallel_map`,
-/// outputs cross-checked per seed, summary written as JSON.
+/// [`SmacheSystem::run_batch_replay`] (capture the control schedule once,
+/// replay it for the other seeds — with chaos active the auto mode falls
+/// back to full simulation per lane), baseline lanes through
+/// `parallel_map`, outputs cross-checked per seed, summary written as
+/// JSON.
 fn run_sweep(seeds: u64, jobs: usize, json_path: &str, chaos: smache_mem::FaultPlan) {
     let workload = paper_problem(11, 11, 100);
     println!(
@@ -234,8 +237,15 @@ fn run_sweep(seeds: u64, jobs: usize, json_path: &str, chaos: smache_mem::FaultP
         })
         .collect();
     let t0 = Instant::now();
-    let batch = SmacheSystem::run_batch(smache_jobs, jobs);
+    let batch = SmacheSystem::run_batch_replay(smache_jobs, jobs, smache::system::ReplayMode::Auto);
     let smache_wall = t0.elapsed();
+    let replayed = batch
+        .lanes
+        .iter()
+        .flatten()
+        .filter(|l| l.engine == smache::system::RunEngine::Replay)
+        .count();
+    println!("schedule replay served {replayed}/{seeds} lanes");
 
     let lanes: Vec<(u64, &PaperWorkload)> = (0..seeds).map(|s| (s, &workload)).collect();
     let t0 = Instant::now();
@@ -272,6 +282,7 @@ fn run_sweep(seeds: u64, jobs: usize, json_path: &str, chaos: smache_mem::FaultP
             ("cycle_ratio", Json::Num(ratio)),
             ("outputs_match", Json::Bool(matches)),
             ("transfers", Json::Int(lane.stats.transfers as i64)),
+            ("engine", Json::str(lane.engine.label())),
         ]));
     }
     println!("{t}");

@@ -16,6 +16,11 @@
 //! hit after first execution); a "unique" request uses a fresh seed and
 //! must simulate. The headline check: 100%-repeat throughput must beat
 //! 0%-repeat by a wide margin, demonstrating the content-addressed cache.
+//! The ratio sweep runs with the schedule cache *disabled* so it measures
+//! the result cache alone; a final pass re-runs the all-unique workload
+//! with the schedule cache enabled, demonstrating the second-level cache:
+//! same-spec/fresh-seed traffic is served by replaying the captured
+//! control schedule instead of simulating.
 //! Results land in `BENCH_serve.json` (`--json PATH` overrides).
 //!
 //! ```text
@@ -198,6 +203,10 @@ fn main() {
             workers,
             queue_cap: clients * 2 + total,
             cache_bytes: 64 << 20,
+            // Schedule cache off: this sweep isolates the result cache.
+            // (Enabled, it would replay every unique-seed request of the
+            // same spec and flatten the very ratio being measured.)
+            schedule_cache_bytes: 0,
             default_deadline_ms: None,
         })
         .expect("server starts");
@@ -260,6 +269,54 @@ fn main() {
         "content-addressed cache must yield >= 5x throughput on repeat traffic, got {speedup:.1}x"
     );
 
+    // Second-level cache: the same all-unique workload (same spec, fresh
+    // seed every request — the result cache never hits) with the schedule
+    // cache enabled. The first request captures its control schedule;
+    // every later request replays it instead of simulating.
+    let sock =
+        std::env::temp_dir().join(format!("smache-loadgen-{}-sched.sock", std::process::id()));
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock.clone()),
+        workers,
+        queue_cap: clients * 2 + total,
+        cache_bytes: 64 << 20,
+        schedule_cache_bytes: 4 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let sched = closed_loop(handle.addr(), clients, per_client, 0);
+    handle.shutdown();
+    let sched_rps = sched.oks as f64 / sched.wall_s;
+    let sched_speedup = sched_rps / closed_rps[&0];
+    println!(
+        "schedule-cache speedup (0% repeats, replay vs full sim, closed loop): {sched_speedup:.1}x"
+    );
+    assert!(
+        sched.hits == 0,
+        "unique-seed traffic must never hit the result cache, got {} hits",
+        sched.hits
+    );
+    assert!(
+        sched_speedup >= 2.0,
+        "schedule replay must yield >= 2x throughput on same-spec unique-seed traffic, got {sched_speedup:.1}x"
+    );
+    rows.push(Json::obj(vec![
+        ("repeat_pct", Json::Int(0)),
+        ("mode", Json::str("closed+schedule_cache")),
+        ("requests", Json::Int(sched.oks as i64)),
+        ("throughput_rps", Json::Num(sched_rps)),
+        (
+            "p50_us",
+            Json::Int(percentile(&sched.latencies_us, 0.50) as i64),
+        ),
+        (
+            "p99_us",
+            Json::Int(percentile(&sched.latencies_us, 0.99) as i64),
+        ),
+        ("hit_rate", Json::Num(0.0)),
+        ("rejected", Json::Int(sched.rejected as i64)),
+    ]));
+
     let doc = Json::obj(vec![
         ("bench", Json::str("serve_loadgen")),
         ("grid", Json::str(GRID)),
@@ -268,6 +325,7 @@ fn main() {
         ("requests_per_client", Json::Int(per_client as i64)),
         ("workers", Json::Int(workers as i64)),
         ("cache_speedup_closed", Json::Num(speedup)),
+        ("schedule_speedup_closed", Json::Num(sched_speedup)),
         ("rows", Json::Arr(rows)),
     ]);
     std::fs::write(&path, doc.pretty()).expect("write json");

@@ -1,0 +1,163 @@
+//! Benchmarks **control-schedule replay** against full simulation and
+//! writes the machine-readable summary to `BENCH_replay.json` (path
+//! overridable with `--json PATH`):
+//!
+//! ```text
+//! cargo run -p smache-bench --bin replay --release -- --jobs 4
+//! ```
+//!
+//! Three measurements, all on the paper workload (11×11 four-point
+//! stencil, 100 work-instances):
+//!
+//! 1. **Capture overhead**: one full simulation with the per-cycle
+//!    control recorder attached vs a plain run.
+//! 2. **Batch speedup** at 1/8/64 lanes: [`SmacheSystem::run_batch`]
+//!    (every lane simulates) vs [`SmacheSystem::run_batch_replay`]
+//!    (capture once, replay the rest).
+//! 3. **Bit-exactness**: every replayed lane's output fingerprint must
+//!    equal the full simulation's — asserted, not sampled.
+
+use std::time::Instant;
+
+use smache::system::batch::BatchJob;
+use smache::system::{ReplayMode, RunEngine, SmacheSystem};
+use smache::HybridMode;
+use smache_bench::json::Json;
+use smache_bench::workloads::paper_problem;
+use smache_sim::hash::fingerprint128;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
+        })
+}
+
+fn fp(output: &[u64]) -> (u64, u64) {
+    let mut bytes = Vec::with_capacity(output.len() * 8);
+    for w in output {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    fingerprint128(&bytes)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = arg_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs wants a number"))
+        .unwrap_or(4);
+    let json_path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_replay.json".into());
+
+    let workload = paper_problem(11, 11, 100);
+    let input = workload.ramp_input();
+
+    // --- 1. Capture overhead ---------------------------------------------
+    let t0 = Instant::now();
+    let mut plain_sys = workload.smache(HybridMode::default());
+    let plain = plain_sys.run(&input, workload.instances).expect("run");
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut capture_sys = workload.smache(HybridMode::default());
+    let (captured, schedule) = capture_sys
+        .run_captured(&input, workload.instances)
+        .expect("capture");
+    let capture_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(captured.output, plain.output, "capture changed the run");
+
+    let t0 = Instant::now();
+    let replayed = schedule
+        .replay(&smache::arch::kernel::AverageKernel, &input)
+        .expect("replay");
+    let replay_one_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(replayed.output, plain.output, "replay diverged");
+
+    println!(
+        "== capture overhead (11x11 x {} instances) ==",
+        workload.instances
+    );
+    println!("  full sim            {full_ms:8.2} ms");
+    println!(
+        "  capturing sim       {capture_ms:8.2} ms ({:+.0}% overhead)",
+        (capture_ms / full_ms - 1.0) * 100.0
+    );
+    println!(
+        "  single replay       {replay_one_ms:8.2} ms ({:.1}x vs full sim)",
+        full_ms / replay_one_ms
+    );
+    println!(
+        "  schedule size       {:8} bytes ({} recorded cycles)\n",
+        schedule.approx_bytes(),
+        schedule.trace().len()
+    );
+
+    // --- 2./3. Batch speedup + bit-exactness -----------------------------
+    let make_jobs = |lanes: u64| -> Vec<BatchJob> {
+        (0..lanes)
+            .map(|s| workload.batch_job(s, HybridMode::default()))
+            .collect()
+    };
+
+    let mut batch_rows = Vec::new();
+    println!("== batch sweep: full sim vs schedule replay ({jobs} job(s)) ==");
+    println!("  lanes      full(ms)    replay(ms)   speedup   replayed");
+    for lanes in [1u64, 8, 64] {
+        let t0 = Instant::now();
+        let full = SmacheSystem::run_batch(make_jobs(lanes), jobs);
+        let full_wall = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let fast = SmacheSystem::run_batch_replay(make_jobs(lanes), jobs, ReplayMode::Auto);
+        let fast_wall = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut replayed_lanes = 0usize;
+        for (a, b) in full.lanes.iter().zip(&fast.lanes) {
+            let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("fast"));
+            assert_eq!(fp(&a.output), fp(&b.output), "lane fingerprints differ");
+            assert_eq!(a.stats, b.stats, "lane cycle accounting differs");
+            if b.engine == RunEngine::Replay {
+                replayed_lanes += 1;
+            }
+        }
+        assert_eq!(full.aggregate, fast.aggregate, "aggregates differ");
+
+        let speedup = full_wall / fast_wall;
+        println!(
+            "  {lanes:>5}    {full_wall:9.2}    {fast_wall:9.2}   {speedup:6.2}x   {replayed_lanes}/{lanes}"
+        );
+        batch_rows.push(Json::obj(vec![
+            ("lanes", Json::Int(lanes as i64)),
+            ("full_ms", Json::Num(full_wall)),
+            ("replay_ms", Json::Num(fast_wall)),
+            ("speedup", Json::Num(speedup)),
+            ("replayed_lanes", Json::Int(replayed_lanes as i64)),
+            ("fingerprints_match", Json::Bool(true)),
+        ]));
+    }
+    println!("  (fingerprints and cycle stats asserted bit-identical per lane)\n");
+
+    let doc = Json::obj(vec![
+        ("artefact", Json::str("replay")),
+        ("grid", Json::str("11x11")),
+        ("instances", Json::Int(workload.instances as i64)),
+        ("jobs", Json::Int(jobs as i64)),
+        (
+            "capture",
+            Json::obj(vec![
+                ("full_ms", Json::Num(full_ms)),
+                ("capture_ms", Json::Num(capture_ms)),
+                ("overhead_ratio", Json::Num(capture_ms / full_ms)),
+                ("replay_one_ms", Json::Num(replay_one_ms)),
+                ("schedule_bytes", Json::Int(schedule.approx_bytes() as i64)),
+                ("trace_cycles", Json::Int(schedule.trace().len() as i64)),
+            ]),
+        ),
+        ("batches", Json::Arr(batch_rows)),
+    ]);
+    std::fs::write(&json_path, doc.pretty()).expect("write replay summary");
+    println!("replay summary written to {json_path}");
+}

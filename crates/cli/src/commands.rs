@@ -79,6 +79,8 @@ const VALUED: &[&str] = &[
     "jobs",
     "chaos-seed",
     "chaos-profile",
+    "replay",
+    "schedule-cache-kb",
     "trace",
     "trace-out",
     "top",
@@ -130,6 +132,10 @@ SIMULATE OPTIONS:
   --jobs J                 worker threads for --batch             [1]
   --chaos-profile P        off|jitter|storms|drain|heavy|flip:<k> [off]
   --chaos-seed S           fault-injection seed     [0]
+  --replay auto|on|off     control-schedule replay: capture the control
+                           plane once, stream data through it (bit-exact;
+                           auto falls back when chaos/stall/trace make the
+                           control plane data-dependent)  [auto]
   --verify                 check against the golden reference
   --trace FMT              export a probe trace (vcd|chrome|ascii); needs
                            --trace-out, single-system runs only
@@ -151,6 +157,8 @@ SERVE OPTIONS (see docs/SERVING.md for the protocol):
   --workers N              worker threads           [2]
   --queue N                admission-queue capacity [32]
   --cache-kb KB            result-cache byte budget [4096]
+  --schedule-cache-kb KB   schedule-cache byte budget (second-level
+                           cache of captured control schedules) [4096]
   --deadline-ms MS         default per-request deadline [none]
 
 CALL OPTIONS:
@@ -413,6 +421,31 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses `--replay auto|on|off` (default `auto`).
+fn replay_mode(args: &Args) -> Result<smache::system::ReplayMode, CliError> {
+    let v = args.get_or("replay", "auto");
+    match smache::system::ReplayMode::from_label(v) {
+        Some(mode) => Ok(mode),
+        None => Err(ArgError::BadValue {
+            key: "replay".into(),
+            value: v.into(),
+            expected: "auto|on|off".into(),
+        }
+        .into()),
+    }
+}
+
+/// Hex fingerprint of an output grid, printed so replay and full-sim runs
+/// can be compared for bit-exactness from the command line.
+fn output_fp(output: &[u64]) -> String {
+    let mut bytes = Vec::with_capacity(output.len() * 8);
+    for w in output {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    let (hi, lo) = smache_sim::hash::fingerprint128(&bytes);
+    format!("{hi:016x}{lo:016x}")
+}
+
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let spec = spec_from_args(args)?;
     let instances: u64 = args.get_num("instances", 100)?;
@@ -473,9 +506,17 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         None
     };
 
+    let mode = replay_mode(args)?;
     let mut out = String::new();
     if design == "smache" || design == "both" {
-        let (metrics, output, warmup) = if lanes > 1 {
+        use smache::system::ReplayMode;
+        let (metrics, output, warmup, engine_note) = if lanes > 1 {
+            if mode == ReplayMode::On {
+                return Err(smache::CoreError::Config(
+                    "--replay on does not support --lanes (multilane runs full sim)".into(),
+                )
+                .into());
+            }
             let plan = spec.builder().plan()?;
             let config = smache::system::smache_system::SystemConfig {
                 fault_plan: chaos,
@@ -488,18 +529,42 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
                 config,
             )?;
             let report = system.run(&input, instances)?;
-            (report.metrics, report.output, 0)
+            (report.metrics, report.output, 0, "engine=full_sim".into())
         } else {
             let mut builder = spec.builder().fault_plan(chaos);
             if trace_fmt.is_some() {
                 builder = builder.telemetry(smache_sim::TelemetryConfig::default());
             }
             let mut system = builder.build()?;
-            let report = system.run(&input, instances)?;
+            let (report, engine_note): (_, String) = match mode {
+                ReplayMode::Off => (system.run(&input, instances)?, "engine=full_sim".into()),
+                ReplayMode::Auto | ReplayMode::On => {
+                    match system.run_captured(&input, instances) {
+                        // Replay the captured schedule for the final report:
+                        // same output, same cycle counts, engine=replay.
+                        Ok((_, schedule)) => {
+                            let replayed = schedule
+                                .replay(&AverageKernel, &input)
+                                .map_err(|e| CliError::Core(smache::CoreError::ReplayRefused(e)))?;
+                            (replayed, "engine=replay".into())
+                        }
+                        Err(smache::CoreError::ReplayRefused(r)) if mode == ReplayMode::Auto => {
+                            let report = system.run(&input, instances)?;
+                            (report, format!("engine=full_sim fallback={}", r.label()))
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            };
             if let Some(fmt) = trace_fmt {
                 export_trace(&system, fmt, args, &mut out)?;
             }
-            (report.metrics, report.output, report.warmup_cycles)
+            (
+                report.metrics,
+                report.output,
+                report.warmup_cycles,
+                engine_note,
+            )
         };
         let _ = writeln!(out, "{metrics}");
         let _ = writeln!(
@@ -507,6 +572,7 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
             "  warm-up {} cycles; resources: {}",
             warmup, metrics.resources
         );
+        let _ = writeln!(out, "  {engine_note} fp={}", output_fp(&output));
         if chaos.is_active() {
             let _ = writeln!(out, "  chaos (seed {}): {}", chaos.seed, metrics.faults);
         }
@@ -587,23 +653,26 @@ fn cmd_simulate_batch(
         })
         .collect();
 
+    let mode = replay_mode(args)?;
     let start = std::time::Instant::now();
-    let report = smache::system::SmacheSystem::run_batch(lanes, jobs);
+    let report = smache::system::SmacheSystem::run_batch_replay(lanes, jobs, mode);
     let wall = start.elapsed();
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "batch: {batch} lane(s) x {instances} instance(s), {jobs} job(s)"
+        "batch: {batch} lane(s) x {instances} instance(s), {jobs} job(s), replay {}",
+        mode.label()
     );
     for (lane, (result, input)) in report.lanes.iter().zip(&inputs).enumerate() {
         let lane_report = result.as_ref().map_err(|e| CliError::Core(e.clone()))?;
         let _ = writeln!(
             out,
-            "  seed {:>4}: {:>8} cycles, {:>6} beats",
+            "  seed {:>4}: {:>8} cycles, {:>6} beats, engine={}",
             seed + lane as u64,
             lane_report.metrics.cycles,
-            lane_report.stats.transfers
+            lane_report.stats.transfers,
+            lane_report.engine.label()
         );
         if chaos.is_active() {
             let _ = writeln!(out, "    chaos: {}", lane_report.metrics.faults);
@@ -676,6 +745,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         workers: args.get_num("workers", 2usize)?,
         queue_cap: args.get_num("queue", 32usize)?,
         cache_bytes: args.get_num("cache-kb", 4096usize)? * 1024,
+        schedule_cache_bytes: args.get_num("schedule-cache-kb", 4096usize)? * 1024,
         default_deadline_ms: match args.get("deadline-ms") {
             None => None,
             Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {

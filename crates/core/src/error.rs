@@ -104,6 +104,10 @@ pub enum CoreError {
     },
     /// A data-corruption fault was injected and the hardware caught it.
     FaultDetected(FaultDiagnostic),
+    /// Schedule capture or replay refused to run, with the typed reason
+    /// (see [`smache_sim::ReplayUnsupported`]). Surfaced only when replay
+    /// was *forced*; the auto mode falls back to full simulation instead.
+    ReplayRefused(smache_sim::ReplayUnsupported),
 }
 
 impl fmt::Display for CoreError {
@@ -154,6 +158,7 @@ impl fmt::Display for CoreError {
                  an active fault plan is not supported"
             ),
             CoreError::FaultDetected(d) => write!(f, "fault detected: {d}"),
+            CoreError::ReplayRefused(r) => write!(f, "{r}"),
         }
     }
 }
@@ -163,6 +168,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Model(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::ReplayRefused(e) => Some(e),
             _ => None,
         }
     }

@@ -88,7 +88,10 @@ pub mod prelude {
     pub use crate::config::{BufferPlan, HybridMode, PlanStrategy};
     pub use crate::error::{CoreError, FaultDiagnostic};
     pub use crate::functional::golden::golden_run;
-    pub use crate::system::{DesignMetrics, RunReport, SmacheSystem, SystemConfig};
+    pub use crate::system::{
+        ControlSchedule, DesignMetrics, ReplayMode, RunEngine, RunReport, SmacheSystem,
+        SystemConfig,
+    };
     pub use crate::{CoreResult, WORD_BITS};
     pub use smache_mem::{ChaosProfile, FaultPlan, MemKind, Word};
     pub use smache_stencil::{AxisBoundaries, Boundary, BoundarySpec, GridSpec, StencilShape};

@@ -12,12 +12,15 @@
 //! guarantee [`smache_sim::run_batch`] gives at the simulator level, which
 //! this module builds on.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use smache_sim::CycleStats;
 
 use crate::arch::kernel::Kernel;
 use crate::config::BufferPlan;
+use crate::error::CoreError;
+use crate::system::replay::{schedule_key, ControlSchedule, ReplayMode};
 use crate::system::smache_system::{RunReport, SmacheSystem, SystemConfig};
 use crate::CoreResult;
 
@@ -87,6 +90,21 @@ fn run_one(job: BatchJob) -> CoreResult<RunReport> {
     system.run(&job.input, job.instances)
 }
 
+fn capture_one(job: &BatchJob) -> CoreResult<(RunReport, Arc<ControlSchedule>)> {
+    let mut system = SmacheSystem::new(job.plan.clone(), (job.kernel)(), job.config)?;
+    system.run_captured(&job.input, job.instances)
+}
+
+/// What a worker has to do for one lane after the capture pass.
+enum Work {
+    /// The lane already ran (it was a capture lane, or it failed up front).
+    Done(CoreResult<RunReport>),
+    /// Run the full simulation.
+    Full(BatchJob),
+    /// Replay the captured schedule over the lane's input.
+    Replay(Arc<ControlSchedule>, BatchJob),
+}
+
 impl SmacheSystem {
     /// Runs every job on up to `threads` worker threads and returns the
     /// lane reports in job order.
@@ -96,6 +114,96 @@ impl SmacheSystem {
     /// running the jobs serially, independent of `threads`.
     pub fn run_batch(jobs: Vec<BatchJob>, threads: usize) -> BatchReport {
         let lanes = smache_sim::run_batch(jobs, threads, run_one);
+        let mut aggregate = CycleStats::default();
+        for lane in lanes.iter().flatten() {
+            aggregate.merge(&lane.stats);
+        }
+        BatchReport { lanes, aggregate }
+    }
+
+    /// [`SmacheSystem::run_batch`] with schedule replay: lanes that share a
+    /// [`schedule_key`] (same plan, config, kernel and instance count —
+    /// seeds and input data do not matter) capture the control plane
+    /// **once** and replay it for every other lane, bit-exact with the
+    /// full simulation.
+    ///
+    /// * [`ReplayMode::Off`] — identical to [`SmacheSystem::run_batch`].
+    /// * [`ReplayMode::Auto`] — one lane per distinct key runs the full
+    ///   capturing simulation on the calling thread; the remaining lanes
+    ///   replay on the workers. Any capture refusal or replay refusal
+    ///   falls back to the full simulation for the affected lanes.
+    /// * [`ReplayMode::On`] — like `Auto`, but a refusal is surfaced as
+    ///   [`CoreError::ReplayRefused`] on every lane of the refused key
+    ///   instead of falling back.
+    ///
+    /// Results come back in job order either way, and — except for forced
+    /// refusals under `On` — every lane's report is bit-identical to what
+    /// `run_batch` would have produced (only `RunReport::engine` differs).
+    pub fn run_batch_replay(jobs: Vec<BatchJob>, threads: usize, mode: ReplayMode) -> BatchReport {
+        if mode == ReplayMode::Off {
+            return Self::run_batch(jobs, threads);
+        }
+        // Pass 1 (serial): capture one schedule per distinct key. The
+        // capture lane is itself a complete full-simulation run, so its
+        // report is kept — nothing is simulated twice.
+        let mut schedules: HashMap<(u64, u64), Result<Arc<ControlSchedule>, CoreError>> =
+            HashMap::new();
+        let mut work: Vec<Work> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let key = schedule_key(
+                &job.plan,
+                &job.config,
+                (job.kernel)().as_ref(),
+                job.instances,
+            );
+            match schedules.get(&key) {
+                None => match capture_one(&job) {
+                    Ok((report, schedule)) => {
+                        schedules.insert(key, Ok(schedule));
+                        work.push(Work::Done(Ok(report)));
+                    }
+                    Err(e) => {
+                        schedules.insert(key, Err(e.clone()));
+                        match (mode, &e) {
+                            // Forced replay: the refusal is the result.
+                            (ReplayMode::On, CoreError::ReplayRefused(_)) => {
+                                work.push(Work::Done(Err(e)));
+                            }
+                            // Auto: an ineligible spec runs the full sim.
+                            (_, CoreError::ReplayRefused(_)) => work.push(Work::Full(job)),
+                            // A genuine run failure is this lane's result
+                            // regardless of mode (full sim would hit it too).
+                            _ => work.push(Work::Done(Err(e))),
+                        }
+                    }
+                },
+                Some(Ok(schedule)) => work.push(Work::Replay(Arc::clone(schedule), job)),
+                Some(Err(e)) => match (mode, e) {
+                    (ReplayMode::On, CoreError::ReplayRefused(_)) => {
+                        work.push(Work::Done(Err(e.clone())));
+                    }
+                    // No schedule for this key: run the lane in full (its
+                    // own input may well succeed even if the capture lane's
+                    // run failed).
+                    _ => work.push(Work::Full(job)),
+                },
+            }
+        }
+        // Pass 2 (parallel): replay or full-simulate the remaining lanes.
+        let lanes = smache_sim::run_batch(work, threads, move |w| match w {
+            Work::Done(r) => r,
+            Work::Full(job) => run_one(job),
+            Work::Replay(schedule, job) => {
+                let kernel = (job.kernel)();
+                match schedule.replay(kernel.as_ref(), &job.input) {
+                    Ok(report) => Ok(report),
+                    Err(refusal) if mode == ReplayMode::On => {
+                        Err(CoreError::ReplayRefused(refusal))
+                    }
+                    Err(_) => run_one(job),
+                }
+            }
+        });
         let mut aggregate = CycleStats::default();
         for lane in lanes.iter().flatten() {
             aggregate.merge(&lane.stats);
@@ -159,6 +267,55 @@ mod tests {
             .map(|l| l.as_ref().expect("ok").output[0])
             .collect();
         assert!(firsts[0] < firsts[1] && firsts[1] < firsts[2]);
+    }
+
+    #[test]
+    fn replay_batch_is_bit_identical_to_full_batch() {
+        use crate::system::report::RunEngine;
+        let full = SmacheSystem::run_batch(jobs(&[1, 2, 3, 4]), 2);
+        let fast = SmacheSystem::run_batch_replay(jobs(&[1, 2, 3, 4]), 2, ReplayMode::Auto);
+        assert_eq!(full.aggregate, fast.aggregate);
+        for (i, (a, b)) in full.lanes.iter().zip(&fast.lanes).enumerate() {
+            let (a, b) = (a.as_ref().expect("full ok"), b.as_ref().expect("fast ok"));
+            assert_eq!(a.output, b.output, "lane {i}");
+            assert_eq!(a.stats, b.stats, "lane {i}");
+            assert_eq!(a.metrics.cycles, b.metrics.cycles, "lane {i}");
+            // Lane 0 captured (a full run); the rest replayed.
+            let expect = if i == 0 {
+                RunEngine::FullSim
+            } else {
+                RunEngine::Replay
+            };
+            assert_eq!(b.engine, expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn chaotic_jobs_refuse_forced_replay_and_fall_back_in_auto() {
+        use smache_mem::{ChaosProfile, FaultPlan};
+        let chaotic = || {
+            jobs(&[1, 2])
+                .into_iter()
+                .map(|j| {
+                    j.with_config(SystemConfig {
+                        // Latency-only chaos: runs succeed, replay refuses.
+                        fault_plan: FaultPlan::new(7, ChaosProfile::jitter()),
+                        ..SystemConfig::default()
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let forced = SmacheSystem::run_batch_replay(chaotic(), 2, ReplayMode::On);
+        for lane in &forced.lanes {
+            assert!(matches!(
+                lane,
+                Err(CoreError::ReplayRefused(
+                    smache_sim::ReplayUnsupported::FaultPlan
+                ))
+            ));
+        }
+        let auto = SmacheSystem::run_batch_replay(chaotic(), 2, ReplayMode::Auto);
+        assert_eq!(auto.succeeded(), 2);
     }
 
     #[test]

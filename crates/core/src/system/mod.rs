@@ -5,6 +5,7 @@ pub mod batch;
 pub mod cascade;
 pub mod metrics;
 pub mod multilane;
+pub mod replay;
 pub mod report;
 pub mod report_json;
 pub mod smache_system;
@@ -16,6 +17,7 @@ pub use batch::{BatchJob, BatchReport, KernelFactory};
 pub use cascade::{CascadeReport, CascadeSystem};
 pub use metrics::{DesignMetrics, NormalisedMetrics};
 pub use multilane::{MultilaneReport, MultilaneSystem};
-pub use report::RunReport;
+pub use replay::{schedule_key, ControlSchedule, ReplayMode};
+pub use report::{RunEngine, RunReport};
 pub use report_json::REPORT_SCHEMA_VERSION;
 pub use smache_system::{SmacheSystem, SystemConfig};

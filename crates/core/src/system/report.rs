@@ -16,6 +16,41 @@ use smache_sim::{CycleStats, TelemetrySnapshot};
 use crate::arch::controller::SmacheResourceBreakdown;
 use crate::system::metrics::DesignMetrics;
 
+/// Which execution path produced a [`RunReport`] — full cycle-accurate
+/// simulation, or a replay of a captured control schedule (see
+/// [`crate::system::replay`]). Replay is bit-exact by construction, so the
+/// field is provenance, not a quality warning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunEngine {
+    /// The full event-driven cycle-accurate simulation ran.
+    #[default]
+    FullSim,
+    /// The datapath was driven from a recorded
+    /// [`ControlSchedule`](crate::system::replay::ControlSchedule): no
+    /// delta settling, no module dispatch, identical outputs and cycle
+    /// counts.
+    Replay,
+}
+
+impl RunEngine {
+    /// Stable wire/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunEngine::FullSim => "full_sim",
+            RunEngine::Replay => "replay",
+        }
+    }
+
+    /// Parses a label written by [`RunEngine::label`].
+    pub fn from_label(s: &str) -> Option<RunEngine> {
+        match s {
+            "full_sim" => Some(RunEngine::FullSim),
+            "replay" => Some(RunEngine::Replay),
+            _ => None,
+        }
+    }
+}
+
 /// Everything a completed run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -38,6 +73,9 @@ pub struct RunReport {
     /// FSM state residency, queue occupancy, DRAM row-buffer locality).
     /// `None` unless telemetry was attached before the run.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Which execution path produced this report (full simulation or
+    /// schedule replay).
+    pub engine: RunEngine,
 }
 
 impl RunReport {

@@ -18,7 +18,7 @@ use smache_sim::{CycleStats, ResourceUsage, TelemetrySnapshot};
 use crate::arch::controller::SmacheResourceBreakdown;
 use crate::system::axi::AXI_COMPONENT;
 use crate::system::metrics::DesignMetrics;
-use crate::system::report::RunReport;
+use crate::system::report::{RunEngine, RunReport};
 use crate::system::smache_system::STALL_COMPONENT;
 
 /// The current `schema_version` written by [`RunReport::to_json`].
@@ -109,6 +109,7 @@ impl RunReport {
         let m = &self.metrics;
         Json::obj(vec![
             ("schema_version", Json::Int(REPORT_SCHEMA_VERSION)),
+            ("engine", Json::str(self.engine.label())),
             (
                 "output",
                 Json::Arr(self.output.iter().map(|&w| ju(w)).collect()),
@@ -353,6 +354,17 @@ impl RunReport {
 
         let warmup_cycles = get_u64(doc, "top level", "warmup_cycles")?;
 
+        // `engine` is optional for compatibility with pre-replay documents
+        // (still schema 1): absent means the full simulation produced it.
+        let engine = match doc.get("engine") {
+            None => RunEngine::FullSim,
+            Some(v) => {
+                let label = v.as_str().ok_or_else(|| missing("top level", "engine"))?;
+                RunEngine::from_label(label)
+                    .ok_or_else(|| format!("report JSON: unknown engine \"{label}\""))?
+            }
+        };
+
         Ok(RunReport {
             output,
             metrics,
@@ -361,6 +373,7 @@ impl RunReport {
             stats,
             breakdown,
             telemetry,
+            engine,
         })
     }
 }

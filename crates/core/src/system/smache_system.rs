@@ -140,6 +140,9 @@ pub struct SmacheSystem {
     /// [`Probed::sample_probes`].
     facts: CycleFacts,
     scratch_values: Vec<Word>,
+    /// Control-plane recorder for schedule capture (see
+    /// [`crate::system::replay`]). `None` costs one branch per cycle.
+    recorder: Option<smache_sim::ControlTrace>,
 }
 
 impl SmacheSystem {
@@ -191,12 +194,60 @@ impl SmacheSystem {
             telemetry: None,
             facts: CycleFacts::default(),
             scratch_values: Vec::new(),
+            recorder: None,
         })
     }
 
     /// The plan being executed.
     pub fn plan(&self) -> &BufferPlan {
         self.module.plan()
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The kernel driving the datapath.
+    pub(crate) fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Checks whether this system's control plane is a pure function of
+    /// the spec, i.e. whether a control schedule captured from it would be
+    /// sound to replay. Anything that perturbs timing or observes the
+    /// datapath mid-run (fault injection, stall schedules, tracers,
+    /// telemetry, result taps) makes the answer "no", with a typed reason.
+    pub fn replay_eligibility(&self) -> Result<(), smache_sim::ReplayUnsupported> {
+        use smache_sim::ReplayUnsupported as R;
+        if self.config.fault_plan.is_active() {
+            return Err(R::FaultPlan);
+        }
+        if self.stall.is_some() {
+            return Err(R::StallSchedule);
+        }
+        if self.tracer.is_some() {
+            return Err(R::Tracer);
+        }
+        if self.telemetry.is_some() {
+            return Err(R::Telemetry);
+        }
+        if self.result_tap.is_some() {
+            return Err(R::ResultTap);
+        }
+        Ok(())
+    }
+
+    /// Starts recording the per-cycle control-plane trace. The recorder is
+    /// drained with [`Self::take_capture`]; capture orchestration lives in
+    /// [`crate::system::replay`].
+    pub(crate) fn begin_capture(&mut self) {
+        self.recorder = Some(smache_sim::ControlTrace::new());
+    }
+
+    /// Detaches and returns the recorded control trace, if any.
+    pub(crate) fn take_capture(&mut self) -> Option<smache_sim::ControlTrace> {
+        self.recorder.take()
     }
 
     /// Installs an external stall schedule (`true` = datapath frozen that
@@ -378,7 +429,11 @@ impl SmacheSystem {
             self.writes_done += 1;
         }
 
-        if self.module.phase() == ControllerPhase::Warmup {
+        // The phase may advance before the end-of-cycle bookkeeping below,
+        // so the warm-up attribution of *this* cycle is latched here, where
+        // the counter increments (the recorder must agree with it exactly).
+        let warmup_cycle = self.module.phase() == ControllerPhase::Warmup;
+        if warmup_cycle {
             self.warmup_cycles += 1;
         }
 
@@ -502,6 +557,37 @@ impl SmacheSystem {
         if let Some(mut tel) = self.telemetry.take() {
             self.sample_telemetry(&mut tel);
             self.telemetry = Some(tel);
+        }
+
+        // --- Control-schedule capture -------------------------------------
+        // Sampled at the same point as the tracer and telemetry, so the
+        // recorded trace reproduces exactly the per-cycle accounting the
+        // run itself performs (warm-up, stalls, transfers).
+        if let Some(rec) = self.recorder.as_mut() {
+            use smache_sim::CycleRecord;
+            let phase = match self.module.phase() {
+                ControllerPhase::Warmup => 0,
+                ControllerPhase::Streaming => 1,
+                ControllerPhase::Done => 2,
+            };
+            let mut flags = 0u8;
+            if stalled {
+                flags |= CycleRecord::STALLED;
+            }
+            if emitted {
+                // One kernel tuple emitted = one transfer counted.
+                flags |= CycleRecord::EMITTED | CycleRecord::TRANSFER;
+            }
+            if warmup_cycle {
+                flags |= CycleRecord::WARMUP;
+            }
+            if starved {
+                flags |= CycleRecord::STARVED;
+            }
+            if report.response.is_some() {
+                flags |= CycleRecord::RESPONDED;
+            }
+            rec.record(CycleRecord::pack(phase, flags));
         }
 
         // --- Clock the module --------------------------------------------
@@ -698,6 +784,7 @@ impl SmacheSystem {
             stats,
             breakdown,
             telemetry,
+            engine: crate::system::report::RunEngine::FullSim,
         })
     }
 

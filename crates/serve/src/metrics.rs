@@ -29,6 +29,9 @@ struct Registry {
     cache_evictions: CounterId,
     cache_bytes: CounterId,
     cache_entries: CounterId,
+    schedule_hits: CounterId,
+    schedule_misses: CounterId,
+    schedule_bytes: CounterId,
     queue_depth: CounterId,
     latency_us: HistogramId,
 }
@@ -52,6 +55,9 @@ impl ServerMetrics {
         let cache_evictions = counters.counter("serve.cache.evictions");
         let cache_bytes = counters.counter("serve.cache.bytes");
         let cache_entries = counters.counter("serve.cache.entries");
+        let schedule_hits = counters.counter("serve.schedule_cache.hits");
+        let schedule_misses = counters.counter("serve.schedule_cache.misses");
+        let schedule_bytes = counters.counter("serve.schedule_cache.bytes");
         let queue_depth = counters.counter("serve.queue.depth");
         let latency_us = counters.histogram("serve.latency_us");
         ServerMetrics {
@@ -69,6 +75,9 @@ impl ServerMetrics {
                 cache_evictions,
                 cache_bytes,
                 cache_entries,
+                schedule_hits,
+                schedule_misses,
+                schedule_bytes,
                 queue_depth,
                 latency_us,
             }),
@@ -128,6 +137,23 @@ impl ServerMetrics {
             r.counters.set(r.cache_bytes, bytes);
             r.counters.set(r.cache_entries, entries);
         });
+    }
+
+    /// Records a schedule-cache lookup outcome (second-level cache:
+    /// consulted only after a result-cache miss on a `simulate` run).
+    pub fn schedule_cache_lookup(&self, hit: bool) {
+        self.with(|r| {
+            r.counters.inc(if hit {
+                r.schedule_hits
+            } else {
+                r.schedule_misses
+            })
+        });
+    }
+
+    /// Publishes the schedule cache's current byte footprint.
+    pub fn schedule_cache_state(&self, bytes: u64) {
+        self.with(|r| r.counters.set(r.schedule_bytes, bytes));
     }
 
     /// Publishes the queue depth gauge.
@@ -216,6 +242,19 @@ mod tests {
         m.cache_state(2, 4096, 9);
         assert_eq!(m.counter("serve.cache.bytes"), 4096);
         assert_eq!(m.counter("serve.cache.entries"), 9);
+        m.schedule_cache_state(1024);
+        m.schedule_cache_state(2048);
+        assert_eq!(m.counter("serve.schedule_cache.bytes"), 2048);
+    }
+
+    #[test]
+    fn schedule_cache_counters_accumulate() {
+        let m = ServerMetrics::new();
+        m.schedule_cache_lookup(false);
+        m.schedule_cache_lookup(true);
+        m.schedule_cache_lookup(true);
+        assert_eq!(m.counter("serve.schedule_cache.hits"), 2);
+        assert_eq!(m.counter("serve.schedule_cache.misses"), 1);
     }
 
     #[test]

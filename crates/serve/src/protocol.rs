@@ -26,7 +26,12 @@
 //! key. This is sound because runs are deterministic: a `(spec, seed,
 //! fault plan, trace options)` tuple names exactly one report.
 
+use std::sync::Arc;
+
+use smache::arch::kernel::AverageKernel;
+use smache::error::CoreError;
 use smache::spec::{seeded_input, ProblemSpec, SPEC_KEYS};
+use smache::system::ControlSchedule;
 use smache::SmacheSystem;
 use smache_mem::{ChaosProfile, FaultPlan};
 use smache_sim::hash::fingerprint128;
@@ -296,6 +301,58 @@ impl RunRequest {
             .map_err(|e| e.to_string())?;
         Ok(report.to_json())
     }
+
+    /// The canonical text of the control *schedule* this request would
+    /// exercise: the spec plus the instance count, **no seed** — that is
+    /// what lets differing-seed requests for one spec share a schedule.
+    /// `Some` only for plain `simulate` runs; plan requests have no
+    /// schedule, and chaos/trace runs are not replay-eligible.
+    pub fn schedule_canonical(&self) -> Option<String> {
+        if self.kind != RunKind::Simulate {
+            return None;
+        }
+        Some(format!(
+            "sched-v{PROTOCOL_VERSION};spec={};instances={}",
+            self.spec.canonical(),
+            self.instances
+        ))
+    }
+
+    /// The schedule-cache key: the 128-bit fingerprint of
+    /// [`schedule_canonical`](Self::schedule_canonical).
+    pub fn schedule_key(&self) -> Option<(u64, u64)> {
+        self.schedule_canonical()
+            .map(|t| fingerprint128(t.as_bytes()))
+    }
+
+    /// Like [`execute`](Self::execute), but additionally captures the
+    /// run's [`ControlSchedule`] so later same-spec requests can replay it.
+    /// A typed capture refusal falls back to the plain run internally and
+    /// returns `None` for the schedule; only genuine run failures error.
+    pub fn execute_capture(&self) -> Result<(Json, Option<Arc<ControlSchedule>>), String> {
+        if self.kind != RunKind::Simulate {
+            return self.execute().map(|r| (r, None));
+        }
+        let mut system: SmacheSystem = self.spec.builder().build().map_err(|e| e.to_string())?;
+        let input = seeded_input(self.spec.grid.len(), self.seed);
+        match system.run_captured(&input, self.instances) {
+            Ok((report, schedule)) => Ok((report.to_json(), Some(schedule))),
+            Err(CoreError::ReplayRefused(_)) => self.execute().map(|r| (r, None)),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Replays a cached schedule over this request's seeded input instead
+    /// of re-simulating. Bit-exact with [`execute`](Self::execute) for the
+    /// spec the schedule was captured from; refusals (mismatched schedule)
+    /// surface as errors for the caller to fall back on.
+    pub fn execute_replay(&self, schedule: &ControlSchedule) -> Result<Json, String> {
+        let input = seeded_input(self.spec.grid.len(), self.seed);
+        let report = schedule
+            .replay(&AverageKernel, &input)
+            .map_err(|e| e.to_string())?;
+        Ok(report.to_json())
+    }
 }
 
 /// Builds a success response line. `report_text` is the already-compact
@@ -473,6 +530,54 @@ mod tests {
             .execute()
             .expect("trace");
         assert!(traced.get("telemetry").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn schedule_keys_are_seed_blind_and_simulate_only() {
+        let a = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":1,"instances":2}"#);
+        let b = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":99,"instances":2}"#);
+        assert_ne!(a.cache_key(), b.cache_key(), "result keys see the seed");
+        assert_eq!(
+            a.schedule_key(),
+            b.schedule_key(),
+            "schedule keys do not see the seed"
+        );
+        let c = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":1,"instances":3}"#);
+        assert_ne!(a.schedule_key(), c.schedule_key(), "instances are keyed");
+        for other in [
+            run(r#"{"cmd":"plan"}"#),
+            run(r#"{"cmd":"chaos","spec":{"grid":"8x8"}}"#),
+            run(r#"{"cmd":"trace","spec":{"grid":"8x8"}}"#),
+        ] {
+            assert_eq!(other.schedule_key(), None, "{:?}", other.kind);
+        }
+    }
+
+    #[test]
+    fn capture_then_replay_matches_plain_execute() {
+        let a = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":1,"instances":2}"#);
+        let (doc_a, schedule) = a.execute_capture().expect("capture");
+        let schedule = schedule.expect("simulate runs capture a schedule");
+        assert_eq!(doc_a.get("output"), a.execute().expect("run").get("output"));
+
+        // A different seed replayed through the cached schedule matches a
+        // fresh full simulation, word for word.
+        let b = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":42,"instances":2}"#);
+        let replayed = b.execute_replay(&schedule).expect("replay");
+        let full = b.execute().expect("run");
+        assert_eq!(replayed.get("output"), full.get("output"));
+        assert_eq!(replayed.get("stats"), full.get("stats"));
+        assert_eq!(
+            replayed.get("engine").and_then(Json::as_str),
+            Some("replay")
+        );
+        assert_eq!(full.get("engine").and_then(Json::as_str), Some("full_sim"));
+
+        // Non-eligible kinds fall back inside execute_capture.
+        let t = run(r#"{"cmd":"trace","spec":{"grid":"8x8"},"seed":1}"#);
+        let (doc_t, none) = t.execute_capture().expect("trace capture");
+        assert!(none.is_none());
+        assert!(doc_t.get("telemetry").unwrap().get("counters").is_some());
     }
 
     #[test]

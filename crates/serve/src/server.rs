@@ -34,6 +34,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use smache::system::ControlSchedule;
+use smache_sim::ScheduleCache;
+
 use crate::cache::ResultCache;
 use crate::metrics::ServerMetrics;
 use crate::pool::BoundedQueue;
@@ -74,6 +77,11 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Result-cache byte budget.
     pub cache_bytes: usize,
+    /// Schedule-cache byte budget (second-level cache of captured control
+    /// schedules, keyed by spec + instances but **not** seed — a
+    /// differing-seed `simulate` request that misses the result cache can
+    /// still replay a cached schedule instead of re-simulating).
+    pub schedule_cache_bytes: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline_ms: Option<u64>,
 }
@@ -85,6 +93,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_cap: 32,
             cache_bytes: 4 << 20,
+            schedule_cache_bytes: 4 << 20,
             default_deadline_ms: None,
         }
     }
@@ -103,6 +112,7 @@ struct Job {
 struct Shared {
     queue: BoundedQueue<Job>,
     cache: Mutex<ResultCache>,
+    schedules: Mutex<ScheduleCache<ControlSchedule>>,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
     default_deadline: Option<Duration>,
@@ -183,6 +193,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_cap),
         cache: Mutex::new(ResultCache::new(config.cache_bytes)),
+        schedules: Mutex::new(ScheduleCache::new(config.schedule_cache_bytes)),
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         default_deadline: config.default_deadline_ms.map(Duration::from_millis),
@@ -366,6 +377,48 @@ fn handle_run(request: RunRequest, id: Option<String>, writer: &ConnWriter, shar
     shared.metrics.queue_depth(shared.queue.depth() as u64);
 }
 
+/// Executes a run on a worker. After the (already-missed) result-cache
+/// lookup, `simulate` runs get a second chance at skipping the full
+/// simulation: a schedule-cache hit replays the captured control plane
+/// over this request's seeded input (bit-exact, seed-independent key); a
+/// miss runs capturing, so the *next* same-spec request replays.
+fn run_job(request: &RunRequest, shared: &Arc<Shared>) -> Result<smache_sim::Json, String> {
+    let Some(key) = request.schedule_key() else {
+        return request.execute(); // plan/chaos/trace: no schedule applies
+    };
+    let (disabled, hit) = {
+        let mut schedules = shared.schedules.lock().expect("schedules poisoned");
+        if schedules.budget() == 0 {
+            (true, None)
+        } else {
+            (false, schedules.get(key))
+        }
+    };
+    if disabled {
+        return request.execute(); // schedule caching disabled
+    }
+    shared.metrics.schedule_cache_lookup(hit.is_some());
+    match hit {
+        // A stale or mismatched schedule refuses cleanly; fall back to the
+        // full simulation rather than failing the request.
+        Some(schedule) => request
+            .execute_replay(&schedule)
+            .or_else(|_| request.execute()),
+        None => {
+            let (doc, schedule) = request.execute_capture()?;
+            if let Some(schedule) = schedule {
+                let bytes = schedule.approx_bytes();
+                let mut schedules = shared.schedules.lock().expect("schedules poisoned");
+                schedules.insert(key, schedule, bytes);
+                shared
+                    .metrics
+                    .schedule_cache_state(schedules.bytes() as u64);
+            }
+            Ok(doc)
+        }
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth(shared.queue.depth() as u64);
@@ -376,7 +429,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 continue;
             }
         }
-        match job.request.execute() {
+        match run_job(&job.request, shared) {
             Ok(result) => {
                 let text = result.compact();
                 shared

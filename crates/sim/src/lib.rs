@@ -46,6 +46,10 @@
 //! * [`resources`] — FPGA resource accounting (ALMs, registers, BRAM bits)
 //!   shared by every simulated module; this is how "actual" utilisation
 //!   numbers for Table I of the paper are produced.
+//! * [`replay`] — control-schedule capture/replay primitives: the packed
+//!   per-cycle control trace, the per-element gather table, the typed
+//!   [`ReplayUnsupported`] refusal reasons, and the byte-budgeted LRU
+//!   [`ScheduleCache`]. See `docs/PERFORMANCE.md` §6.
 //! * [`json`] — the workspace's dependency-free JSON tree, serialisers
 //!   (pretty artefacts, compact wire format) and strict parser.
 //! * [`hash`] — stable FNV-1a/splitmix64 helpers: per-component chaos
@@ -58,6 +62,7 @@ pub mod hash;
 pub mod json;
 pub mod module;
 pub mod parallel;
+pub mod replay;
 pub mod resources;
 pub mod sched;
 pub mod signal;
@@ -71,6 +76,10 @@ pub use error::SimError;
 pub use json::{Json, JsonError};
 pub use module::{Module, Sensitivity};
 pub use parallel::run_batch;
+pub use replay::{
+    ControlTrace, CycleRecord, GatherTable, ReplayUnsupported, ScheduleCache, SlotSource,
+    TraceTotals,
+};
 pub use resources::ResourceUsage;
 pub use sched::SchedStats;
 pub use signal::{Reg, SimCtx, Wire, WireId};

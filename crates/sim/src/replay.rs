@@ -1,0 +1,517 @@
+//! Control-schedule capture and replay primitives.
+//!
+//! The paper's central observation — a stencil's memory-access pattern is a
+//! *static* function of the spec — applies to the simulator too: for a given
+//! (plan, system config, kernel, instance count), every control-plane
+//! decision the cycle-accurate model makes (FSM transitions, buffer
+//! addresses, DRAM issue cycles, stall/valid handshakes) is independent of
+//! the data flowing through the datapath. That makes the control plane
+//! *recordable*: run the full simulation once, capture its per-cycle trace
+//! and the per-element gather pattern, and subsequent runs of the same spec
+//! can **replay** the schedule — indexed buffer moves plus the kernel, no
+//! delta settling, no module dispatch — with bit-exact outputs and cycle
+//! counts.
+//!
+//! This module holds the engine-agnostic pieces:
+//!
+//! * [`SlotSource`] / [`GatherTable`] — the per-element read pattern in CSR
+//!   form: for each output element, where each stencil-shape value comes
+//!   from (a current-instance grid index, a boundary constant, or a hole
+//!   masked out of the kernel).
+//! * [`ControlTrace`] — the packed per-cycle control-plane record
+//!   ([`CycleRecord`]: FSM phase plus handshake/stall flags) with the
+//!   derived totals that replay reports instead of re-simulating.
+//! * [`ReplayUnsupported`] — the typed refusal reasons. Replay is only
+//!   sound while control stays data-independent; anything that breaks that
+//!   (fault injection, stall fuzzing, external backpressure, attached
+//!   observers) must refuse, never silently diverge.
+//! * [`ScheduleCache`] — a byte-budgeted LRU for captured schedules keyed
+//!   by [`fingerprint128`](crate::hash::fingerprint128) of the canonical
+//!   spec text.
+//!
+//! The Smache-specific capture/replay executor lives in
+//! `smache_core::system::replay`; `smache serve` stacks a [`ScheduleCache`]
+//! behind its result cache so differing-seed requests for one spec hit the
+//! fast path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::Word;
+
+/// Where one stencil-shape slot of one output element reads from during
+/// replay. Derived once per spec from the buffer plan; identical for every
+/// instance because each instance's input is the previous instance's output
+/// and all architectural reads (stream taps and static banks alike) resolve
+/// to current-instance grid indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotSource {
+    /// Read the current-instance input grid at this flat index.
+    Grid(u32),
+    /// A boundary constant, injected by the plan.
+    Const(Word),
+    /// Outside the grid under an open boundary: contributes nothing; the
+    /// kernel mask bit for this slot is cleared.
+    Hole,
+}
+
+/// The per-element gather pattern in compressed sparse row form:
+/// element `e`'s slots are `sources[starts[e]..starts[e + 1]]`, and
+/// `masks[e]` is the kernel mask (bit `i` set when slot `i` is present).
+#[derive(Debug, Clone, Default)]
+pub struct GatherTable {
+    /// CSR row starts, one per element plus a final sentinel.
+    pub starts: Vec<u32>,
+    /// Flattened slot sources for all elements.
+    pub sources: Vec<SlotSource>,
+    /// Kernel mask per element.
+    pub masks: Vec<u64>,
+}
+
+impl GatherTable {
+    /// Number of elements covered by the table.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// True when the table covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// The slot sources of element `e`.
+    #[inline]
+    pub fn slots(&self, e: usize) -> &[SlotSource] {
+        &self.sources[self.starts[e] as usize..self.starts[e + 1] as usize]
+    }
+
+    /// Approximate heap footprint in bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.starts.len() * 4
+            + self.sources.len() * std::mem::size_of::<SlotSource>()
+            + self.masks.len() * 8
+    }
+}
+
+/// One cycle of the recorded control plane, packed into a byte:
+/// bits 0–1 the FSM phase code, bits 2–7 the handshake/stall flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleRecord(pub u8);
+
+impl CycleRecord {
+    /// Mask of the two phase bits (`warmup`/`streaming`/`done` encoding).
+    pub const PHASE_MASK: u8 = 0b11;
+    /// The datapath froze this cycle (any stall cause).
+    pub const STALLED: u8 = 1 << 2;
+    /// FSM-2 emitted one stencil tuple into the kernel pipeline.
+    pub const EMITTED: u8 = 1 << 3;
+    /// The observed stream transferred a beat (a kernel result drained).
+    pub const TRANSFER: u8 = 1 << 4;
+    /// The FSM-1 warm-up counter advanced this cycle.
+    pub const WARMUP: u8 = 1 << 5;
+    /// FSM-2 wanted to shift but no response word was available.
+    pub const STARVED: u8 = 1 << 6;
+    /// A DRAM read response was routed this cycle.
+    pub const RESPONDED: u8 = 1 << 7;
+
+    /// Packs a record from the phase code and the flag bits.
+    pub fn pack(phase: u8, flags: u8) -> CycleRecord {
+        CycleRecord((phase & Self::PHASE_MASK) | (flags & !Self::PHASE_MASK))
+    }
+
+    /// The FSM phase code recorded for this cycle.
+    pub fn phase(self) -> u8 {
+        self.0 & Self::PHASE_MASK
+    }
+
+    /// True when `flag` (one of the bit constants) is set.
+    pub fn has(self, flag: u8) -> bool {
+        self.0 & flag != 0
+    }
+}
+
+/// Totals derived by scanning a [`ControlTrace`] — the replay-side source
+/// of the cycle statistics a full simulation counts as it goes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Total recorded cycles.
+    pub cycles: u64,
+    /// Cycles with [`CycleRecord::STALLED`] set.
+    pub stall_cycles: u64,
+    /// Cycles with [`CycleRecord::TRANSFER`] set.
+    pub transfers: u64,
+    /// Cycles with [`CycleRecord::WARMUP`] set.
+    pub warmup_cycles: u64,
+    /// Cycles with [`CycleRecord::EMITTED`] set.
+    pub emitted: u64,
+}
+
+/// The per-cycle control-plane trace of one captured run.
+#[derive(Debug, Clone, Default)]
+pub struct ControlTrace {
+    records: Vec<CycleRecord>,
+}
+
+impl ControlTrace {
+    /// Creates an empty trace.
+    pub fn new() -> ControlTrace {
+        ControlTrace::default()
+    }
+
+    /// Appends one cycle's record.
+    #[inline]
+    pub fn record(&mut self, record: CycleRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The recorded cycles in order.
+    pub fn records(&self) -> &[CycleRecord] {
+        &self.records
+    }
+
+    /// Scans the trace into its totals.
+    pub fn totals(&self) -> TraceTotals {
+        let mut t = TraceTotals {
+            cycles: self.records.len() as u64,
+            ..TraceTotals::default()
+        };
+        for r in &self.records {
+            t.stall_cycles += u64::from(r.has(CycleRecord::STALLED));
+            t.transfers += u64::from(r.has(CycleRecord::TRANSFER));
+            t.warmup_cycles += u64::from(r.has(CycleRecord::WARMUP));
+            t.emitted += u64::from(r.has(CycleRecord::EMITTED));
+        }
+        t
+    }
+
+    /// Approximate heap footprint in bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// Why a capture or replay refused to run.
+///
+/// Replay is sound exactly while the control plane is a pure function of
+/// the spec. Each variant names a way that stops being true (or a way the
+/// recorded schedule fails to match the request). Refusal is the *typed
+/// fallback path*: callers run the full simulation instead — replay never
+/// silently diverges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayUnsupported {
+    /// An active fault-injection plan perturbs timing and data.
+    FaultPlan,
+    /// An external stall schedule (stall fuzzing) drives backpressure.
+    StallSchedule,
+    /// An external backpressure callback is attached to the system.
+    ExternalBackpressure,
+    /// A probe tracer is attached; replay produces no probe events.
+    Tracer,
+    /// Telemetry is attached; replay produces no telemetry samples.
+    Telemetry,
+    /// A result tap observes the datapath mid-run.
+    ResultTap,
+    /// The schedule was recorded for a different kernel.
+    KernelMismatch {
+        /// Kernel name the schedule was captured with.
+        expected: String,
+        /// Kernel name the replay was asked to run.
+        actual: String,
+    },
+    /// The input length does not match the captured grid size.
+    InputLength {
+        /// Grid length the schedule was captured for.
+        expected: usize,
+        /// Input length supplied to replay.
+        actual: usize,
+    },
+    /// The instance count does not match the captured schedule.
+    InstancesMismatch {
+        /// Instance count the schedule was captured for.
+        expected: u64,
+        /// Instance count supplied to replay.
+        actual: u64,
+    },
+    /// Capture self-verification failed: replaying the capture input did
+    /// not reproduce the full simulation bit-exactly. Never expected; the
+    /// typed refusal keeps the failure loud and the fallback safe.
+    ScheduleDivergence {
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl ReplayUnsupported {
+    /// Short machine-friendly label (stats, log lines, test assertions).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplayUnsupported::FaultPlan => "fault_plan",
+            ReplayUnsupported::StallSchedule => "stall_schedule",
+            ReplayUnsupported::ExternalBackpressure => "external_backpressure",
+            ReplayUnsupported::Tracer => "tracer",
+            ReplayUnsupported::Telemetry => "telemetry",
+            ReplayUnsupported::ResultTap => "result_tap",
+            ReplayUnsupported::KernelMismatch { .. } => "kernel_mismatch",
+            ReplayUnsupported::InputLength { .. } => "input_length",
+            ReplayUnsupported::InstancesMismatch { .. } => "instances_mismatch",
+            ReplayUnsupported::ScheduleDivergence { .. } => "schedule_divergence",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayUnsupported::FaultPlan => {
+                write!(f, "replay unsupported: active fault-injection plan")
+            }
+            ReplayUnsupported::StallSchedule => {
+                write!(f, "replay unsupported: external stall schedule attached")
+            }
+            ReplayUnsupported::ExternalBackpressure => {
+                write!(f, "replay unsupported: external backpressure attached")
+            }
+            ReplayUnsupported::Tracer => write!(f, "replay unsupported: probe tracer attached"),
+            ReplayUnsupported::Telemetry => write!(f, "replay unsupported: telemetry attached"),
+            ReplayUnsupported::ResultTap => write!(f, "replay unsupported: result tap attached"),
+            ReplayUnsupported::KernelMismatch { expected, actual } => write!(
+                f,
+                "replay refused: schedule captured with kernel `{expected}`, asked to run `{actual}`"
+            ),
+            ReplayUnsupported::InputLength { expected, actual } => write!(
+                f,
+                "replay refused: schedule covers {expected} elements, input has {actual}"
+            ),
+            ReplayUnsupported::InstancesMismatch { expected, actual } => write!(
+                f,
+                "replay refused: schedule captured for {expected} instance(s), asked for {actual}"
+            ),
+            ReplayUnsupported::ScheduleDivergence { detail } => {
+                write!(f, "schedule diverged from full simulation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayUnsupported {}
+
+/// Running totals a [`ScheduleCache`] reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleCacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Schedules larger than the whole budget, never stored.
+    pub oversize: u64,
+}
+
+struct CacheEntry<V> {
+    value: Arc<V>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A byte-budgeted LRU cache for captured control schedules (or any other
+/// fingerprint-keyed value with an explicit byte cost).
+///
+/// Same deterministic policy as the serve layer's result cache: every hit
+/// and insert stamps the entry with a monotonic use counter, and inserts
+/// evict the lowest-stamped entries until the budget holds. Values are
+/// handed out as [`Arc`] clones so a hit is O(1) regardless of schedule
+/// size.
+pub struct ScheduleCache<V> {
+    budget: usize,
+    bytes: usize,
+    tick: u64,
+    entries: BTreeMap<(u64, u64), CacheEntry<V>>,
+    stats: ScheduleCacheStats,
+}
+
+impl<V> ScheduleCache<V> {
+    /// Creates an empty cache holding at most `budget` bytes of schedules.
+    pub fn new(budget: usize) -> ScheduleCache<V> {
+        ScheduleCache {
+            budget,
+            bytes: 0,
+            tick: 0,
+            entries: BTreeMap::new(),
+            stats: ScheduleCacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: (u64, u64)) -> Option<Arc<V>> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key` with an explicit byte cost, evicting
+    /// least-recently-used entries until the budget holds. A value larger
+    /// than the entire budget is not stored.
+    pub fn insert(&mut self, key: (u64, u64), value: Arc<V>, bytes: usize) {
+        if bytes > self.budget {
+            self.stats.oversize += 1;
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            key,
+            CacheEntry {
+                value,
+                bytes,
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        } else {
+            self.stats.insertions += 1;
+        }
+        self.bytes += bytes;
+
+        while self.bytes > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("over budget implies non-empty");
+            let evicted = self.entries.remove(&victim).expect("victim exists");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Bytes of schedule data currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The byte budget this cache was created with. A `0` budget can
+    /// never store anything — callers use it as "caching disabled".
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The running hit/miss/eviction totals.
+    pub fn stats(&self) -> ScheduleCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_record_packs_phase_and_flags() {
+        let r = CycleRecord::pack(1, CycleRecord::STALLED | CycleRecord::TRANSFER);
+        assert_eq!(r.phase(), 1);
+        assert!(r.has(CycleRecord::STALLED));
+        assert!(r.has(CycleRecord::TRANSFER));
+        assert!(!r.has(CycleRecord::EMITTED));
+        // Phase bits never leak into flags and vice versa.
+        let r = CycleRecord::pack(2, 0);
+        assert_eq!(r.phase(), 2);
+        assert!(!r.has(CycleRecord::STALLED));
+    }
+
+    #[test]
+    fn trace_totals_count_flags() {
+        let mut t = ControlTrace::new();
+        t.record(CycleRecord::pack(0, CycleRecord::WARMUP));
+        t.record(CycleRecord::pack(
+            1,
+            CycleRecord::EMITTED | CycleRecord::TRANSFER,
+        ));
+        t.record(CycleRecord::pack(1, CycleRecord::STALLED));
+        let totals = t.totals();
+        assert_eq!(totals.cycles, 3);
+        assert_eq!(totals.warmup_cycles, 1);
+        assert_eq!(totals.emitted, 1);
+        assert_eq!(totals.transfers, 1);
+        assert_eq!(totals.stall_cycles, 1);
+    }
+
+    #[test]
+    fn gather_table_csr_rows() {
+        let table = GatherTable {
+            starts: vec![0, 2, 3],
+            sources: vec![SlotSource::Grid(4), SlotSource::Hole, SlotSource::Const(9)],
+            masks: vec![0b01, 0b1],
+        };
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.slots(0), &[SlotSource::Grid(4), SlotSource::Hole]);
+        assert_eq!(table.slots(1), &[SlotSource::Const(9)]);
+    }
+
+    #[test]
+    fn schedule_cache_is_lru_under_byte_budget() {
+        let mut c: ScheduleCache<&'static str> = ScheduleCache::new(30);
+        let key = |n: u64| (n, n.wrapping_mul(31));
+        c.insert(key(1), Arc::new("a"), 10);
+        c.insert(key(2), Arc::new("b"), 10);
+        c.insert(key(3), Arc::new("c"), 10);
+        assert!(c.get(key(1)).is_some()); // refresh 1
+        c.insert(key(4), Arc::new("d"), 10);
+        assert!(c.get(key(2)).is_none(), "LRU victim must be 2");
+        assert!(c.get(key(1)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.bytes(), 30);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn schedule_cache_rejects_oversize() {
+        let mut c: ScheduleCache<u8> = ScheduleCache::new(10);
+        c.insert((1, 1), Arc::new(0), 11);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().oversize, 1);
+    }
+
+    #[test]
+    fn refusal_labels_are_stable() {
+        assert_eq!(ReplayUnsupported::FaultPlan.label(), "fault_plan");
+        assert_eq!(ReplayUnsupported::Tracer.label(), "tracer");
+        let e = ReplayUnsupported::InstancesMismatch {
+            expected: 4,
+            actual: 5,
+        };
+        assert_eq!(e.label(), "instances_mismatch");
+        assert!(e.to_string().contains("4 instance(s)"));
+    }
+}

@@ -86,6 +86,13 @@ pub(crate) struct Schedule {
     queued: Vec<u64>,
     /// Scratch: monotonically increasing wave identifier.
     wave_seq: u64,
+    /// Scratch: min-heap of (position, module) for the wave in flight.
+    /// Owned by the schedule so its allocation is reused across cycles.
+    heap: BinaryHeap<std::cmp::Reverse<(usize, usize)>>,
+    /// Scratch: modules deferred to the next wave.
+    next_wave: Vec<usize>,
+    /// Scratch: changed-wire ids drained from the context per eval.
+    changed_scratch: Vec<WireId>,
 }
 
 impl Schedule {
@@ -191,6 +198,9 @@ impl Schedule {
             opaque,
             queued: vec![0; n],
             wave_seq: 0,
+            heap: BinaryHeap::new(),
+            next_wave: Vec::new(),
+            changed_scratch: Vec::new(),
         }
     }
 
@@ -205,10 +215,10 @@ impl Schedule {
         cycle: u64,
         max_passes: u32,
     ) -> Result<(u64, u64), crate::SimError> {
-        // Min-heap of (position, module) for the wave being executed.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(usize, usize)>> = BinaryHeap::new();
-        let mut next_wave: Vec<usize> = Vec::new();
-        let mut changed_scratch: Vec<WireId> = Vec::new();
+        // Scratch state is owned by the schedule so the allocations are
+        // reused across cycles; clear any residue from an errored cycle.
+        self.heap.clear();
+        self.next_wave.clear();
 
         let mut passes = 0u64;
         let mut evals = 0u64;
@@ -229,9 +239,9 @@ impl Schedule {
             if ctx.changed_len() == log_from {
                 continue;
             }
-            changed_scratch.clear();
-            ctx.changed_since(log_from, &mut changed_scratch);
-            for &w in &changed_scratch {
+            self.changed_scratch.clear();
+            ctx.changed_since(log_from, &mut self.changed_scratch);
+            for &w in &self.changed_scratch {
                 let readers = self
                     .readers
                     .get(w as usize)
@@ -243,7 +253,7 @@ impl Schedule {
                         // currently evaluating): genuine feedback, defer to
                         // the next wave.
                         self.queued[r] = stamp + 1;
-                        next_wave.push(r);
+                        self.next_wave.push(r);
                     }
                 }
             }
@@ -253,7 +263,7 @@ impl Schedule {
         }
 
         // Later waves: only the woken modules, via the position-ordered heap.
-        while !next_wave.is_empty() {
+        while !self.next_wave.is_empty() {
             if passes >= max_passes as u64 {
                 return Err(crate::SimError::CombinationalLoop {
                     cycle,
@@ -262,22 +272,22 @@ impl Schedule {
             }
             self.wave_seq += 1;
             stamp = self.wave_seq;
-            for m in next_wave.drain(..) {
+            for m in self.next_wave.drain(..) {
                 self.queued[m] = stamp;
-                heap.push(std::cmp::Reverse((self.position[m], m)));
+                self.heap.push(std::cmp::Reverse((self.position[m], m)));
             }
             ctx.begin_pass();
             passes += 1;
-            while let Some(std::cmp::Reverse((pos, m))) = heap.pop() {
+            while let Some(std::cmp::Reverse((pos, m))) = self.heap.pop() {
                 let log_from = ctx.changed_len();
                 modules[m].eval(cycle);
                 evals += 1;
                 if ctx.changed_len() == log_from {
                     continue;
                 }
-                changed_scratch.clear();
-                ctx.changed_since(log_from, &mut changed_scratch);
-                for &w in &changed_scratch {
+                self.changed_scratch.clear();
+                ctx.changed_since(log_from, &mut self.changed_scratch);
+                for &w in &self.changed_scratch {
                     let readers = self
                         .readers
                         .get(w as usize)
@@ -294,14 +304,14 @@ impl Schedule {
                             // queued already.
                             if self.queued[r] != stamp {
                                 self.queued[r] = stamp;
-                                heap.push(std::cmp::Reverse((self.position[r], r)));
+                                self.heap.push(std::cmp::Reverse((self.position[r], r)));
                             }
                         } else {
                             // Already evaluated this wave (or is the module
                             // currently evaluating): genuine feedback, defer
                             // to the next wave.
                             self.queued[r] = stamp + 1;
-                            next_wave.push(r);
+                            self.next_wave.push(r);
                         }
                     }
                 }

@@ -42,6 +42,10 @@ struct CtxInner {
     /// order. The event-driven scheduler consumes this to wake exactly the
     /// modules sensitive to what moved.
     changed: RefCell<Vec<WireId>>,
+    /// Wire names, indexed by [`WireId`]. Names are cold data (traces and
+    /// error messages only), so they live here rather than inside every
+    /// `WireInner` — the per-wire hot path never touches a `String`.
+    names: RefCell<Vec<Box<str>>>,
 }
 
 impl SimCtx {
@@ -55,6 +59,7 @@ impl SimCtx {
                 conflict: RefCell::new(None),
                 next_wire: Cell::new(0),
                 changed: RefCell::new(Vec::new()),
+                names: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -63,11 +68,11 @@ impl SimCtx {
     pub fn wire<T: Copy + PartialEq + fmt::Debug + 'static>(&self, name: &str, init: T) -> Wire<T> {
         let id = self.inner.next_wire.get();
         self.inner.next_wire.set(id + 1);
+        self.inner.names.borrow_mut().push(name.into());
         Wire {
             ctx: self.clone(),
             inner: Rc::new(WireInner {
                 id,
-                name: name.to_string(),
                 value: Cell::new(init),
                 driven_pass: Cell::new(u64::MAX),
             }),
@@ -123,14 +128,24 @@ impl SimCtx {
         self.inner.changed.borrow_mut().push(wire);
     }
 
-    fn record_conflict(&self, wire: &str) {
+    fn record_conflict(&self, wire: WireId) {
         let mut slot = self.inner.conflict.borrow_mut();
         if slot.is_none() {
             *slot = Some(SimError::DoubleDrive {
-                wire: wire.to_string(),
+                wire: self.wire_name(wire),
                 cycle: self.inner.cycle.get(),
             });
         }
+    }
+
+    /// The name `wire` was created with (traces and error messages).
+    pub fn wire_name(&self, wire: WireId) -> String {
+        self.inner
+            .names
+            .borrow()
+            .get(wire as usize)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("wire#{wire}"))
     }
 }
 
@@ -142,7 +157,6 @@ impl Default for SimCtx {
 
 struct WireInner<T> {
     id: WireId,
-    name: String,
     value: Cell<T>,
     /// Pass id during which this wire was last driven, used to detect
     /// multiple conflicting drivers within one pass.
@@ -186,7 +200,7 @@ impl<T: Copy + PartialEq + fmt::Debug + 'static> Wire<T> {
         if prev != value {
             if self.inner.driven_pass.get() == pass {
                 // A different driver already set a different value this pass.
-                self.ctx.record_conflict(&self.inner.name);
+                self.ctx.record_conflict(self.inner.id);
             }
             self.inner.value.set(value);
             self.ctx.record_change(self.inner.id);
@@ -195,8 +209,12 @@ impl<T: Copy + PartialEq + fmt::Debug + 'static> Wire<T> {
     }
 
     /// Name given at construction (used in traces and error messages).
-    pub fn name(&self) -> &str {
-        &self.inner.name
+    ///
+    /// Names live in a context-owned side table indexed by [`WireId`], so
+    /// this is a lookup producing an owned `String` — cheap for the cold
+    /// paths that need it, free for the hot paths that don't.
+    pub fn name(&self) -> String {
+        self.ctx.wire_name(self.inner.id)
     }
 
     /// This wire's id, for use in [`Sensitivity`](crate::Sensitivity)
@@ -211,7 +229,7 @@ impl<T: Copy + PartialEq + fmt::Debug + 'static> fmt::Debug for Wire<T> {
         write!(
             f,
             "Wire({} = {:?})",
-            self.inner.name,
+            self.ctx.wire_name(self.inner.id),
             self.inner.value.get()
         )
     }

@@ -43,6 +43,27 @@ cargo run -p smache-cli --release -- simulate --grid 8x8 --instances 2 --batch 2
 cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 5 \
   --chaos-seed 7 --chaos-profile heavy --verify >/dev/null
 
+echo "== replay smoke (auto picks replay, fingerprint matches full sim) =="
+replay_out=$(cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 3 --seed 7 --replay auto)
+echo "$replay_out" | grep -q 'engine=replay' || { echo "--replay auto did not replay"; exit 1; }
+full_out=$(cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 3 --seed 7 --replay off)
+echo "$full_out" | grep -q 'engine=full_sim' || { echo "--replay off did not run the full sim"; exit 1; }
+replay_fp=$(echo "$replay_out" | grep -o 'fp=[0-9a-f]*' | head -n1)
+full_fp=$(echo "$full_out" | grep -o 'fp=[0-9a-f]*' | head -n1)
+[ -n "$replay_fp" ] && [ "$replay_fp" = "$full_fp" ] || {
+  echo "replay output diverged from full sim: replay $replay_fp vs full $full_fp"; exit 1; }
+# Regenerate the replay artefact at a temp path (the committed
+# BENCH_replay.json documents one measured run; CI only checks the
+# generator still produces bit-exact, speedup-bearing output).
+replay_json=$(mktemp)
+cargo run -p smache-bench --bin replay --release -- --jobs 2 --json "$replay_json" >/dev/null
+grep -q '"speedup"' "$replay_json" || { echo "replay artefact is missing batch speedups"; exit 1; }
+grep -q '"fingerprints_match": true' "$replay_json" || {
+  echo "replay artefact reports a fingerprint mismatch"; exit 1; }
+rm -f "$replay_json"
+grep -q '"artefact": "replay"' BENCH_replay.json || {
+  echo "committed BENCH_replay.json is missing or malformed"; exit 1; }
+
 echo "== serve smoke (unix socket: cache hit, malformed request, clean drain) =="
 serve_sock="/tmp/smache-ci-$$.sock"
 rm -f "$serve_sock"

@@ -1,0 +1,309 @@
+//! Schedule replay ≡ full simulation — and clean, typed refusals.
+//!
+//! The positive half pins the tentpole guarantee: a [`ControlSchedule`]
+//! captured from one full cycle-accurate run reproduces **bit-exact**
+//! outputs, cycle counts and report metrics for fresh inputs of the same
+//! spec — across the nine boundary cases of the 11×11 validation grid and
+//! across randomised specs (grids, shapes, boundaries, kernels, hybrid
+//! modes, instance counts).
+//!
+//! The negative half pins the safety property: whenever the control plane
+//! stops being data-independent (fault plans, stall fuzzing, tracing,
+//! telemetry, result taps), capture *refuses* with a typed
+//! [`ReplayUnsupported`] reason and the auto mode falls back to the full
+//! simulation — never a silently divergent replay.
+
+use proptest::prelude::*;
+use smache::arch::kernel::{AverageKernel, Kernel, MaxKernel, SumKernel};
+use smache::system::batch::BatchJob;
+use smache::system::{ReplayMode, RunEngine, SmacheSystem};
+use smache::{CoreError, HybridMode, SmacheBuilder};
+use smache_mem::{ChaosProfile, FaultPlan};
+use smache_sim::ReplayUnsupported;
+use smache_stencil::{AxisBoundaries, Boundary, BoundarySpec, GridSpec, StencilShape};
+use std::sync::Arc;
+
+const W: usize = 11;
+
+fn paper_system() -> SmacheSystem {
+    SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+        .shape(StencilShape::four_point_2d())
+        .boundaries(BoundarySpec::paper_case())
+        .build()
+        .expect("build")
+}
+
+fn seeded(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(seed | 1).wrapping_add(seed >> 7) % 100_000)
+        .collect()
+}
+
+/// The nine-case validation grid: one capture serves many seeds, each
+/// replay bit-exact with its own full simulation.
+#[test]
+fn nine_case_grid_replays_bit_exactly() {
+    let mut capture_sys = paper_system();
+    let (captured, schedule) = capture_sys
+        .run_captured(&seeded(W * W, 0), 3)
+        .expect("capture");
+    assert_eq!(captured.engine, RunEngine::FullSim);
+    assert_eq!(schedule.len(), W * W);
+
+    for seed in 1..=4u64 {
+        let input = seeded(W * W, seed);
+        let replayed = schedule.replay(&AverageKernel, &input).expect("replay");
+        let mut full_sys = paper_system();
+        let full = full_sys.run(&input, 3).expect("run");
+        assert_eq!(replayed.output, full.output, "seed {seed}: outputs");
+        assert_eq!(replayed.stats, full.stats, "seed {seed}: cycle stats");
+        assert_eq!(
+            replayed.metrics.cycles, full.metrics.cycles,
+            "seed {seed}: metrics cycles"
+        );
+        assert_eq!(
+            replayed.warmup_cycles, full.warmup_cycles,
+            "seed {seed}: warm-up"
+        );
+        assert_eq!(
+            replayed.metrics.dram, full.metrics.dram,
+            "seed {seed}: DRAM traffic"
+        );
+        assert_eq!(replayed.engine, RunEngine::Replay);
+    }
+}
+
+/// The batched sweep path: `run_batch_replay` in auto mode captures once,
+/// replays the rest, and agrees with `run_batch` lane for lane.
+#[test]
+fn batch_replay_matches_batch_full_sim() {
+    let jobs = |n: u64| -> Vec<BatchJob> {
+        (0..n)
+            .map(|s| {
+                BatchJob::new(
+                    SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+                        .boundaries(BoundarySpec::paper_case())
+                        .plan()
+                        .expect("plan"),
+                    Arc::new(|| Box::new(AverageKernel)),
+                    seeded(W * W, s),
+                    2,
+                )
+            })
+            .collect()
+    };
+    let full = SmacheSystem::run_batch(jobs(6), 3);
+    let fast = SmacheSystem::run_batch_replay(jobs(6), 3, ReplayMode::Auto);
+    assert_eq!(full.aggregate, fast.aggregate);
+    let mut replayed = 0;
+    for (a, b) in full.lanes.iter().zip(&fast.lanes) {
+        let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("fast"));
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.stats, b.stats);
+        if b.engine == RunEngine::Replay {
+            replayed += 1;
+        }
+    }
+    assert_eq!(replayed, 5, "one capture lane, five replayed lanes");
+}
+
+fn arb_boundary() -> impl Strategy<Value = Boundary> {
+    prop_oneof![
+        Just(Boundary::Open),
+        Just(Boundary::Circular),
+        Just(Boundary::Mirror),
+        (0u64..1000).prop_map(Boundary::Constant),
+    ]
+}
+
+fn arb_bounds() -> impl Strategy<Value = BoundarySpec> {
+    (
+        arb_boundary(),
+        arb_boundary(),
+        arb_boundary(),
+        arb_boundary(),
+    )
+        .prop_map(|(rl, rh, cl, ch)| {
+            BoundarySpec::new(&[
+                AxisBoundaries { low: rl, high: rh },
+                AxisBoundaries { low: cl, high: ch },
+            ])
+            .expect("two axes")
+        })
+}
+
+fn arb_shape() -> impl Strategy<Value = StencilShape> {
+    prop_oneof![
+        Just(StencilShape::four_point_2d()),
+        Just(StencilShape::five_point_2d()),
+        Just(StencilShape::nine_point_2d()),
+    ]
+}
+
+fn kernel_of(id: usize) -> Box<dyn Kernel> {
+    match id {
+        0 => Box::new(AverageKernel),
+        1 => Box::new(SumKernel),
+        _ => Box::new(MaxKernel),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomised specs: capture on one input, replay a second input, and
+    /// the replay must match that second input's full simulation exactly —
+    /// outputs, cycle counts and report metrics.
+    #[test]
+    fn replay_equals_full_sim_on_random_specs(
+        h in 4usize..10,
+        w in 4usize..10,
+        bounds in arb_bounds(),
+        shape in arb_shape(),
+        kernel_id in 0usize..3,
+        hybrid_h in any::<bool>(),
+        instances in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let grid = GridSpec::d2(h, w).expect("grid");
+        let n = grid.len();
+        let hybrid = if hybrid_h { HybridMode::default() } else { HybridMode::CaseR };
+        let builder = || SmacheBuilder::new(grid.clone())
+            .shape(shape.clone())
+            .boundaries(bounds.clone())
+            .hybrid(hybrid)
+            .kernel(kernel_of(kernel_id));
+
+        let mut capture_sys = builder().build().expect("build");
+        let (_, schedule) = capture_sys
+            .run_captured(&seeded(n, seed), instances)
+            .expect("capture");
+
+        let fresh = seeded(n, seed.wrapping_add(0x9E37_79B9));
+        let replayed = schedule
+            .replay(kernel_of(kernel_id).as_ref(), &fresh)
+            .expect("replay");
+        let mut full_sys = builder().build().expect("build");
+        let full = full_sys.run(&fresh, instances).expect("run");
+
+        prop_assert_eq!(&replayed.output, &full.output);
+        prop_assert_eq!(replayed.stats, full.stats);
+        prop_assert_eq!(replayed.metrics.cycles, full.metrics.cycles);
+        prop_assert_eq!(replayed.warmup_cycles, full.warmup_cycles);
+        prop_assert_eq!(replayed.engine, RunEngine::Replay);
+    }
+}
+
+/// Every data-dependent control-plane feature refuses capture with its
+/// own typed reason — no silent divergence possible.
+#[test]
+fn capture_refuses_each_ineligible_feature() {
+    let input = seeded(W * W, 1);
+
+    for profile in [
+        ChaosProfile::jitter(),
+        ChaosProfile::storms(),
+        ChaosProfile::drain(),
+        ChaosProfile::heavy(),
+    ] {
+        let mut chaotic = SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+            .fault_plan(FaultPlan::new(9, profile))
+            .build()
+            .expect("build");
+        assert!(matches!(
+            chaotic.run_captured(&input, 1),
+            Err(CoreError::ReplayRefused(ReplayUnsupported::FaultPlan))
+        ));
+    }
+
+    let mut fuzzed = paper_system();
+    fuzzed.set_stall_schedule(Box::new(|c| c % 3 == 0));
+    assert!(matches!(
+        fuzzed.run_captured(&input, 1),
+        Err(CoreError::ReplayRefused(ReplayUnsupported::StallSchedule))
+    ));
+
+    let mut traced = paper_system();
+    traced.attach_tracer(smache_sim::TracerConfig::default());
+    assert!(matches!(
+        traced.run_captured(&input, 1),
+        Err(CoreError::ReplayRefused(ReplayUnsupported::Tracer))
+    ));
+
+    let mut telemetered = paper_system();
+    telemetered.attach_telemetry(smache_sim::TelemetryConfig::default());
+    assert!(matches!(
+        telemetered.run_captured(&input, 1),
+        Err(CoreError::ReplayRefused(ReplayUnsupported::Telemetry))
+    ));
+
+    let mut tapped = paper_system();
+    tapped.set_result_tap(Box::new(|_| {}));
+    assert!(matches!(
+        tapped.run_captured(&input, 1),
+        Err(CoreError::ReplayRefused(ReplayUnsupported::ResultTap))
+    ));
+}
+
+/// Auto mode falls back to the full simulation under chaos (the lanes run
+/// and their outputs match plain `run_batch`); forced mode surfaces the
+/// refusal as a typed error on every lane of the refused key.
+#[test]
+fn auto_falls_back_and_forced_mode_errors_under_chaos() {
+    let chaotic_jobs = || -> Vec<BatchJob> {
+        (0..3u64)
+            .map(|s| {
+                BatchJob::new(
+                    SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+                        .plan()
+                        .expect("plan"),
+                    Arc::new(|| Box::new(AverageKernel)),
+                    seeded(W * W, s),
+                    2,
+                )
+                .with_config(smache::system::smache_system::SystemConfig {
+                    // Latency-only chaos: the runs themselves succeed.
+                    fault_plan: FaultPlan::new(5, ChaosProfile::jitter()),
+                    ..Default::default()
+                })
+            })
+            .collect()
+    };
+
+    let full = SmacheSystem::run_batch(chaotic_jobs(), 2);
+    let auto = SmacheSystem::run_batch_replay(chaotic_jobs(), 2, ReplayMode::Auto);
+    assert_eq!(auto.succeeded(), 3);
+    for (a, b) in full.lanes.iter().zip(&auto.lanes) {
+        let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("auto"));
+        assert_eq!(a.output, b.output, "auto fallback stays bit-exact");
+        assert_eq!(b.engine, RunEngine::FullSim, "fallback lanes ran full sim");
+    }
+
+    let forced = SmacheSystem::run_batch_replay(chaotic_jobs(), 2, ReplayMode::On);
+    assert_eq!(forced.succeeded(), 0);
+    for lane in &forced.lanes {
+        match lane {
+            Err(CoreError::ReplayRefused(r)) => assert_eq!(r.label(), "fault_plan"),
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+    }
+}
+
+/// A schedule refuses inputs and kernels it was not captured for, with
+/// typed reasons a caller can fall back on.
+#[test]
+fn schedule_refuses_mismatched_requests() {
+    let mut sys = paper_system();
+    let (_, schedule) = sys.run_captured(&seeded(W * W, 0), 1).expect("capture");
+    assert!(matches!(
+        schedule.replay(&AverageKernel, &seeded(64, 0)),
+        Err(ReplayUnsupported::InputLength {
+            expected: 121,
+            actual: 64
+        })
+    ));
+    assert!(matches!(
+        schedule.replay(&MaxKernel, &seeded(W * W, 0)),
+        Err(ReplayUnsupported::KernelMismatch { .. })
+    ));
+}

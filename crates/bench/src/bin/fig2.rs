@@ -14,6 +14,11 @@
 //! ```text
 //! cargo run -p smache-bench --bin fig2 --release -- --sweep 8 --jobs 4
 //! ```
+//!
+//! `--store DIR` points the sweep at a persistent schedule store: the
+//! capture lane is skipped entirely when the store already holds the
+//! spec's schedule, and a fresh capture is written back for next time
+//! (see `docs/DEPLOYMENT.md`).
 
 use std::time::Instant;
 
@@ -63,7 +68,8 @@ fn main() {
     if let Some(sweep) = arg_value(&args, "--sweep") {
         let seeds: u64 = sweep.parse().expect("--sweep wants a seed count");
         let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_fig2.json".into());
-        run_sweep(seeds, jobs, &path, chaos);
+        let store = arg_value(&args, "--store");
+        run_sweep(seeds, jobs, &path, chaos, store.as_deref());
         return;
     }
 
@@ -218,7 +224,13 @@ fn main() {
 /// back to full simulation per lane), baseline lanes through
 /// `parallel_map`, outputs cross-checked per seed, summary written as
 /// JSON.
-fn run_sweep(seeds: u64, jobs: usize, json_path: &str, chaos: smache_mem::FaultPlan) {
+fn run_sweep(
+    seeds: u64,
+    jobs: usize,
+    json_path: &str,
+    chaos: smache_mem::FaultPlan,
+    store_dir: Option<&str>,
+) {
     let workload = paper_problem(11, 11, 100);
     println!(
         "== Fig. 2 sweep: {seeds} seeds x {} instances, {jobs} job(s) ==",
@@ -236,9 +248,27 @@ fn run_sweep(seeds: u64, jobs: usize, json_path: &str, chaos: smache_mem::FaultP
                 .with_config(config)
         })
         .collect();
+    let mut store = store_dir.map(|dir| {
+        smache::system::ScheduleStore::open(std::path::Path::new(dir), 0).expect("open --store")
+    });
     let t0 = Instant::now();
-    let batch = SmacheSystem::run_batch_replay(smache_jobs, jobs, smache::system::ReplayMode::Auto);
+    let batch = SmacheSystem::run_batch_replay_stored(
+        smache_jobs,
+        jobs,
+        smache::system::ReplayMode::Auto,
+        store.as_mut(),
+    );
     let smache_wall = t0.elapsed();
+    if let Some(store) = &store {
+        let s = store.stats();
+        println!(
+            "schedule store {}: {} hits, {} writes, {} entries",
+            store.dir().display(),
+            s.hits,
+            s.writes,
+            store.len()
+        );
+    }
     let replayed = batch
         .lanes
         .iter()

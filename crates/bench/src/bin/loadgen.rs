@@ -207,6 +207,8 @@ fn main() {
             // (Enabled, it would replay every unique-seed request of the
             // same spec and flatten the very ratio being measured.)
             schedule_cache_bytes: 0,
+            store_dir: None,
+            store_bytes: 0,
             default_deadline_ms: None,
         })
         .expect("server starts");
@@ -281,6 +283,8 @@ fn main() {
         queue_cap: clients * 2 + total,
         cache_bytes: 64 << 20,
         schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
         default_deadline_ms: None,
     })
     .expect("server starts");

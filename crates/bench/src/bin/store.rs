@@ -1,0 +1,227 @@
+//! Cold vs warm-start serving with a persistent schedule store.
+//!
+//! Two closed-loop passes drive the same spec mix (several distinct grid
+//! sizes, one request each) against `smache serve` with `--store`:
+//!
+//! * **cold** — a fresh store directory: every spec full-simulates,
+//!   captures its control schedule and persists it;
+//! * **warm** — a *restarted* server on the same directory with fresh
+//!   seeds: every spec's schedule comes off disk and the request is
+//!   served by bit-exact replay, no capture anywhere.
+//!
+//! Result caches cannot interfere: each server is a fresh process (empty
+//! in-memory caches) and every request uses a seed never sent before.
+//! The headline check — warm-start throughput must be at least 5x cold —
+//! lands in `BENCH_store.json` (`--json PATH` overrides).
+//!
+//! ```text
+//! cargo run -p smache-bench --bin store --release
+//! ```
+
+use std::time::Instant;
+
+use smache_bench::json::Json;
+use smache_bench::report::Table;
+use smache_serve::{start, Client, Listen, ServeConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
+        })
+}
+
+/// The spec mix: distinct grids, so every request needs its own schedule
+/// and the store (not a single hot entry) is what warms the second pass.
+const GRIDS: &[usize] = &[32, 36, 40, 44, 48, 52];
+const INSTANCES: u64 = 2;
+
+fn request_line(id: String, grid: usize, seed: u64) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(id)),
+        ("cmd", Json::str("simulate")),
+        (
+            "spec",
+            Json::obj(vec![("grid", Json::str(format!("{grid}x{grid}")))]),
+        ),
+        ("seed", Json::Int(seed as i64)),
+        ("instances", Json::Int(INSTANCES as i64)),
+    ])
+}
+
+struct Pass {
+    wall_s: f64,
+    replayed: u64,
+    store_hits: u64,
+    store_writes: u64,
+}
+
+/// One closed-loop pass: a fresh server over `store_dir`, one request per
+/// grid (seeds offset by `seed_base` so nothing repeats across passes).
+fn run_pass(tag: &str, store_dir: &std::path::Path, workers: usize, seed_base: u64) -> Pass {
+    let sock = std::env::temp_dir().join(format!(
+        "smache-store-bench-{}-{tag}.sock",
+        std::process::id()
+    ));
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock),
+        workers,
+        queue_cap: GRIDS.len() * 2,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 16 << 20,
+        store_dir: Some(store_dir.to_path_buf()),
+        store_bytes: 256 << 20,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+    let started = Instant::now();
+    let mut replayed = 0u64;
+    for (i, &grid) in GRIDS.iter().enumerate() {
+        let resp = conn
+            .call(&request_line(
+                format!("{tag}{i}"),
+                grid,
+                seed_base + i as u64,
+            ))
+            .expect("call");
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{tag} request {i} failed: {}",
+            resp.compact()
+        );
+        assert_eq!(
+            resp.get("cached").and_then(Json::as_bool),
+            Some(false),
+            "{tag} request {i} must not be a result-cache hit"
+        );
+        if resp
+            .get("report")
+            .and_then(|r| r.get("engine"))
+            .and_then(Json::as_str)
+            == Some("replay")
+        {
+            replayed += 1;
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let metrics = handle.metrics();
+    let pass = Pass {
+        wall_s,
+        replayed,
+        store_hits: metrics.counter("serve.store.hits"),
+        store_writes: metrics.counter("serve.store.writes"),
+    };
+    handle.shutdown();
+    pass
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers: usize = arg_value(&args, "--workers")
+        .map(|v| v.parse().expect("--workers wants a number"))
+        .unwrap_or(2);
+    let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_store.json".into());
+
+    let store_dir = std::env::temp_dir().join(format!("smache-store-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    println!(
+        "== store warm-start: {} specs ({}..{} squared) x{INSTANCES}, {workers} workers ==\n",
+        GRIDS.len(),
+        GRIDS[0],
+        GRIDS[GRIDS.len() - 1],
+    );
+
+    let cold = run_pass("cold", &store_dir, workers, 100);
+    let warm = run_pass("warm", &store_dir, workers, 200);
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    let specs = GRIDS.len() as u64;
+    assert_eq!(
+        cold.store_writes, specs,
+        "cold pass must persist every captured schedule"
+    );
+    assert_eq!(cold.store_hits, 0, "cold pass starts from an empty store");
+    assert_eq!(
+        warm.store_hits, specs,
+        "warm pass must load every schedule from disk"
+    );
+    assert_eq!(warm.store_writes, 0, "warm pass must never recapture");
+    assert_eq!(
+        warm.replayed, specs,
+        "every warm request must be served by replay"
+    );
+
+    let cold_rps = specs as f64 / cold.wall_s;
+    let warm_rps = specs as f64 / warm.wall_s;
+    let speedup = warm_rps / cold_rps;
+
+    let mut table = Table::new(vec![
+        "Pass",
+        "req/s",
+        "wall ms",
+        "replayed",
+        "store hits",
+        "store writes",
+    ]);
+    for (tag, pass, rps) in [("cold", &cold, cold_rps), ("warm", &warm, warm_rps)] {
+        table.row(vec![
+            tag.to_string(),
+            format!("{rps:.1}"),
+            format!("{:.1}", pass.wall_s * 1e3),
+            pass.replayed.to_string(),
+            pass.store_hits.to_string(),
+            pass.store_writes.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("warm-start speedup (closed loop, distinct-spec traffic): {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "warm-start must yield >= 5x throughput over cold capture, got {speedup:.1}x"
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("store_warm_start")),
+        (
+            "grids",
+            Json::Arr(
+                GRIDS
+                    .iter()
+                    .map(|&g| Json::str(format!("{g}x{g}")))
+                    .collect(),
+            ),
+        ),
+        ("instances", Json::Int(INSTANCES as i64)),
+        ("workers", Json::Int(workers as i64)),
+        (
+            "cold",
+            Json::obj(vec![
+                ("wall_s", Json::Num(cold.wall_s)),
+                ("throughput_rps", Json::Num(cold_rps)),
+                ("store_writes", Json::Int(cold.store_writes as i64)),
+                ("store_hits", Json::Int(cold.store_hits as i64)),
+            ]),
+        ),
+        (
+            "warm",
+            Json::obj(vec![
+                ("wall_s", Json::Num(warm.wall_s)),
+                ("throughput_rps", Json::Num(warm_rps)),
+                ("store_writes", Json::Int(warm.store_writes as i64)),
+                ("store_hits", Json::Int(warm.store_hits as i64)),
+                ("replayed", Json::Int(warm.replayed as i64)),
+            ]),
+        ),
+        ("warm_start_speedup", Json::Num(speedup)),
+    ]);
+    std::fs::write(&path, doc.pretty()).expect("write json");
+    println!("wrote {path}");
+}

@@ -91,6 +91,9 @@ const VALUED: &[&str] = &[
     "deadline-ms",
     "to",
     "json",
+    "store",
+    "store-mb",
+    "from",
 ];
 const FLAGS: &[&str] = &["verify", "quiet", "analyze"];
 
@@ -111,6 +114,7 @@ COMMANDS:
   codegen    generate Verilog for the configured instance
   serve      run the job server (newline-delimited JSON over a socket)
   call       send one JSON request to a running server
+  schedules  inspect or ship a persistent schedule store
   help       this text
 
 PROBLEM OPTIONS (all commands):
@@ -136,6 +140,9 @@ SIMULATE OPTIONS:
                            plane once, stream data through it (bit-exact;
                            auto falls back when chaos/stall/trace make the
                            control plane data-dependent)  [auto]
+  --store DIR              with --batch: persistent schedule store — load
+                           captured schedules from DIR and write new
+                           captures back (see docs/DEPLOYMENT.md) [off]
   --verify                 check against the golden reference
   --trace FMT              export a probe trace (vcd|chrome|ascii); needs
                            --trace-out, single-system runs only
@@ -159,17 +166,50 @@ SERVE OPTIONS (see docs/SERVING.md for the protocol):
   --cache-kb KB            result-cache byte budget [4096]
   --schedule-cache-kb KB   schedule-cache byte budget (second-level
                            cache of captured control schedules) [4096]
+  --store DIR              persistent schedule store: warm-start the
+                           schedule cache from DIR and write new captures
+                           back (third level; see docs/DEPLOYMENT.md) [off]
+  --store-mb MB            store disk byte budget, LRU-evicted [64]
   --deadline-ms MS         default per-request deadline [none]
 
 CALL OPTIONS:
   --to ADDR                server address (unix:... | tcp:...)
   --json TEXT              the request, e.g. '{\"cmd\":\"stats\"}'
+
+SCHEDULES ACTIONS (smache schedules <action> --store DIR):
+  ls                       list entries (key, kernel, size, cycles)
+  verify                   checksum + structural check of every entry
+  export                   write every sound entry to a pack (--out FILE)
+  import                   import a pack written by export (--from FILE)
+  --store DIR              the store directory (required)
+  --store-mb MB            byte budget applied on open (0 = unbounded) [0]
+  --out FILE               export: pack file to write
+  --from FILE              import: pack file to read
 "
     .to_string()
 }
 
 /// Entry point: parses `raw` and runs the command, returning the report.
 pub fn run(raw: &[String]) -> Result<String, CliError> {
+    // `schedules <action>` takes a positional action word, which the flag
+    // parser would reject; peel it off before parsing the options.
+    if raw.first().map(String::as_str) == Some("schedules") {
+        let action = match raw.get(1).map(String::as_str) {
+            Some(a) if !a.starts_with("--") => a.to_string(),
+            _ => {
+                return Err(ArgError::BadValue {
+                    key: "schedules".into(),
+                    value: raw.get(1).cloned().unwrap_or_else(|| "(none)".into()),
+                    expected: "an action: ls|verify|export|import".into(),
+                }
+                .into())
+            }
+        };
+        let mut rest: Vec<String> = vec!["schedules".into()];
+        rest.extend_from_slice(&raw[2..]);
+        let args = Args::parse(&rest, VALUED, FLAGS)?;
+        return cmd_schedules(&action, &args);
+    }
     let args = Args::parse(raw, VALUED, FLAGS)?;
     match args.command.as_str() {
         "plan" => cmd_plan(&args),
@@ -654,8 +694,13 @@ fn cmd_simulate_batch(
         .collect();
 
     let mode = replay_mode(args)?;
+    let mut store = match args.get("store") {
+        Some(_) => Some(open_store(args, 0)?),
+        None => None,
+    };
     let start = std::time::Instant::now();
-    let report = smache::system::SmacheSystem::run_batch_replay(lanes, jobs, mode);
+    let report =
+        smache::system::SmacheSystem::run_batch_replay_stored(lanes, jobs, mode, store.as_mut());
     let wall = start.elapsed();
 
     let mut out = String::new();
@@ -664,6 +709,18 @@ fn cmd_simulate_batch(
         "batch: {batch} lane(s) x {instances} instance(s), {jobs} job(s), replay {}",
         mode.label()
     );
+    if let Some(store) = &store {
+        let s = store.stats();
+        let _ = writeln!(
+            out,
+            "store: {} hits, {} writes, {} entries ({} bytes) in {}",
+            s.hits,
+            s.writes,
+            store.len(),
+            store.bytes(),
+            store.dir().display()
+        );
+    }
     for (lane, (result, input)) in report.lanes.iter().zip(&inputs).enumerate() {
         let lane_report = result.as_ref().map_err(|e| CliError::Core(e.clone()))?;
         let _ = writeln!(
@@ -746,6 +803,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         queue_cap: args.get_num("queue", 32usize)?,
         cache_bytes: args.get_num("cache-kb", 4096usize)? * 1024,
         schedule_cache_bytes: args.get_num("schedule-cache-kb", 4096usize)? * 1024,
+        store_dir: args.get("store").map(std::path::PathBuf::from),
+        store_bytes: args.get_num("store-mb", 64u64)? * 1024 * 1024,
         default_deadline_ms: match args.get("deadline-ms") {
             None => None,
             Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
@@ -762,6 +821,98 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     eprintln!("smache serve: listening on {bound}");
     handle.join();
     Ok(format!("smache serve: drained and exited ({bound})\n"))
+}
+
+/// Opens the `--store DIR` schedule store (budget from `--store-mb`,
+/// defaulting to `default_mb`). Store errors surface as I/O errors.
+fn open_store(args: &Args, default_mb: u64) -> Result<smache::system::ScheduleStore, CliError> {
+    let dir = args
+        .get("store")
+        .ok_or_else(|| ArgError::MissingValue("store".into()))?;
+    let budget = args.get_num("store-mb", default_mb)? * 1024 * 1024;
+    smache::system::ScheduleStore::open(std::path::Path::new(dir), budget)
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))
+}
+
+/// `schedules ls|verify|export|import`: administer a persistent schedule
+/// store without a running server (see docs/DEPLOYMENT.md).
+fn cmd_schedules(action: &str, args: &Args) -> Result<String, CliError> {
+    if !["ls", "verify", "export", "import"].contains(&action) {
+        return Err(CliError::UnknownCommand(format!("schedules {action}")));
+    }
+    let mut store = open_store(args, 0)?;
+    let mut out = String::new();
+    match action {
+        "ls" => {
+            for (path, info) in store.ls() {
+                match info {
+                    Ok(e) => {
+                        let _ = writeln!(
+                            out,
+                            "{:016x}{:016x}  {:>8} B  kernel={} elements={} instances={} cycles={}",
+                            e.key.0, e.key.1, e.bytes, e.kernel, e.elements, e.instances, e.cycles
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "{}: DAMAGED ({e})", path.display());
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{} entries, {} bytes in {}",
+                store.len(),
+                store.bytes(),
+                store.dir().display()
+            );
+        }
+        "verify" => {
+            let (ok, bad) = store.verify();
+            for (path, e) in &bad {
+                let _ = writeln!(out, "{}: {} ({e})", path.display(), e.label());
+            }
+            let _ = writeln!(out, "verified: {ok} sound, {} damaged", bad.len());
+            if !bad.is_empty() {
+                return Err(CliError::Io(std::io::Error::other(format!(
+                    "{} damaged entries\n{out}",
+                    bad.len()
+                ))));
+            }
+        }
+        "export" => {
+            let path = args
+                .get("out")
+                .ok_or_else(|| ArgError::MissingValue("out".into()))?;
+            let pack = store
+                .export_pack()
+                .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+            std::fs::write(path, &pack)?;
+            let _ = writeln!(
+                out,
+                "exported {} entries ({} bytes) to {path}",
+                store.len(),
+                pack.len()
+            );
+        }
+        "import" => {
+            let path = args
+                .get("from")
+                .ok_or_else(|| ArgError::MissingValue("from".into()))?;
+            let pack = std::fs::read(path)?;
+            let summary = store
+                .import_pack(&pack)
+                .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+            let _ = writeln!(
+                out,
+                "imported {} entries ({} replaced) into {}",
+                summary.imported,
+                summary.replaced,
+                store.dir().display()
+            );
+        }
+        _ => unreachable!("action validated above"),
+    }
+    Ok(out)
 }
 
 fn cmd_call(args: &Args) -> Result<String, CliError> {
@@ -1092,6 +1243,86 @@ mod tests {
         let report = server.join().unwrap().unwrap();
         assert!(report.contains("drained and exited"), "{report}");
         assert!(!sock.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn batch_store_warm_starts_and_schedules_admin_round_trips() {
+        let dir = std::env::temp_dir().join(format!("smache-cli-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let d = dir.display();
+
+        // Cold batch captures and persists one schedule; the warm batch
+        // (different seeds, same spec) loads it back.
+        let cold = run_str(&format!(
+            "simulate --grid 8x8 --instances 2 --batch 2 --store {d}"
+        ))
+        .unwrap();
+        assert!(
+            cold.contains("store: 0 hits, 1 writes, 1 entries"),
+            "{cold}"
+        );
+        let warm = run_str(&format!(
+            "simulate --grid 8x8 --instances 2 --batch 2 --seed 40 --store {d}"
+        ))
+        .unwrap();
+        assert!(
+            warm.contains("store: 1 hits, 0 writes, 1 entries"),
+            "{warm}"
+        );
+        assert_eq!(warm.matches("engine=replay").count(), 2, "{warm}");
+
+        // Admin surface: ls, verify, export, import into a second store.
+        let ls = run_str(&format!("schedules ls --store {d}")).unwrap();
+        assert!(ls.contains("kernel=average"), "{ls}");
+        assert!(ls.contains("1 entries"), "{ls}");
+        let verify = run_str(&format!("schedules verify --store {d}")).unwrap();
+        assert!(verify.contains("1 sound, 0 damaged"), "{verify}");
+
+        let pack = std::env::temp_dir().join(format!("smache-cli-pack-{}", std::process::id()));
+        let dir2 = std::env::temp_dir().join(format!("smache-cli-store2-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir2).ok();
+        let exported = run_str(&format!(
+            "schedules export --store {d} --out {}",
+            pack.display()
+        ))
+        .unwrap();
+        assert!(exported.contains("exported 1 entries"), "{exported}");
+        let imported = run_str(&format!(
+            "schedules import --store {} --from {}",
+            dir2.display(),
+            pack.display()
+        ))
+        .unwrap();
+        assert!(
+            imported.contains("imported 1 entries (0 replaced)"),
+            "{imported}"
+        );
+        let ls2 = run_str(&format!("schedules ls --store {}", dir2.display())).unwrap();
+        assert!(ls2.contains("1 entries"), "{ls2}");
+
+        std::fs::remove_file(&pack).ok();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn schedules_validates_its_arguments() {
+        assert!(matches!(
+            run_str("schedules"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        assert!(matches!(
+            run_str("schedules ls"),
+            Err(CliError::Args(ArgError::MissingValue(_)))
+        ));
+        assert!(matches!(
+            run_str("schedules frobnicate --store /tmp/nope"),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            run_str("schedules export --store /tmp/smache-cli-noout"),
+            Err(CliError::Args(ArgError::MissingValue(_)))
+        ));
     }
 
     #[test]

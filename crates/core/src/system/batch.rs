@@ -22,6 +22,7 @@ use crate::config::BufferPlan;
 use crate::error::CoreError;
 use crate::system::replay::{schedule_key, ControlSchedule, ReplayMode};
 use crate::system::smache_system::{RunReport, SmacheSystem, SystemConfig};
+use crate::system::store::ScheduleStore;
 use crate::CoreResult;
 
 /// Builds a fresh kernel instance inside a worker thread.
@@ -140,12 +141,27 @@ impl SmacheSystem {
     /// refusals under `On` — every lane's report is bit-identical to what
     /// `run_batch` would have produced (only `RunReport::engine` differs).
     pub fn run_batch_replay(jobs: Vec<BatchJob>, threads: usize, mode: ReplayMode) -> BatchReport {
+        Self::run_batch_replay_stored(jobs, threads, mode, None)
+    }
+
+    /// [`SmacheSystem::run_batch_replay`] backed by a persistent
+    /// [`ScheduleStore`]: before capturing a distinct key, the store is
+    /// consulted — a sound on-disk entry replays directly (no capture lane
+    /// at all), and every fresh capture is written back, so a *subsequent*
+    /// sweep of the same specs starts warm. Damaged entries are discarded
+    /// and recaptured; store I/O failures degrade to the storeless path.
+    pub fn run_batch_replay_stored(
+        jobs: Vec<BatchJob>,
+        threads: usize,
+        mode: ReplayMode,
+        mut store: Option<&mut ScheduleStore>,
+    ) -> BatchReport {
         if mode == ReplayMode::Off {
             return Self::run_batch(jobs, threads);
         }
-        // Pass 1 (serial): capture one schedule per distinct key. The
-        // capture lane is itself a complete full-simulation run, so its
-        // report is kept — nothing is simulated twice.
+        // Pass 1 (serial): load or capture one schedule per distinct key.
+        // The capture lane is itself a complete full-simulation run, so
+        // its report is kept — nothing is simulated twice.
         let mut schedules: HashMap<(u64, u64), Result<Arc<ControlSchedule>, CoreError>> =
             HashMap::new();
         let mut work: Vec<Work> = Vec::with_capacity(jobs.len());
@@ -156,9 +172,19 @@ impl SmacheSystem {
                 (job.kernel)().as_ref(),
                 job.instances,
             );
+            if let std::collections::hash_map::Entry::Vacant(slot) = schedules.entry(key) {
+                if let Some(store) = store.as_deref_mut() {
+                    if let Ok(Some(schedule)) = store.load_or_evict(key) {
+                        slot.insert(Ok(schedule));
+                    }
+                }
+            }
             match schedules.get(&key) {
                 None => match capture_one(&job) {
                     Ok((report, schedule)) => {
+                        if let Some(store) = store.as_deref_mut() {
+                            store.save(key, &schedule).ok();
+                        }
                         schedules.insert(key, Ok(schedule));
                         work.push(Work::Done(Ok(report)));
                     }
@@ -316,6 +342,44 @@ mod tests {
         }
         let auto = SmacheSystem::run_batch_replay(chaotic(), 2, ReplayMode::Auto);
         assert_eq!(auto.succeeded(), 2);
+    }
+
+    #[test]
+    fn stored_batch_warm_starts_from_disk() {
+        use crate::system::report::RunEngine;
+        use crate::system::store::ScheduleStore;
+        let dir = std::env::temp_dir().join(format!("smache-batch-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut store = ScheduleStore::open(&dir, 0).expect("open");
+        let cold = SmacheSystem::run_batch_replay_stored(
+            jobs(&[1, 2]),
+            1,
+            ReplayMode::Auto,
+            Some(&mut store),
+        );
+        assert_eq!(cold.succeeded(), 2);
+        assert_eq!(store.stats().writes, 1, "one capture, written back");
+
+        // A fresh handle on the same directory (think: a new process):
+        // the single spec replays straight from disk — zero captures, so
+        // even the first lane reports the replay engine.
+        let mut store = ScheduleStore::open(&dir, 0).expect("reopen");
+        let warm = SmacheSystem::run_batch_replay_stored(
+            jobs(&[3, 4]),
+            1,
+            ReplayMode::Auto,
+            Some(&mut store),
+        );
+        assert_eq!(store.stats().hits, 1);
+        let full = SmacheSystem::run_batch(jobs(&[3, 4]), 1);
+        for (i, (w, f)) in warm.lanes.iter().zip(&full.lanes).enumerate() {
+            let (w, f) = (w.as_ref().expect("warm ok"), f.as_ref().expect("full ok"));
+            assert_eq!(w.engine, RunEngine::Replay, "lane {i} came from the store");
+            assert_eq!(w.output, f.output, "lane {i}");
+            assert_eq!(w.stats, f.stats, "lane {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

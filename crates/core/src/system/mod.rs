@@ -9,6 +9,7 @@ pub mod replay;
 pub mod report;
 pub mod report_json;
 pub mod smache_system;
+pub mod store;
 
 pub use axi::{AxiSmache, StallFuzzSink, StallFuzzSource};
 #[allow(deprecated)]
@@ -21,3 +22,4 @@ pub use replay::{schedule_key, ControlSchedule, ReplayMode};
 pub use report::{RunEngine, RunReport};
 pub use report_json::REPORT_SCHEMA_VERSION;
 pub use smache_system::{SmacheSystem, SystemConfig};
+pub use store::{ScheduleStore, StoreError, StoreStats, STORE_FORMAT_VERSION};

@@ -171,6 +171,43 @@ impl ControlSchedule {
         &self.kernel_name
     }
 
+    /// Pipeline latency of the kernel the schedule was captured with.
+    pub fn kernel_latency(&self) -> u64 {
+        self.kernel_latency
+    }
+
+    /// The data-independent report template replay clones and fills in.
+    /// Its `output` is always empty — outputs come from the replayed data.
+    pub fn template(&self) -> &RunReport {
+        &self.template
+    }
+
+    /// Reassembles a schedule from its parts (store deserialisation). The
+    /// caller is responsible for structural validity — the store decoder
+    /// checksums and cross-validates every field before calling this.
+    #[allow(clippy::too_many_arguments)] // mirrors the serialised field list
+    pub(crate) fn from_parts(
+        key: (u64, u64),
+        n: usize,
+        instances: u64,
+        kernel_name: String,
+        kernel_latency: u64,
+        gather: GatherTable,
+        trace: ControlTrace,
+        template: RunReport,
+    ) -> ControlSchedule {
+        ControlSchedule {
+            key,
+            n,
+            instances,
+            kernel_name,
+            kernel_latency,
+            gather,
+            trace,
+            template,
+        }
+    }
+
     /// The recorded per-cycle control-plane trace.
     pub fn trace(&self) -> &ControlTrace {
         &self.trace

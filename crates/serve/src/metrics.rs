@@ -32,6 +32,12 @@ struct Registry {
     schedule_hits: CounterId,
     schedule_misses: CounterId,
     schedule_bytes: CounterId,
+    store_hits: CounterId,
+    store_misses: CounterId,
+    store_writes: CounterId,
+    store_corrupt: CounterId,
+    store_bytes: CounterId,
+    store_entries: CounterId,
     queue_depth: CounterId,
     latency_us: HistogramId,
 }
@@ -58,6 +64,12 @@ impl ServerMetrics {
         let schedule_hits = counters.counter("serve.schedule_cache.hits");
         let schedule_misses = counters.counter("serve.schedule_cache.misses");
         let schedule_bytes = counters.counter("serve.schedule_cache.bytes");
+        let store_hits = counters.counter("serve.store.hits");
+        let store_misses = counters.counter("serve.store.misses");
+        let store_writes = counters.counter("serve.store.writes");
+        let store_corrupt = counters.counter("serve.store.corrupt");
+        let store_bytes = counters.counter("serve.store.bytes");
+        let store_entries = counters.counter("serve.store.entries");
         let queue_depth = counters.counter("serve.queue.depth");
         let latency_us = counters.histogram("serve.latency_us");
         ServerMetrics {
@@ -78,6 +90,12 @@ impl ServerMetrics {
                 schedule_hits,
                 schedule_misses,
                 schedule_bytes,
+                store_hits,
+                store_misses,
+                store_writes,
+                store_corrupt,
+                store_bytes,
+                store_entries,
                 queue_depth,
                 latency_us,
             }),
@@ -154,6 +172,34 @@ impl ServerMetrics {
     /// Publishes the schedule cache's current byte footprint.
     pub fn schedule_cache_state(&self, bytes: u64) {
         self.with(|r| r.counters.set(r.schedule_bytes, bytes));
+    }
+
+    /// Records a persistent-store lookup outcome (third level: consulted
+    /// only after both the result cache and the in-memory schedule cache
+    /// miss).
+    pub fn store_lookup(&self, hit: bool) {
+        self.with(|r| {
+            r.counters
+                .inc(if hit { r.store_hits } else { r.store_misses })
+        });
+    }
+
+    /// Counts one schedule written back to the persistent store.
+    pub fn store_write(&self) {
+        self.with(|r| r.counters.inc(r.store_writes));
+    }
+
+    /// Counts one damaged store entry discarded (and recaptured).
+    pub fn store_corrupt(&self) {
+        self.with(|r| r.counters.inc(r.store_corrupt));
+    }
+
+    /// Publishes the store's current disk footprint.
+    pub fn store_state(&self, bytes: u64, entries: u64) {
+        self.with(|r| {
+            r.counters.set(r.store_bytes, bytes);
+            r.counters.set(r.store_entries, entries);
+        });
     }
 
     /// Publishes the queue depth gauge.
@@ -255,6 +301,24 @@ mod tests {
         m.schedule_cache_lookup(true);
         assert_eq!(m.counter("serve.schedule_cache.hits"), 2);
         assert_eq!(m.counter("serve.schedule_cache.misses"), 1);
+    }
+
+    #[test]
+    fn store_counters_accumulate_and_gauges_set() {
+        let m = ServerMetrics::new();
+        m.store_lookup(true);
+        m.store_lookup(false);
+        m.store_write();
+        m.store_write();
+        m.store_corrupt();
+        assert_eq!(m.counter("serve.store.hits"), 1);
+        assert_eq!(m.counter("serve.store.misses"), 1);
+        assert_eq!(m.counter("serve.store.writes"), 2);
+        assert_eq!(m.counter("serve.store.corrupt"), 1);
+        m.store_state(8192, 3);
+        m.store_state(4096, 2);
+        assert_eq!(m.counter("serve.store.bytes"), 4096);
+        assert_eq!(m.counter("serve.store.entries"), 2);
     }
 
     #[test]

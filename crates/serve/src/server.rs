@@ -18,6 +18,12 @@
 //! typed `deadline` rejection), executes, populates the cache, and
 //! writes the response to the owning connection.
 //!
+//! Behind the result cache sit two more levels for `simulate` runs: an
+//! in-memory [`ScheduleCache`] of captured control schedules, and — with
+//! [`ServeConfig::store_dir`] set — a persistent
+//! [`ScheduleStore`] on disk, so a restarted server replays previously
+//! captured specs instead of recapturing them (see `docs/DEPLOYMENT.md`).
+//!
 //! `shutdown` begins a **graceful drain**: admission stops (`draining`
 //! rejections), queued jobs still run to completion and their responses
 //! are delivered, then workers and the acceptor exit.
@@ -34,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use smache::system::store::ScheduleStore;
 use smache::system::ControlSchedule;
 use smache_sim::ScheduleCache;
 
@@ -82,6 +89,13 @@ pub struct ServeConfig {
     /// differing-seed `simulate` request that misses the result cache can
     /// still replay a cached schedule instead of re-simulating).
     pub schedule_cache_bytes: usize,
+    /// Persistent schedule-store directory (third level). `Some(dir)`
+    /// warm-starts the schedule cache from disk and writes every fresh
+    /// capture back, so schedules survive restarts; `None` disables
+    /// persistence (PR-5 behaviour).
+    pub store_dir: Option<PathBuf>,
+    /// Disk byte budget for the persistent store's LRU (`0` = unbounded).
+    pub store_bytes: u64,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline_ms: Option<u64>,
 }
@@ -94,6 +108,8 @@ impl Default for ServeConfig {
             queue_cap: 32,
             cache_bytes: 4 << 20,
             schedule_cache_bytes: 4 << 20,
+            store_dir: None,
+            store_bytes: 64 << 20,
             default_deadline_ms: None,
         }
     }
@@ -113,6 +129,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     cache: Mutex<ResultCache>,
     schedules: Mutex<ScheduleCache<ControlSchedule>>,
+    store: Option<Mutex<ScheduleStore>>,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
     default_deadline: Option<Duration>,
@@ -129,6 +146,13 @@ impl Shared {
         let stats = cache.stats();
         self.metrics
             .cache_state(stats.evictions, cache.bytes() as u64, cache.len() as u64);
+    }
+
+    fn publish_store_state(&self) {
+        if let Some(store) = &self.store {
+            let store = store.lock().expect("store poisoned");
+            self.metrics.store_state(store.bytes(), store.len() as u64);
+        }
     }
 }
 
@@ -190,14 +214,23 @@ impl ServerHandle {
 /// threads, and returns immediately; the handle reports the actual bound
 /// address.
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let store = match &config.store_dir {
+        Some(dir) => Some(Mutex::new(
+            ScheduleStore::open(dir, config.store_bytes)
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+        )),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_cap),
         cache: Mutex::new(ResultCache::new(config.cache_bytes)),
         schedules: Mutex::new(ScheduleCache::new(config.schedule_cache_bytes)),
+        store,
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         default_deadline: config.default_deadline_ms.map(Duration::from_millis),
     });
+    shared.publish_store_state();
 
     let (acceptor, addr, unix_path) = match &config.listen {
         Listen::Unix(path) => {
@@ -378,10 +411,18 @@ fn handle_run(request: RunRequest, id: Option<String>, writer: &ConnWriter, shar
 }
 
 /// Executes a run on a worker. After the (already-missed) result-cache
-/// lookup, `simulate` runs get a second chance at skipping the full
-/// simulation: a schedule-cache hit replays the captured control plane
-/// over this request's seeded input (bit-exact, seed-independent key); a
-/// miss runs capturing, so the *next* same-spec request replays.
+/// lookup, `simulate` runs walk the rest of the cache hierarchy: an
+/// in-memory schedule-cache hit replays the captured control plane over
+/// this request's seeded input (bit-exact, seed-independent key); a miss
+/// consults the persistent store, where a sound on-disk entry also
+/// replays (and repopulates the memory cache — the warm-start path); only
+/// when every level misses does the full capturing simulation run, and
+/// the fresh schedule is written back to both levels so the *next*
+/// same-spec request — even in a future process — replays.
+///
+/// A damaged store entry is discarded and counted (`serve.store.corrupt`)
+/// and the request recaptures: corruption degrades to a cache miss, never
+/// to a wrong or failed response.
 fn run_job(request: &RunRequest, shared: &Arc<Shared>) -> Result<smache_sim::Json, String> {
     let Some(key) = request.schedule_key() else {
         return request.execute(); // plan/chaos/trace: no schedule applies
@@ -394,29 +435,67 @@ fn run_job(request: &RunRequest, shared: &Arc<Shared>) -> Result<smache_sim::Jso
             (false, schedules.get(key))
         }
     };
-    if disabled {
+    if disabled && shared.store.is_none() {
         return request.execute(); // schedule caching disabled
     }
-    shared.metrics.schedule_cache_lookup(hit.is_some());
-    match hit {
+    if !disabled {
+        shared.metrics.schedule_cache_lookup(hit.is_some());
+    }
+    if let Some(schedule) = hit {
         // A stale or mismatched schedule refuses cleanly; fall back to the
         // full simulation rather than failing the request.
-        Some(schedule) => request
+        return request
             .execute_replay(&schedule)
-            .or_else(|_| request.execute()),
-        None => {
-            let (doc, schedule) = request.execute_capture()?;
-            if let Some(schedule) = schedule {
-                let bytes = schedule.approx_bytes();
-                let mut schedules = shared.schedules.lock().expect("schedules poisoned");
-                schedules.insert(key, schedule, bytes);
-                shared
-                    .metrics
-                    .schedule_cache_state(schedules.bytes() as u64);
+            .or_else(|_| request.execute());
+    }
+
+    // Third level: the persistent store.
+    if let Some(store) = &shared.store {
+        let loaded = store.lock().expect("store poisoned").load_or_evict(key);
+        match loaded {
+            Ok(Some(schedule)) => {
+                shared.metrics.store_lookup(true);
+                if !disabled {
+                    let bytes = schedule.approx_bytes();
+                    let mut schedules = shared.schedules.lock().expect("schedules poisoned");
+                    schedules.insert(key, Arc::clone(&schedule), bytes);
+                    shared
+                        .metrics
+                        .schedule_cache_state(schedules.bytes() as u64);
+                }
+                shared.publish_store_state();
+                return request
+                    .execute_replay(&schedule)
+                    .or_else(|_| request.execute());
             }
-            Ok(doc)
+            Ok(None) => shared.metrics.store_lookup(false),
+            Err(_) => {
+                // Typed damage: the entry is already discarded; recapture.
+                shared.metrics.store_corrupt();
+                shared.publish_store_state();
+            }
         }
     }
+
+    let (doc, schedule) = request.execute_capture()?;
+    if let Some(schedule) = schedule {
+        if !disabled {
+            let bytes = schedule.approx_bytes();
+            let mut schedules = shared.schedules.lock().expect("schedules poisoned");
+            schedules.insert(key, Arc::clone(&schedule), bytes);
+            shared
+                .metrics
+                .schedule_cache_state(schedules.bytes() as u64);
+        }
+        if let Some(store) = &shared.store {
+            let saved = store.lock().expect("store poisoned").save(key, &schedule);
+            if saved.is_ok() {
+                shared.metrics.store_write();
+            }
+            shared.publish_store_state();
+        }
+    }
+    Ok(doc)
 }
 
 fn worker_loop(shared: &Arc<Shared>) {

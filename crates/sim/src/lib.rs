@@ -14,6 +14,33 @@
 //! 2. **Commit**: every module latches its next state ([`Reg::tick`],
 //!    memory writes, counters). This runs exactly once per cycle.
 //!
+//! A minimal design — one sequential module driving a wire from its
+//! registered state:
+//!
+//! ```
+//! use smache_sim::{Module, Sensitivity, Simulator, Wire};
+//!
+//! struct Counter { out: Wire<u64>, count: u64 }
+//!
+//! impl Module for Counter {
+//!     fn name(&self) -> &str { "counter" }
+//!     // Idempotent: drives the *registered* count, never mutates it.
+//!     fn eval(&mut self, _cycle: u64) { self.out.drive(self.count); }
+//!     // Runs exactly once per cycle: the state update lives here.
+//!     fn commit(&mut self, _cycle: u64) { self.count += 1; }
+//!     fn sensitivity(&self) -> Option<Sensitivity> {
+//!         Some(Sensitivity::sequential(vec![], vec![self.out.id()]))
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new();
+//! let out = sim.ctx().wire("count", 0u64);
+//! sim.add(Box::new(Counter { out: out.clone(), count: 0 }));
+//! for _ in 0..5 { sim.step()?; }
+//! assert_eq!(out.get(), 4); // the value driven during cycle 5's eval
+//! # Ok::<(), smache_sim::SimError>(())
+//! ```
+//!
 //! ## Scheduling
 //!
 //! How passes are driven is the [`sched`] module's job. By default the

@@ -158,6 +158,13 @@ impl ControlTrace {
         ControlTrace::default()
     }
 
+    /// Rebuilds a trace from its recorded cycles — the inverse of
+    /// [`ControlTrace::records`], used when deserialising a persisted
+    /// schedule.
+    pub fn from_records(records: Vec<CycleRecord>) -> ControlTrace {
+        ControlTrace { records }
+    }
+
     /// Appends one cycle's record.
     #[inline]
     pub fn record(&mut self, record: CycleRecord) {

@@ -27,6 +27,47 @@ for md in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
     fi
   done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
 done
+echo "== CLI surface vs docs =="
+# Both directions: every command and flag `smache help` advertises must be
+# documented in README.md or docs/*.md, and every smache flag the docs
+# mention must actually exist in the help text — so the docs can neither
+# lag behind nor invent CLI surface.
+help=$(cargo run -p smache-cli --release --offline --quiet -- help)
+doc_files=(README.md docs/*.md)
+
+help_commands=$(printf '%s\n' "$help" | sed -n '/^COMMANDS:/,/^$/p' | awk 'NR>1 && NF {print $1}')
+for cmd in $help_commands; do
+  [ "$cmd" = "help" ] && continue
+  grep -qE "(^|[^a-z-])$cmd([^a-z-]|$)" "${doc_files[@]}" || {
+    echo "UNDOCUMENTED COMMAND: \`smache $cmd\` is in the help text but no doc mentions it"
+    fail=1
+  }
+done
+
+help_flags=$(printf '%s\n' "$help" | grep -oE '^\s+--[a-z][a-z-]*' | tr -d ' ' | sort -u)
+# Every flag token anywhere in the help, including secondary spellings
+# documented mid-line (e.g. `--rows / --cols`): the set direction B
+# accepts as real CLI surface.
+help_all_flags=$(printf '%s\n' "$help" | grep -oE -- '--[a-z][a-z-]*' | sort -u)
+for flag in $help_flags; do
+  grep -qF -- "$flag" "${doc_files[@]}" || {
+    echo "UNDOCUMENTED FLAG: $flag is in the help text but no doc mentions it"
+    fail=1
+  }
+done
+
+# Flags the docs may mention that are not smache's own: cargo's, and the
+# bench binaries' (fig2 / loadgen / store / chaos / replay).
+foreign_flags="--release --offline --workspace --bin --example --no-deps --all-targets
+--check --all --sweep --clients --requests --top-n --bench --test --nocapture"
+doc_flags=$(grep -hoE -- '--[a-z][a-z-]*' "${doc_files[@]}" | sort -u)
+for flag in $doc_flags; do
+  printf '%s\n' "$help_all_flags" | grep -qxF -- "$flag" && continue
+  printf '%s\n' $foreign_flags | grep -qxF -- "$flag" && continue
+  echo "PHANTOM FLAG: docs mention $flag but \`smache help\` does not know it"
+  fail=1
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"
   exit 1

@@ -89,6 +89,64 @@ cargo run -p smache-cli --release -- call --to "unix:$serve_sock" \
 wait "$serve_pid"
 [ ! -S "$serve_sock" ] || { echo "socket file survived the drain"; exit 1; }
 
+echo "== store smoke (warm restart served from disk, bit-exact) =="
+store_dir=$(mktemp -d)
+store_sock="/tmp/smache-ci-store-$$.sock"
+rm -f "$store_sock"
+cargo run -p smache-cli --release -- serve --listen "unix:$store_sock" --workers 2 \
+  --store "$store_dir" &
+store_pid=$!
+for _ in $(seq 1 120); do [ -S "$store_sock" ] && break; sleep 0.5; done
+[ -S "$store_sock" ] || { echo "store server socket never appeared"; exit 1; }
+store_req='{"id":"t1","cmd":"simulate","spec":{"grid":"11x11"},"seed":7,"instances":2}'
+cold_resp=$(cargo run -p smache-cli --release -- call --to "unix:$store_sock" --json "$store_req")
+echo "$cold_resp" | grep -Eq '"status": ?"ok"' || { echo "cold store call failed"; exit 1; }
+cargo run -p smache-cli --release -- call --to "unix:$store_sock" --json '{"cmd":"stats"}' \
+  | grep -Eq '"serve.store.writes": ?1' || { echo "cold capture was not persisted"; exit 1; }
+cargo run -p smache-cli --release -- call --to "unix:$store_sock" \
+  --json '{"cmd":"shutdown"}' >/dev/null
+wait "$store_pid"
+# Restart on the same store: the same request must be served by replaying
+# the persisted schedule (no recapture) with a byte-identical report
+# modulo the engine tag.
+cargo run -p smache-cli --release -- serve --listen "unix:$store_sock" --workers 2 \
+  --store "$store_dir" &
+store_pid=$!
+for _ in $(seq 1 120); do [ -S "$store_sock" ] && break; sleep 0.5; done
+[ -S "$store_sock" ] || { echo "restarted store server socket never appeared"; exit 1; }
+warm_resp=$(cargo run -p smache-cli --release -- call --to "unix:$store_sock" --json "$store_req")
+echo "$warm_resp" | grep -Eq '"engine": ?"replay"' || {
+  echo "warm restart did not serve from the store"; exit 1; }
+stats=$(cargo run -p smache-cli --release -- call --to "unix:$store_sock" --json '{"cmd":"stats"}')
+echo "$stats" | grep -Eq '"serve.store.hits": ?1' || { echo "store hit not counted"; exit 1; }
+echo "$stats" | grep -Eq '"serve.store.writes": ?0' || { echo "warm restart recaptured"; exit 1; }
+norm() { sed 's/"engine": *"replay"/"engine": "full_sim"/'; }
+[ "$(echo "$cold_resp" | norm)" = "$(echo "$warm_resp" | norm)" ] || {
+  echo "warm report diverged from the cold run"; exit 1; }
+cargo run -p smache-cli --release -- call --to "unix:$store_sock" \
+  --json '{"cmd":"shutdown"}' >/dev/null
+wait "$store_pid"
+# Admin surface: ls/verify see the entry; export/import ship it.
+cargo run -p smache-cli --release -- schedules ls --store "$store_dir" \
+  | grep -q '1 entries' || { echo "schedules ls does not list the entry"; exit 1; }
+cargo run -p smache-cli --release -- schedules verify --store "$store_dir" \
+  | grep -q '1 sound, 0 damaged' || { echo "schedules verify failed"; exit 1; }
+store_pack=$(mktemp)
+store_dir2=$(mktemp -d)
+cargo run -p smache-cli --release -- schedules export --store "$store_dir" --out "$store_pack" >/dev/null
+cargo run -p smache-cli --release -- schedules import --store "$store_dir2" --from "$store_pack" \
+  | grep -q 'imported 1 entries' || { echo "schedules import failed"; exit 1; }
+rm -rf "$store_dir" "$store_dir2" "$store_pack"
+
+echo "== store bench (warm-start speedup artefact) =="
+store_json=$(mktemp)
+cargo run -p smache-bench --bin store --release -- --json "$store_json" >/dev/null
+grep -q '"warm_start_speedup"' "$store_json" || {
+  echo "store bench artefact is missing the warm-start speedup"; exit 1; }
+rm -f "$store_json"
+grep -q '"bench": "store_warm_start"' BENCH_store.json || {
+  echo "committed BENCH_store.json is missing or malformed"; exit 1; }
+
 echo "== serve loadgen (cache speedup artefact) =="
 cargo run -p smache-bench --bin loadgen --release >/dev/null
 grep -q '"cache_speedup_closed"' BENCH_serve.json || {

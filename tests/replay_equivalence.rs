@@ -289,6 +289,94 @@ fn auto_falls_back_and_forced_mode_errors_under_chaos() {
     }
 }
 
+/// The byte-identity contract of the persistent store: a schedule saved
+/// to disk and loaded back by a fresh [`ScheduleStore`] handle replays
+/// bit-exactly against both the in-memory capture and a full simulation.
+#[test]
+fn stored_schedule_round_trips_bit_exactly() {
+    use smache::system::ScheduleStore;
+    let dir = std::env::temp_dir().join(format!("smache-replay-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut sys = paper_system();
+    let (_, schedule) = sys.run_captured(&seeded(W * W, 0), 3).expect("capture");
+    let key = (0xfeed_u64, 0xbeef_u64);
+
+    let mut store = ScheduleStore::open(&dir, 0).expect("open");
+    store.save(key, &schedule).expect("save");
+    drop(store);
+
+    // A fresh handle (fresh process, in spirit) must see the same bytes.
+    let mut store = ScheduleStore::open(&dir, 0).expect("reopen");
+    let loaded = store.load(key).expect("load").expect("present");
+
+    for seed in 1..=3u64 {
+        let input = seeded(W * W, seed);
+        let from_disk = loaded.replay(&AverageKernel, &input).expect("disk replay");
+        let from_memory = schedule.replay(&AverageKernel, &input).expect("mem replay");
+        let mut full_sys = paper_system();
+        let full = full_sys.run(&input, 3).expect("run");
+        assert_eq!(from_disk.output, from_memory.output, "seed {seed}");
+        assert_eq!(from_disk.output, full.output, "seed {seed}");
+        assert_eq!(from_disk.stats, full.stats, "seed {seed}");
+        assert_eq!(from_disk.metrics.dram, full.metrics.dram, "seed {seed}");
+        assert_eq!(from_disk.engine, RunEngine::Replay);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One canonical encoded store entry, captured once per process.
+fn encoded_entry() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut sys = paper_system();
+        let (_, schedule) = sys.run_captured(&seeded(W * W, 0), 2).expect("capture");
+        smache::system::store::encode_entry((1, 2), &schedule)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Corruption safety: ANY single bit flip anywhere in a stored entry
+    /// — header, payload or checksum — decodes to a typed [`StoreError`],
+    /// never to a plausible-but-wrong schedule.
+    #[test]
+    fn any_single_bit_flip_yields_a_typed_error(
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let pristine = encoded_entry();
+        prop_assert!(smache::system::store::decode_entry(pristine).is_ok());
+
+        let mut bytes = pristine.to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let err = smache::system::store::decode_entry(&bytes)
+            .expect_err("flipped entry must not decode");
+        prop_assert!(
+            ["bad_magic", "unsupported_version", "truncated", "checksum_mismatch", "malformed"]
+                .contains(&err.label()),
+            "unexpected error class {} at byte {pos} bit {bit}", err.label()
+        );
+    }
+
+    /// Truncation safety: an entry cut short anywhere decodes to a typed
+    /// error.
+    #[test]
+    fn any_truncation_yields_a_typed_error(cut in any::<usize>()) {
+        let pristine = encoded_entry();
+        let cut = cut % pristine.len();
+        let err = smache::system::store::decode_entry(&pristine[..cut])
+            .expect_err("truncated entry must not decode");
+        prop_assert!(
+            ["truncated", "bad_magic", "checksum_mismatch"].contains(&err.label()),
+            "unexpected error class {} at cut {cut}", err.label()
+        );
+    }
+}
+
 /// A schedule refuses inputs and kernels it was not captured for, with
 /// typed reasons a caller can fall back on.
 #[test]

@@ -53,6 +53,8 @@ fn concurrent_clients_get_bit_identical_results_to_direct_runs() {
         queue_cap: 64,
         cache_bytes: 16 << 20,
         schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
         default_deadline_ms: None,
     })
     .expect("server starts");
@@ -95,6 +97,8 @@ fn repeated_requests_are_cache_hits_with_identical_reports() {
         queue_cap: 8,
         cache_bytes: 16 << 20,
         schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
         default_deadline_ms: None,
     })
     .expect("server starts");
@@ -130,6 +134,8 @@ fn overload_returns_typed_rejections_and_every_request_gets_a_response() {
         queue_cap: 1,
         cache_bytes: 16 << 20,
         schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
         default_deadline_ms: None,
     })
     .expect("server starts");
@@ -196,6 +202,8 @@ fn an_already_expired_deadline_is_rejected_without_running() {
         queue_cap: 8,
         cache_bytes: 16 << 20,
         schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
         default_deadline_ms: None,
     })
     .expect("server starts");
@@ -230,6 +238,8 @@ fn malformed_requests_get_typed_errors_and_the_connection_survives() {
         queue_cap: 8,
         cache_bytes: 16 << 20,
         schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
         default_deadline_ms: None,
     })
     .expect("server starts");
@@ -258,6 +268,96 @@ fn malformed_requests_get_typed_errors_and_the_connection_survives() {
     handle.shutdown();
 }
 
+/// The warm-start contract of `--store` (docs/DEPLOYMENT.md): a restarted
+/// server replays schedules persisted by its predecessor instead of
+/// recapturing, bit-exactly; a corrupted entry is discarded, counted and
+/// recaptured — never served.
+#[test]
+fn restarted_server_warm_starts_from_the_schedule_store() {
+    let dir = std::env::temp_dir().join(format!("smache-it-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let config = |tag: &str| ServeConfig {
+        listen: Listen::Unix(sock(tag)),
+        workers: 1,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 4 << 20,
+        store_dir: Some(dir.clone()),
+        store_bytes: 64 << 20,
+        default_deadline_ms: None,
+    };
+
+    // Cold server: the first simulate captures and persists its schedule.
+    let handle = start(config("store-cold")).expect("server starts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+    let cold = conn
+        .call(&simulate_request("w1", "11x11", 5, 2))
+        .expect("cold call");
+    assert_eq!(cold.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(handle.metrics().counter("serve.store.writes"), 1);
+    assert_eq!(handle.metrics().counter("serve.store.hits"), 0);
+    assert_eq!(handle.metrics().counter("serve.store.entries"), 1);
+    handle.shutdown();
+
+    // Restarted server, same store, same spec, NEW seed: the schedule
+    // comes off disk (store hit, no write) and the replayed report is
+    // bit-identical to a direct full simulation of that seed.
+    let handle = start(config("store-warm")).expect("server restarts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+    let warm = conn
+        .call(&simulate_request("w2", "11x11", 7, 2))
+        .expect("warm call");
+    assert_eq!(warm.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(handle.metrics().counter("serve.store.hits"), 1);
+    assert_eq!(handle.metrics().counter("serve.store.writes"), 0);
+    let served = warm.get("report").expect("report present").compact();
+    assert!(
+        served.contains("\"engine\":\"replay\""),
+        "warm request must be served by replay: {served}"
+    );
+    assert_eq!(engine_blind(&served), reference_report_text("11x11", 7, 2));
+
+    // The loaded schedule is now in the in-memory cache: a third seed of
+    // the same spec replays without touching the disk again.
+    let again = conn
+        .call(&simulate_request("w3", "11x11", 8, 2))
+        .expect("third call");
+    assert_eq!(again.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(handle.metrics().counter("serve.store.hits"), 1);
+    assert_eq!(handle.metrics().counter("serve.schedule_cache.hits"), 1);
+    handle.shutdown();
+
+    // Corrupt the persisted entry on disk and restart once more: the
+    // damaged entry is discarded and counted, the request still succeeds
+    // (recapture), and the store heals with a fresh write.
+    let entry = std::fs::read_dir(&dir)
+        .expect("read store dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "sched"))
+        .expect("one persisted entry");
+    let mut bytes = std::fs::read(&entry).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&entry, &bytes).expect("corrupt entry");
+
+    let handle = start(config("store-heal")).expect("server restarts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+    let healed = conn
+        .call(&simulate_request("w4", "11x11", 9, 2))
+        .expect("healing call");
+    assert_eq!(healed.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(handle.metrics().counter("serve.store.corrupt"), 1);
+    assert_eq!(handle.metrics().counter("serve.store.writes"), 1);
+    let served = healed.get("report").expect("report present").compact();
+    assert_eq!(engine_blind(&served), reference_report_text("11x11", 9, 2));
+    handle.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn client_initiated_shutdown_drains_queued_work_then_exits() {
     let path = sock("drain");
@@ -267,6 +367,8 @@ fn client_initiated_shutdown_drains_queued_work_then_exits() {
         queue_cap: 16,
         cache_bytes: 16 << 20,
         schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
         default_deadline_ms: None,
     })
     .expect("server starts");

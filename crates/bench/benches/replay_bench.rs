@@ -5,7 +5,7 @@
 //! the `batch` pair measures the end-to-end sweep speedup at 8 lanes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use smache::system::{ReplayMode, SmacheSystem};
+use smache::system::{BatchOptions, ReplayMode, SmacheSystem};
 use smache::HybridMode;
 use smache_bench::workloads::paper_problem;
 
@@ -53,10 +53,9 @@ fn batch_sweep(c: &mut Criterion) {
     for (label, mode) in [("full", ReplayMode::Off), ("replay", ReplayMode::Auto)] {
         group.bench_function(BenchmarkId::new("sweep8", label), |b| {
             b.iter(|| {
-                let jobs: Vec<_> = (0..8)
-                    .map(|s| workload.batch_job(s, HybridMode::default()))
-                    .collect();
-                let report = SmacheSystem::run_batch_replay(jobs, 2, mode);
+                let jobs = workload.batch_jobs(0..8, HybridMode::default());
+                let report =
+                    SmacheSystem::run_batch(jobs, BatchOptions::new().threads(2).replay(mode));
                 assert_eq!(report.succeeded(), 8);
                 report.aggregate
             })

@@ -11,27 +11,31 @@
 //! ```text
 //! cargo run -p smache-bench --bin chaos --release -- --chaos-seed 7
 //! ```
+//!
+//! With `--sweep N` the binary instead runs a **chaos-replay sweep**: one
+//! latency-only profile (`--profile`, default `heavy`) at a fixed chaos
+//! seed is swept across `N` data seeds through
+//! [`SmacheSystem::run_batch`] — the chaotic control plane is captured
+//! once and replayed for the other lanes. Every lane is verified
+//! bit-exact against a replay-off run *and* against the golden
+//! reference, and engine labels are reported. The sweep takes the shared
+//! batch flag group (`--jobs`, `--replay`, `--store`, `--store-mb`,
+//! `--lane-block`) — see [`smache_bench::flags`]:
+//!
+//! ```text
+//! cargo run -p smache-bench --bin chaos --release -- --sweep 8 --chaos-seed 7
+//! ```
 
 use smache::arch::kernel::AverageKernel;
 use smache::functional::golden::golden_run;
 use smache::system::smache_system::SystemConfig;
+use smache::system::{RunEngine, SmacheSystem};
 use smache::HybridMode;
+use smache_bench::flags::{arg_value, BatchFlags};
 use smache_bench::json::Json;
 use smache_bench::report::{bar, Table};
 use smache_bench::workloads::paper_problem;
 use smache_mem::{ChaosProfile, FaultPlan};
-
-/// `--flag value` (or `--flag=value`) lookup over raw args.
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
-        })
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +46,28 @@ fn main() {
         .map(|v| v.parse().expect("--instances wants a number"))
         .unwrap_or(50);
     let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_chaos.json".into());
+    if let Some(sweep) = arg_value(&args, "--sweep") {
+        let data_seeds: u64 = sweep.parse().expect("--sweep wants a seed count");
+        let profile_name = arg_value(&args, "--profile").unwrap_or_else(|| "heavy".into());
+        let profile = ChaosProfile::from_name(&profile_name)
+            .expect("--profile wants off|jitter|storms|drain|heavy|flip:<k>");
+        assert!(
+            profile.is_latency_only(),
+            "--sweep verifies outputs against the golden reference, so it wants a \
+             latency-only profile (off|jitter|storms|drain|heavy)"
+        );
+        let flags = BatchFlags::parse(&args, 1);
+        run_replay_sweep(
+            data_seeds,
+            seed,
+            &profile_name,
+            profile,
+            instances,
+            flags,
+            &path,
+        );
+        return;
+    }
     let trace_fmt = arg_value(&args, "--trace");
     if let Some(fmt) = &trace_fmt {
         assert!(
@@ -198,4 +224,116 @@ fn main() {
     ]);
     std::fs::write(&path, doc.pretty()).expect("write json");
     println!("wrote {path}");
+}
+
+/// The chaos-replay sweep (`--sweep N`): a fixed `(chaos_seed, profile)`
+/// fault plan across `N` data seeds, replay vs full simulation, every
+/// lane golden-verified.
+fn run_replay_sweep(
+    data_seeds: u64,
+    chaos_seed: u64,
+    profile_name: &str,
+    profile: ChaosProfile,
+    instances: u64,
+    mut flags: BatchFlags,
+    json_path: &str,
+) {
+    use std::time::Instant;
+
+    use smache::system::{BatchOptions, ReplayMode};
+
+    let workload = paper_problem(11, 11, instances);
+    let config = SystemConfig {
+        fault_plan: FaultPlan::new(chaos_seed, profile),
+        ..SystemConfig::default()
+    };
+    let make_jobs = || -> Vec<_> {
+        workload
+            .batch_jobs(0..data_seeds, HybridMode::default())
+            .into_iter()
+            .map(|j| j.with_config(config))
+            .collect()
+    };
+    println!(
+        "== chaos-replay sweep: profile `{profile_name}`, chaos seed {chaos_seed}, \
+         {data_seeds} data seeds x {instances} instance(s), {} job(s) ==\n",
+        flags.jobs
+    );
+
+    let t0 = Instant::now();
+    let full = SmacheSystem::run_batch(
+        make_jobs(),
+        BatchOptions::new()
+            .threads(flags.jobs)
+            .replay(ReplayMode::Off),
+    );
+    let full_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let fast = SmacheSystem::run_batch(make_jobs(), flags.options());
+    let fast_wall = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec!["Seed", "Engine", "Cycles", "Storm cycles", "Outputs"]);
+    let mut replayed = 0usize;
+    for (seed, (a, b)) in full.lanes.iter().zip(&fast.lanes).enumerate() {
+        let (a, b) = (
+            a.as_ref().expect("full lane"),
+            b.as_ref().expect("fast lane"),
+        );
+        assert_eq!(a.output, b.output, "seed {seed}: replay diverged");
+        assert_eq!(a.stats, b.stats, "seed {seed}: cycle accounting diverged");
+        let golden = golden_run(
+            &workload.grid,
+            &workload.bounds,
+            &workload.shape,
+            &AverageKernel,
+            &workload.input(seed as u64),
+            instances,
+        )
+        .expect("golden");
+        assert_eq!(b.output, golden, "seed {seed}: chaos corrupted the output");
+        if b.engine == RunEngine::Replay {
+            replayed += 1;
+        }
+        t.row(vec![
+            seed.to_string(),
+            b.engine.label().to_string(),
+            b.metrics.cycles.to_string(),
+            b.metrics.faults.storm_cycles.to_string(),
+            "identical".to_string(),
+        ]);
+        rows.push(Json::obj(vec![
+            ("seed", Json::Int(seed as i64)),
+            ("engine", Json::str(b.engine.label())),
+            ("cycles", Json::Int(b.metrics.cycles as i64)),
+            (
+                "storm_cycles",
+                Json::Int(b.metrics.faults.storm_cycles as i64),
+            ),
+            ("output_matches_golden", Json::Bool(true)),
+            ("matches_full_sim", Json::Bool(true)),
+        ]));
+    }
+    println!("{t}");
+    println!(
+        "full {full_wall:.1} ms, replay {fast_wall:.1} ms ({:.2}x); \
+         {replayed}/{data_seeds} lanes served by replay, all bit-exact vs full sim and golden",
+        full_wall / fast_wall
+    );
+
+    let doc = Json::obj(vec![
+        ("artefact", Json::str("chaos_replay_sweep")),
+        ("grid", Json::str("11x11")),
+        ("instances", Json::Int(instances as i64)),
+        ("profile", Json::str(profile_name)),
+        ("chaos_seed", Json::Int(chaos_seed as i64)),
+        ("data_seeds", Json::Int(data_seeds as i64)),
+        ("full_ms", Json::Num(full_wall)),
+        ("replay_ms", Json::Num(fast_wall)),
+        ("speedup", Json::Num(full_wall / fast_wall)),
+        ("replayed_lanes", Json::Int(replayed as i64)),
+        ("lanes", Json::Arr(rows)),
+    ]);
+    std::fs::write(json_path, doc.pretty()).expect("write json");
+    println!("wrote {json_path}");
 }

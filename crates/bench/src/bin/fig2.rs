@@ -7,9 +7,10 @@
 //! ```
 //!
 //! With `--sweep N` the comparison instead runs over `N` random input
-//! seeds, sharded across `--jobs J` worker threads, and writes a
-//! machine-readable summary to `BENCH_fig2.json` (path overridable with
-//! `--json PATH`):
+//! seeds and writes a machine-readable summary to `BENCH_fig2.json`
+//! (path overridable with `--json PATH`). The sweep takes the shared
+//! batch flag group (`--jobs`, `--replay`, `--store`, `--store-mb`,
+//! `--lane-block`) — see [`smache_bench::flags`]:
 //!
 //! ```text
 //! cargo run -p smache-bench --bin fig2 --release -- --sweep 8 --jobs 4
@@ -28,22 +29,11 @@ use smache::system::metrics::DesignMetrics;
 use smache::system::SmacheSystem;
 use smache::HybridMode;
 use smache_baseline::BaselineConfig;
+use smache_bench::flags::{arg_value, BatchFlags};
 use smache_bench::json::Json;
 use smache_bench::parallel_map;
 use smache_bench::report::{bar, Table};
 use smache_bench::workloads::{paper_problem, PaperWorkload};
-
-/// `--flag value` (or `--flag=value`) lookup over raw args.
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
-        })
-}
 
 /// `--chaos-seed`/`--chaos-profile` as a fault plan (inactive when absent).
 fn chaos_plan(args: &[String]) -> smache_mem::FaultPlan {
@@ -61,15 +51,12 @@ fn chaos_plan(args: &[String]) -> smache_mem::FaultPlan {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs: usize = arg_value(&args, "--jobs")
-        .map(|v| v.parse().expect("--jobs wants a number"))
-        .unwrap_or(1);
     let chaos = chaos_plan(&args);
     if let Some(sweep) = arg_value(&args, "--sweep") {
         let seeds: u64 = sweep.parse().expect("--sweep wants a seed count");
         let path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_fig2.json".into());
-        let store = arg_value(&args, "--store");
-        run_sweep(seeds, jobs, &path, chaos, store.as_deref());
+        let flags = BatchFlags::parse(&args, 1);
+        run_sweep(seeds, flags, &path, chaos);
         return;
     }
 
@@ -219,19 +206,15 @@ fn main() {
 }
 
 /// Multi-seed sweep: Smache lanes batched through
-/// [`SmacheSystem::run_batch_replay`] (capture the control schedule once,
-/// replay it for the other seeds — with chaos active the auto mode falls
-/// back to full simulation per lane), baseline lanes through
-/// `parallel_map`, outputs cross-checked per seed, summary written as
-/// JSON.
-fn run_sweep(
-    seeds: u64,
-    jobs: usize,
-    json_path: &str,
-    chaos: smache_mem::FaultPlan,
-    store_dir: Option<&str>,
-) {
+/// [`SmacheSystem::run_batch`] (capture the control schedule once, replay
+/// it lane-batched for the other seeds — latency-only chaos replays too,
+/// keyed on its chaos seed, while corrupting plans fall back to full
+/// simulation per lane under the default auto mode), baseline lanes
+/// through `parallel_map`, outputs cross-checked per seed, summary
+/// written as JSON.
+fn run_sweep(seeds: u64, mut flags: BatchFlags, json_path: &str, chaos: smache_mem::FaultPlan) {
     let workload = paper_problem(11, 11, 100);
+    let jobs = flags.jobs;
     println!(
         "== Fig. 2 sweep: {seeds} seeds x {} instances, {jobs} job(s) ==",
         workload.instances
@@ -241,25 +224,15 @@ fn run_sweep(
         fault_plan: chaos,
         ..Default::default()
     };
-    let smache_jobs: Vec<_> = (0..seeds)
-        .map(|s| {
-            workload
-                .batch_job(s, HybridMode::default())
-                .with_config(config)
-        })
+    let smache_jobs: Vec<_> = workload
+        .batch_jobs(0..seeds, HybridMode::default())
+        .into_iter()
+        .map(|j| j.with_config(config))
         .collect();
-    let mut store = store_dir.map(|dir| {
-        smache::system::ScheduleStore::open(std::path::Path::new(dir), 0).expect("open --store")
-    });
     let t0 = Instant::now();
-    let batch = SmacheSystem::run_batch_replay_stored(
-        smache_jobs,
-        jobs,
-        smache::system::ReplayMode::Auto,
-        store.as_mut(),
-    );
+    let batch = SmacheSystem::run_batch(smache_jobs, flags.options());
     let smache_wall = t0.elapsed();
-    if let Some(store) = &store {
+    if let Some(store) = &flags.store {
         let s = store.stats();
         println!(
             "schedule store {}: {} hits, {} writes, {} entries",

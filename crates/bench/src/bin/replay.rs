@@ -6,36 +6,34 @@
 //! cargo run -p smache-bench --bin replay --release -- --jobs 4
 //! ```
 //!
-//! Three measurements, all on the paper workload (11×11 four-point
+//! Takes the shared batch flag group (`--jobs`, `--replay`, `--store`,
+//! `--store-mb`, `--lane-block`) — see [`smache_bench::flags`].
+//!
+//! Four measurements, all on the paper workload (11×11 four-point
 //! stencil, 100 work-instances):
 //!
 //! 1. **Capture overhead**: one full simulation with the per-cycle
 //!    control recorder attached vs a plain run.
-//! 2. **Batch speedup** at 1/8/64 lanes: [`SmacheSystem::run_batch`]
-//!    (every lane simulates) vs [`SmacheSystem::run_batch_replay`]
-//!    (capture once, replay the rest).
-//! 3. **Bit-exactness**: every replayed lane's output fingerprint must
+//! 2. **Batch speedup** at 1/8/64 lanes:
+//!    [`SmacheSystem::run_batch`] with replay off (every lane simulates)
+//!    vs replay on (capture once, replay the rest lane-batched).
+//! 3. **Chaos replay**: a latency-only fault plan (fixed chaos seed)
+//!    swept across 8 data seeds — the chaotic control plane is captured
+//!    once and replayed for the other lanes.
+//! 4. **Bit-exactness**: every replayed lane's output fingerprint must
 //!    equal the full simulation's — asserted, not sampled.
 
 use std::time::Instant;
 
-use smache::system::batch::BatchJob;
-use smache::system::{ReplayMode, RunEngine, SmacheSystem};
+use smache::system::batch::{BatchJob, BatchOptions};
+use smache::system::smache_system::SystemConfig;
+use smache::system::{BatchReport, ReplayMode, RunEngine, SmacheSystem};
 use smache::HybridMode;
+use smache_bench::flags::{arg_value, BatchFlags};
 use smache_bench::json::Json;
 use smache_bench::workloads::paper_problem;
+use smache_mem::{ChaosProfile, FaultPlan};
 use smache_sim::hash::fingerprint128;
-
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
-        })
-}
 
 fn fp(output: &[u64]) -> (u64, u64) {
     let mut bytes = Vec::with_capacity(output.len() * 8);
@@ -45,11 +43,25 @@ fn fp(output: &[u64]) -> (u64, u64) {
     fingerprint128(&bytes)
 }
 
+/// Asserts the replayed batch is bit-identical to the full one, lane by
+/// lane, and returns how many lanes the replay engine served.
+fn assert_bit_exact(full: &BatchReport, fast: &BatchReport) -> usize {
+    let mut replayed_lanes = 0usize;
+    for (a, b) in full.lanes.iter().zip(&fast.lanes) {
+        let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("fast"));
+        assert_eq!(fp(&a.output), fp(&b.output), "lane fingerprints differ");
+        assert_eq!(a.stats, b.stats, "lane cycle accounting differs");
+        if b.engine == RunEngine::Replay {
+            replayed_lanes += 1;
+        }
+    }
+    assert_eq!(full.aggregate, fast.aggregate, "aggregates differ");
+    replayed_lanes
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs: usize = arg_value(&args, "--jobs")
-        .map(|v| v.parse().expect("--jobs wants a number"))
-        .unwrap_or(4);
+    let mut flags = BatchFlags::parse(&args, 4);
     let json_path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_replay.json".into());
 
     let workload = paper_problem(11, 11, 100);
@@ -95,36 +107,31 @@ fn main() {
         schedule.trace().len()
     );
 
-    // --- 2./3. Batch speedup + bit-exactness -----------------------------
-    let make_jobs = |lanes: u64| -> Vec<BatchJob> {
-        (0..lanes)
-            .map(|s| workload.batch_job(s, HybridMode::default()))
-            .collect()
-    };
+    // --- 2./4. Batch speedup + bit-exactness -----------------------------
+    let make_jobs =
+        |lanes: u64| -> Vec<BatchJob> { workload.batch_jobs(0..lanes, HybridMode::default()) };
 
     let mut batch_rows = Vec::new();
-    println!("== batch sweep: full sim vs schedule replay ({jobs} job(s)) ==");
+    println!(
+        "== batch sweep: full sim vs lane-batched schedule replay ({} job(s), lane block {}) ==",
+        flags.jobs, flags.lane_block
+    );
     println!("  lanes      full(ms)    replay(ms)   speedup   replayed");
     for lanes in [1u64, 8, 64] {
         let t0 = Instant::now();
-        let full = SmacheSystem::run_batch(make_jobs(lanes), jobs);
+        let full = SmacheSystem::run_batch(
+            make_jobs(lanes),
+            BatchOptions::new()
+                .threads(flags.jobs)
+                .replay(ReplayMode::Off),
+        );
         let full_wall = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();
-        let fast = SmacheSystem::run_batch_replay(make_jobs(lanes), jobs, ReplayMode::Auto);
+        let fast = SmacheSystem::run_batch(make_jobs(lanes), flags.options());
         let fast_wall = t0.elapsed().as_secs_f64() * 1e3;
 
-        let mut replayed_lanes = 0usize;
-        for (a, b) in full.lanes.iter().zip(&fast.lanes) {
-            let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("fast"));
-            assert_eq!(fp(&a.output), fp(&b.output), "lane fingerprints differ");
-            assert_eq!(a.stats, b.stats, "lane cycle accounting differs");
-            if b.engine == RunEngine::Replay {
-                replayed_lanes += 1;
-            }
-        }
-        assert_eq!(full.aggregate, fast.aggregate, "aggregates differ");
-
+        let replayed_lanes = assert_bit_exact(&full, &fast);
         let speedup = full_wall / fast_wall;
         println!(
             "  {lanes:>5}    {full_wall:9.2}    {fast_wall:9.2}   {speedup:6.2}x   {replayed_lanes}/{lanes}"
@@ -140,11 +147,59 @@ fn main() {
     }
     println!("  (fingerprints and cycle stats asserted bit-identical per lane)\n");
 
+    // --- 3. Chaos replay: latency-only plan across data seeds ------------
+    const CHAOS_SEED: u64 = 7;
+    const CHAOS_LANES: u64 = 8;
+    let chaos_config = SystemConfig {
+        fault_plan: FaultPlan::new(CHAOS_SEED, ChaosProfile::storms()),
+        ..SystemConfig::default()
+    };
+    let chaos_jobs = || -> Vec<BatchJob> {
+        workload
+            .batch_jobs(0..CHAOS_LANES, HybridMode::default())
+            .into_iter()
+            .map(|j| j.with_config(chaos_config))
+            .collect()
+    };
+    let t0 = Instant::now();
+    let chaos_full = SmacheSystem::run_batch(
+        chaos_jobs(),
+        BatchOptions::new()
+            .threads(flags.jobs)
+            .replay(ReplayMode::Off),
+    );
+    let chaos_full_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    // Forced `on`: a refusal would error a lane, so success proves the
+    // chaotic control plane genuinely replayed.
+    let chaos_fast = SmacheSystem::run_batch(
+        chaos_jobs(),
+        BatchOptions::new()
+            .threads(flags.jobs)
+            .replay(ReplayMode::On)
+            .lane_block(flags.lane_block),
+    );
+    let chaos_fast_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let chaos_replayed = assert_bit_exact(&chaos_full, &chaos_fast);
+    assert!(
+        chaos_replayed >= 1,
+        "the chaotic sweep must serve lanes by replay"
+    );
+    let chaos_speedup = chaos_full_wall / chaos_fast_wall;
+    println!(
+        "== chaos replay: storms profile, chaos seed {CHAOS_SEED}, {CHAOS_LANES} data seeds =="
+    );
+    println!(
+        "  full {chaos_full_wall:9.2} ms   replay {chaos_fast_wall:9.2} ms   \
+         {chaos_speedup:5.2}x   {chaos_replayed}/{CHAOS_LANES} replayed (bit-exact)\n"
+    );
+
     let doc = Json::obj(vec![
         ("artefact", Json::str("replay")),
         ("grid", Json::str("11x11")),
         ("instances", Json::Int(workload.instances as i64)),
-        ("jobs", Json::Int(jobs as i64)),
+        ("jobs", Json::Int(flags.jobs as i64)),
+        ("lane_block", Json::Int(flags.lane_block as i64)),
         (
             "capture",
             Json::obj(vec![
@@ -157,6 +212,19 @@ fn main() {
             ]),
         ),
         ("batches", Json::Arr(batch_rows)),
+        (
+            "chaos",
+            Json::obj(vec![
+                ("profile", Json::str("storms")),
+                ("chaos_seed", Json::Int(CHAOS_SEED as i64)),
+                ("lanes", Json::Int(CHAOS_LANES as i64)),
+                ("full_ms", Json::Num(chaos_full_wall)),
+                ("replay_ms", Json::Num(chaos_fast_wall)),
+                ("speedup", Json::Num(chaos_speedup)),
+                ("replayed_lanes", Json::Int(chaos_replayed as i64)),
+                ("fingerprints_match", Json::Bool(true)),
+            ]),
+        ),
     ]);
     std::fs::write(&json_path, doc.pretty()).expect("write replay summary");
     println!("replay summary written to {json_path}");

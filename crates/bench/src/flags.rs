@@ -1,0 +1,131 @@
+//! The shared batch flag group for the bench binaries.
+//!
+//! `fig2`, `chaos` and `replay` all drive
+//! [`SmacheSystem::run_batch`](smache::SmacheSystem::run_batch) sweeps, so
+//! they parse the same flags the CLI's `simulate` command takes, with the
+//! same spellings and defaults:
+//!
+//! * `--jobs N` — worker threads sharding the batch.
+//! * `--replay auto|on|off` — schedule-replay mode ([`ReplayMode`]).
+//! * `--store DIR` — persistent schedule store to warm-start from.
+//! * `--store-mb MB` — store disk budget (`0` = unbounded).
+//! * `--lane-block N` — lanes batched per replay pass
+//!   ([`DEFAULT_LANE_BLOCK`] when absent).
+//!
+//! Both `--flag value` and `--flag=value` spellings are accepted,
+//! matching every other bench flag.
+
+use smache::system::store::ScheduleStore;
+use smache::system::{BatchOptions, ReplayMode, DEFAULT_LANE_BLOCK};
+
+/// `--flag value` (or `--flag=value`) lookup over raw args.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{flag}=")).map(str::to_string))
+        })
+}
+
+/// The parsed batch flag group. Owns the opened [`ScheduleStore`] (if
+/// `--store` was given) so [`options`](Self::options) can lend it to a
+/// [`BatchOptions`] per sweep.
+pub struct BatchFlags {
+    /// Worker threads (`--jobs`).
+    pub jobs: usize,
+    /// Replay mode (`--replay`, default `auto`).
+    pub replay: ReplayMode,
+    /// Persistent schedule store (`--store DIR`, budgeted by `--store-mb`).
+    pub store: Option<ScheduleStore>,
+    /// Lanes per replay block (`--lane-block`).
+    pub lane_block: usize,
+}
+
+impl BatchFlags {
+    /// Parses the group out of raw args. `default_jobs` differs per
+    /// binary (`fig2` defaults to 1, `replay` to 4), everything else is
+    /// uniform.
+    pub fn parse(args: &[String], default_jobs: usize) -> BatchFlags {
+        let jobs = arg_value(args, "--jobs")
+            .map(|v| v.parse().expect("--jobs wants a number"))
+            .unwrap_or(default_jobs);
+        let replay = arg_value(args, "--replay")
+            .map(|v| ReplayMode::from_label(&v).expect("--replay wants auto|on|off"))
+            .unwrap_or(ReplayMode::Auto);
+        let store_mb: u64 = arg_value(args, "--store-mb")
+            .map(|v| v.parse().expect("--store-mb wants a number"))
+            .unwrap_or(0);
+        let store = arg_value(args, "--store").map(|dir| {
+            ScheduleStore::open(std::path::Path::new(&dir), store_mb << 20).expect("open --store")
+        });
+        let lane_block = arg_value(args, "--lane-block")
+            .map(|v| v.parse().expect("--lane-block wants a number"))
+            .unwrap_or(DEFAULT_LANE_BLOCK);
+        assert!(lane_block >= 1, "--lane-block wants at least 1");
+        BatchFlags {
+            jobs,
+            replay,
+            store,
+            lane_block,
+        }
+    }
+
+    /// One sweep's [`BatchOptions`], borrowing the store mutably for its
+    /// duration.
+    pub fn options(&mut self) -> BatchOptions<'_> {
+        let options = BatchOptions::new()
+            .threads(self.jobs)
+            .replay(self.replay)
+            .lane_block(self.lane_block);
+        match self.store.as_mut() {
+            Some(store) => options.store(store),
+            None => options,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_mirror_the_cli() {
+        let flags = BatchFlags::parse(&[], 4);
+        assert_eq!(flags.jobs, 4);
+        assert_eq!(flags.replay, ReplayMode::Auto);
+        assert!(flags.store.is_none());
+        assert_eq!(flags.lane_block, DEFAULT_LANE_BLOCK);
+    }
+
+    #[test]
+    fn both_flag_spellings_parse() {
+        let flags = BatchFlags::parse(&strs(&["--jobs", "2", "--replay=off"]), 1);
+        assert_eq!(flags.jobs, 2);
+        assert_eq!(flags.replay, ReplayMode::Off);
+        let flags = BatchFlags::parse(&strs(&["--lane-block=3", "--replay", "on"]), 1);
+        assert_eq!(flags.lane_block, 3);
+        assert_eq!(flags.replay, ReplayMode::On);
+    }
+
+    #[test]
+    fn a_store_dir_opens_the_store_with_its_budget() {
+        let dir = std::env::temp_dir().join(format!("smache-flags-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut flags = BatchFlags::parse(
+            &strs(&["--store", dir.to_str().unwrap(), "--store-mb", "1"]),
+            1,
+        );
+        let store = flags.store.as_ref().expect("store opened");
+        assert_eq!(store.dir(), dir);
+        let _ = flags.options(); // borrows the store without consuming it
+        let _ = flags.options();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,15 +21,19 @@
 //! `docs/PERFORMANCE.md` for how to read them).
 //!
 //! The library part holds the shared workload generators, the parallel
-//! sweep driver, JSON artefact emission, and plain-text table rendering.
+//! sweep driver, the batch flag group shared by the sweep binaries
+//! (`--jobs`/`--replay`/`--store`/`--store-mb`/`--lane-block`), JSON
+//! artefact emission, and plain-text table rendering.
 
 #![warn(missing_docs)]
 
+pub mod flags;
 pub mod json;
 pub mod report;
 pub mod sweep;
 pub mod workloads;
 
+pub use flags::BatchFlags;
 pub use json::Json;
 pub use report::Table;
 pub use sweep::parallel_map;

@@ -83,10 +83,34 @@ impl PaperWorkload {
     }
 
     /// One lane of a batched sweep: this workload with the seed's input
-    /// grid, ready for [`SmacheSystem::run_batch`].
+    /// grid, ready for [`SmacheSystem::run_batch`]. For whole sweeps
+    /// prefer [`batch_jobs`](Self::batch_jobs), which shares one kernel
+    /// factory across the lanes.
     pub fn batch_job(&self, seed: u64, hybrid: HybridMode) -> BatchJob {
         let factory: KernelFactory = Arc::new(|| Box::new(AverageKernel));
         BatchJob::new(self.plan(hybrid), factory, self.input(seed), self.instances)
+    }
+
+    /// One batch lane per seed, all sharing a single kernel factory so
+    /// the batch runner recognises them as one spec without re-deriving
+    /// the schedule key per lane.
+    pub fn batch_jobs(
+        &self,
+        seeds: impl IntoIterator<Item = u64>,
+        hybrid: HybridMode,
+    ) -> Vec<BatchJob> {
+        let factory: KernelFactory = Arc::new(|| Box::new(AverageKernel));
+        seeds
+            .into_iter()
+            .map(|s| {
+                BatchJob::new(
+                    self.plan(hybrid),
+                    Arc::clone(&factory),
+                    self.input(s),
+                    self.instances,
+                )
+            })
+            .collect()
     }
 
     /// Instantiates the baseline system for this workload.

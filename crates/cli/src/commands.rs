@@ -80,6 +80,7 @@ const VALUED: &[&str] = &[
     "chaos-seed",
     "chaos-profile",
     "replay",
+    "lane-block",
     "schedule-cache-kb",
     "trace",
     "trace-out",
@@ -138,11 +139,15 @@ SIMULATE OPTIONS:
   --chaos-seed S           fault-injection seed     [0]
   --replay auto|on|off     control-schedule replay: capture the control
                            plane once, stream data through it (bit-exact;
-                           auto falls back when chaos/stall/trace make the
-                           control plane data-dependent)  [auto]
+                           latency-only chaos replays too, keyed on its
+                           chaos seed — auto falls back when bit flips,
+                           stall fuzzing or tracing make the control
+                           plane data-dependent)  [auto]
   --store DIR              with --batch: persistent schedule store — load
                            captured schedules from DIR and write new
                            captures back (see docs/DEPLOYMENT.md) [off]
+  --lane-block N           with --batch: lanes replayed per structure-of-
+                           arrays block (one gather decode per block) [16]
   --verify                 check against the golden reference
   --trace FMT              export a probe trace (vcd|chrome|ascii); needs
                            --trace-out, single-system runs only
@@ -475,6 +480,29 @@ fn replay_mode(args: &Args) -> Result<smache::system::ReplayMode, CliError> {
     }
 }
 
+/// The shared batch flag group —
+/// `--jobs/--replay/--store/--store-mb/--lane-block` — parsed here exactly
+/// as the bench bins (`fig2`, `chaos`, `replay`) parse it and as the serve
+/// request schema mirrors it (`jobs`/`replay`/`lane-block` request keys).
+struct BatchFlags {
+    jobs: usize,
+    mode: smache::system::ReplayMode,
+    store: Option<smache::system::ScheduleStore>,
+    lane_block: usize,
+}
+
+fn batch_flags(args: &Args) -> Result<BatchFlags, CliError> {
+    Ok(BatchFlags {
+        jobs: args.get_num("jobs", 1)?,
+        mode: replay_mode(args)?,
+        store: match args.get("store") {
+            Some(_) => Some(open_store(args, 0)?),
+            None => None,
+        },
+        lane_block: args.get_num("lane-block", smache::system::DEFAULT_LANE_BLOCK)?,
+    })
+}
+
 /// Hex fingerprint of an output grid, printed so replay and full-sim runs
 /// can be compared for bit-exactness from the command line.
 fn output_fp(output: &[u64]) -> String {
@@ -665,7 +693,12 @@ fn cmd_simulate_batch(
     seed: u64,
     batch: u64,
 ) -> Result<String, CliError> {
-    let jobs: usize = args.get_num("jobs", 1)?;
+    let BatchFlags {
+        jobs,
+        mode,
+        mut store,
+        lane_block,
+    } = batch_flags(args)?;
     let chaos = chaos_plan(args)?;
     let config = smache::system::smache_system::SystemConfig {
         fault_plan: chaos,
@@ -680,12 +713,13 @@ fn cmd_simulate_batch(
             (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect()
         })
         .collect();
+    let kernel: smache::system::KernelFactory = std::sync::Arc::new(|| Box::new(AverageKernel));
     let lanes: Vec<smache::system::batch::BatchJob> = inputs
         .iter()
         .map(|input| {
             smache::system::batch::BatchJob::new(
                 plan.clone(),
-                std::sync::Arc::new(|| Box::new(AverageKernel)),
+                std::sync::Arc::clone(&kernel),
                 input.clone(),
                 instances,
             )
@@ -693,14 +727,15 @@ fn cmd_simulate_batch(
         })
         .collect();
 
-    let mode = replay_mode(args)?;
-    let mut store = match args.get("store") {
-        Some(_) => Some(open_store(args, 0)?),
-        None => None,
-    };
+    let mut options = smache::system::BatchOptions::new()
+        .threads(jobs)
+        .replay(mode)
+        .lane_block(lane_block);
+    if let Some(store) = store.as_mut() {
+        options = options.store(store);
+    }
     let start = std::time::Instant::now();
-    let report =
-        smache::system::SmacheSystem::run_batch_replay_stored(lanes, jobs, mode, store.as_mut());
+    let report = smache::system::SmacheSystem::run_batch(lanes, options);
     let wall = start.elapsed();
 
     let mut out = String::new();
@@ -1058,6 +1093,38 @@ mod tests {
                 .unwrap();
         assert!(out.contains("chaos:"), "{out}");
         assert!(out.contains("all lanes verified"), "{out}");
+    }
+
+    #[test]
+    fn chaos_batch_replays_latency_only_plans() {
+        // Latency-only chaos is captured once (keyed on the chaos seed)
+        // and replayed across the data seeds — engine says so, and every
+        // lane still matches the golden reference.
+        let out = run_str(
+            "simulate --grid 8x8 --instances 2 --batch 3 --chaos-profile storms \
+             --chaos-seed 7 --replay on --verify",
+        )
+        .unwrap();
+        assert_eq!(out.matches("engine=replay").count(), 2, "{out}");
+        assert!(out.contains("all lanes verified"), "{out}");
+
+        // A corrupting plan still refuses forced replay, loudly.
+        let err = run_str(
+            "simulate --grid 8x8 --instances 1 --batch 2 --chaos-profile flip:4 --replay on",
+        )
+        .unwrap_err();
+        assert!(format!("{err}").contains("fault-injection plan"), "{err}");
+    }
+
+    #[test]
+    fn lane_block_sizes_report_identical_results() {
+        fn per_lane(s: &str) -> Vec<&str> {
+            s.lines().filter(|l| l.contains("seed")).collect()
+        }
+        let a = run_str("simulate --grid 8x8 --instances 2 --batch 5 --lane-block 2").unwrap();
+        let b = run_str("simulate --grid 8x8 --instances 2 --batch 5 --lane-block 64").unwrap();
+        assert_eq!(per_lane(&a), per_lane(&b), "lane blocking is invisible");
+        assert_eq!(a.matches("engine=replay").count(), 4, "{a}");
     }
 
     #[test]

@@ -279,7 +279,7 @@ pub enum SourceRef {
 }
 
 /// The complete buffer configuration for one problem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BufferPlan {
     /// The grid being streamed.
     pub grid: GridSpec,

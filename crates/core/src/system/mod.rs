@@ -14,7 +14,7 @@ pub mod store;
 pub use axi::{AxiSmache, StallFuzzSink, StallFuzzSource};
 #[allow(deprecated)]
 pub use batch::LaneReport;
-pub use batch::{BatchJob, BatchReport, KernelFactory};
+pub use batch::{BatchJob, BatchOptions, BatchReport, KernelFactory, DEFAULT_LANE_BLOCK};
 pub use cascade::{CascadeReport, CascadeSystem};
 pub use metrics::{DesignMetrics, NormalisedMetrics};
 pub use multilane::{MultilaneReport, MultilaneSystem};

@@ -30,17 +30,23 @@
 //! the current input at the same index.
 //!
 //! Replay **refuses** with a typed [`ReplayUnsupported`] whenever the
-//! control plane stops being data-independent: active fault plans, stall
-//! schedules, external backpressure, or attached observers (tracer,
+//! control plane stops being data-independent: corrupting fault plans,
+//! stall schedules, external backpressure, or attached observers (tracer,
 //! telemetry, result tap). Callers in `auto` mode fall back to the full
 //! simulation; `on` mode surfaces [`CoreError::ReplayRefused`].
+//! **Latency-only** fault plans are the deliberate exception: their chaos
+//! draws are a pure function of (chaos-seed, cycle), so a schedule
+//! captured under one — keyed on (spec, chaos-seed) — replays across data
+//! seeds like any clean schedule.
 //!
-//! Schedules are keyed by [`fingerprint128`] of a canonical, seed- and
-//! data-independent rendering of the spec ([`schedule_key`]) and cached:
-//! [`SmacheSystem::run_batch_replay`](crate::system::SmacheSystem::run_batch_replay)
-//! captures once per distinct key and replays the other lanes, and
-//! `smache serve` keeps a second-level schedule cache behind its result
-//! cache. See `docs/PERFORMANCE.md` §6 for measured speedups.
+//! Schedules are keyed by [`fingerprint128`] of a canonical, data-seed-
+//! independent rendering of the spec ([`schedule_key`]) and cached:
+//! [`SmacheSystem::run_batch`](crate::system::SmacheSystem::run_batch)
+//! captures once per distinct key and replays the other lanes — grouped
+//! into structure-of-arrays lane blocks driven by
+//! [`ControlSchedule::replay_lanes`] — and `smache serve` keeps a
+//! second-level schedule cache behind its result cache. See
+//! `docs/PERFORMANCE.md` §6 for measured speedups.
 
 use std::sync::Arc;
 
@@ -91,18 +97,22 @@ impl ReplayMode {
 
 /// The canonical text fingerprinted into a schedule's cache key: every
 /// parameter that shapes the control plane, and nothing that doesn't.
-/// Seeds and input data are deliberately absent — that is what makes the
-/// key shareable across differing-seed runs of one spec.
+/// *Data* seeds and input data are deliberately absent — that is what
+/// makes the key shareable across differing-seed runs of one spec. The
+/// *chaos* seed and profile of an active latency-only fault plan **are**
+/// present: chaos draws are a pure function of (chaos-seed, cycle), so
+/// they shape the control plane exactly like any other spec parameter.
 pub fn schedule_key_text(
     plan: &BufferPlan,
     config: &SystemConfig,
     kernel: &dyn Kernel,
     instances: u64,
 ) -> String {
-    // `Debug` renderings are deterministic for these plain-data types; the
-    // fault plan is excluded because an *active* plan refuses capture and
-    // an inactive one (any seed) does not touch the control plane.
-    format!(
+    // `Debug` renderings are deterministic for these plain-data types. An
+    // inactive fault plan (any seed) does not touch the control plane, so
+    // it contributes nothing — keeping the inactive-plan key text
+    // byte-identical to pre-chaos-replay schedules already on disk.
+    let mut text = format!(
         "sched-v1;plan={:?};dram={:?};resp_high_water={};watchdog={};double_buffering={};kernel={}:{};instances={}",
         plan,
         config.dram,
@@ -112,7 +122,14 @@ pub fn schedule_key_text(
         kernel.name(),
         kernel.latency(),
         instances,
-    )
+    );
+    if config.fault_plan.is_active() {
+        text.push_str(&format!(
+            ";chaos={}:{:?}",
+            config.fault_plan.seed, config.fault_plan.profile
+        ));
+    }
+    text
 }
 
 /// The 128-bit content address of a control schedule
@@ -273,6 +290,92 @@ impl ControlSchedule {
         report.output = cur;
         report.engine = RunEngine::Replay;
         Ok(report)
+    }
+
+    /// Data-parallel replay: one schedule walk drives **all** lanes of a
+    /// sweep at once.
+    ///
+    /// The grids are interleaved into a structure-of-arrays block — the
+    /// word for (element `e`, lane `l`) lives at `e * lanes + l` — so each
+    /// element's gather row is decoded *once* and applied across every
+    /// lane. Constants and boundary holes are lane-invariant and resolved
+    /// outside the lane loop; only grid reads differ per lane, and those
+    /// land on consecutive words of the block. Per lane the result is
+    /// bit-exact with [`ControlSchedule::replay`] of that lane's input
+    /// (and therefore with the full simulation).
+    ///
+    /// Refuses with a typed reason when the kernel or any lane's input
+    /// length does not match the captured spec. An empty `inputs` returns
+    /// an empty report list.
+    pub fn replay_lanes(
+        &self,
+        kernel: &dyn Kernel,
+        inputs: &[&[Word]],
+    ) -> Result<Vec<RunReport>, ReplayUnsupported> {
+        if kernel.name() != self.kernel_name || kernel.latency() != self.kernel_latency {
+            return Err(ReplayUnsupported::KernelMismatch {
+                expected: format!("{} (latency {})", self.kernel_name, self.kernel_latency),
+                actual: format!("{} (latency {})", kernel.name(), kernel.latency()),
+            });
+        }
+        for input in inputs {
+            if input.len() != self.n {
+                return Err(ReplayUnsupported::InputLength {
+                    expected: self.n,
+                    actual: input.len(),
+                });
+            }
+        }
+        let lanes = inputs.len();
+        if lanes == 0 {
+            return Ok(Vec::new());
+        }
+        // Interleave: lane l's element e goes to cur[e * lanes + l].
+        let mut cur = vec![0u64; self.n * lanes];
+        for (l, input) in inputs.iter().enumerate() {
+            for (e, &w) in input.iter().enumerate() {
+                cur[e * lanes + l] = w;
+            }
+        }
+        let mut next = vec![0u64; self.n * lanes];
+        let mut values: Vec<Word> = Vec::with_capacity(8);
+        let mut grid_slots: Vec<(usize, usize)> = Vec::with_capacity(8);
+        for _ in 0..self.instances {
+            for e in 0..self.n {
+                // Decode the CSR row once per element: constants and holes
+                // fill `values` up front, grid slots are kept as (position,
+                // interleaved base index) for the per-lane overwrite.
+                let (slots, mask) = self.gather.row(e);
+                values.clear();
+                grid_slots.clear();
+                for (p, s) in slots.iter().enumerate() {
+                    values.push(match *s {
+                        SlotSource::Grid(i) => {
+                            grid_slots.push((p, i as usize * lanes));
+                            0
+                        }
+                        SlotSource::Const(v) => v,
+                        SlotSource::Hole => 0,
+                    });
+                }
+                let row = &mut next[e * lanes..(e + 1) * lanes];
+                for (l, out) in row.iter_mut().enumerate() {
+                    for &(p, base) in &grid_slots {
+                        values[p] = cur[base + l];
+                    }
+                    *out = kernel.apply(&values, mask);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut reports = Vec::with_capacity(lanes);
+        for l in 0..lanes {
+            let mut report = self.template.clone();
+            report.output = (0..self.n).map(|e| cur[e * lanes + l]).collect();
+            report.engine = RunEngine::Replay;
+            reports.push(report);
+        }
+        Ok(reports)
     }
 }
 
@@ -479,12 +582,13 @@ mod tests {
     #[test]
     fn capture_refuses_ineligible_systems() {
         use smache_mem::{ChaosProfile, FaultPlan};
-        let mut chaotic = SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
-            .fault_plan(FaultPlan::new(3, ChaosProfile::jitter()))
+        // A *corrupting* plan refuses: the fault effect depends on data.
+        let mut corrupting = SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+            .fault_plan(FaultPlan::new(3, ChaosProfile::flip(40)))
             .build()
             .expect("build");
         assert!(matches!(
-            chaotic.run_captured(&ramp(121), 1),
+            corrupting.run_captured(&ramp(121), 1),
             Err(CoreError::ReplayRefused(ReplayUnsupported::FaultPlan))
         ));
 
@@ -500,6 +604,101 @@ mod tests {
         assert!(matches!(
             stalled.run_captured(&ramp(121), 1),
             Err(CoreError::ReplayRefused(ReplayUnsupported::StallSchedule))
+        ));
+    }
+
+    #[test]
+    fn latency_only_chaos_captures_and_replays_across_data_seeds() {
+        use smache_mem::{ChaosProfile, FaultPlan};
+        let chaotic = || {
+            SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+                .fault_plan(FaultPlan::new(7, ChaosProfile::storms()))
+                .build()
+                .expect("build")
+        };
+        let mut sys = chaotic();
+        let (report, schedule) = sys.run_captured(&ramp(121), 2).expect("capture");
+        assert!(
+            report.stats.stall_cycles > 0,
+            "storms actually perturbed the captured run"
+        );
+        // Fresh data through the chaotic schedule vs a fresh chaotic run.
+        let other: Vec<u64> = (0..121u64).map(|i| (i * 131 + 5) % 8192).collect();
+        let replayed = schedule.replay(&AverageKernel, &other).expect("replay");
+        let full = chaotic().run(&other, 2).expect("run");
+        assert_eq!(replayed.output, full.output);
+        assert_eq!(replayed.stats, full.stats);
+        assert_eq!(replayed.metrics.faults, full.metrics.faults);
+    }
+
+    #[test]
+    fn chaos_seed_and_profile_are_part_of_the_key_only_when_active() {
+        use smache_mem::{ChaosProfile, FaultPlan};
+        let with_plan = |plan: FaultPlan| {
+            SmacheBuilder::new(GridSpec::d2(11, 11).expect("grid"))
+                .fault_plan(plan)
+                .build()
+                .expect("build")
+        };
+        let clean = paper_system();
+        let clean_key = schedule_key(clean.plan(), clean.config(), &AverageKernel, 4);
+        // Inactive plans (any seed) key identically to no plan at all — the
+        // key *text* is byte-identical, so on-disk schedules stay valid.
+        let idle = with_plan(FaultPlan::new(99, ChaosProfile::none()));
+        assert_eq!(
+            schedule_key_text(clean.plan(), clean.config(), &AverageKernel, 4),
+            schedule_key_text(idle.plan(), idle.config(), &AverageKernel, 4),
+        );
+        // An active plan forks the key, per chaos seed and per profile.
+        let a = with_plan(FaultPlan::new(7, ChaosProfile::storms()));
+        let key_a = schedule_key(a.plan(), a.config(), &AverageKernel, 4);
+        assert_ne!(key_a, clean_key);
+        let b = with_plan(FaultPlan::new(8, ChaosProfile::storms()));
+        assert_ne!(
+            key_a,
+            schedule_key(b.plan(), b.config(), &AverageKernel, 4),
+            "chaos seed is part of the key"
+        );
+        let c = with_plan(FaultPlan::new(7, ChaosProfile::jitter()));
+        assert_ne!(
+            key_a,
+            schedule_key(c.plan(), c.config(), &AverageKernel, 4),
+            "chaos profile is part of the key"
+        );
+    }
+
+    #[test]
+    fn lane_batched_replay_matches_per_lane_replay() {
+        let mut sys = paper_system();
+        let (_, schedule) = sys.run_captured(&ramp(121), 2).expect("capture");
+        let inputs: Vec<Vec<u64>> = (0..5u64)
+            .map(|s| (0..121u64).map(|i| (i * 97 + 13 * s) % 4096).collect())
+            .collect();
+        let views: Vec<&[u64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batched = schedule
+            .replay_lanes(&AverageKernel, &views)
+            .expect("lanes");
+        assert_eq!(batched.len(), 5);
+        for (lane, input) in batched.iter().zip(&inputs) {
+            let single = schedule.replay(&AverageKernel, input).expect("replay");
+            assert_eq!(lane.output, single.output);
+            assert_eq!(lane.stats, single.stats);
+            assert_eq!(lane.engine, RunEngine::Replay);
+        }
+        assert!(schedule
+            .replay_lanes(&AverageKernel, &[])
+            .expect("empty")
+            .is_empty());
+        assert!(matches!(
+            schedule.replay_lanes(&MaxKernel, &views),
+            Err(ReplayUnsupported::KernelMismatch { .. })
+        ));
+        assert!(matches!(
+            schedule.replay_lanes(&AverageKernel, &[&[0u64; 64][..]]),
+            Err(ReplayUnsupported::InputLength {
+                expected: 121,
+                actual: 64
+            })
         ));
     }
 

@@ -31,7 +31,7 @@ pub use crate::system::report::RunReport;
 pub const STALL_COMPONENT: &str = "sys.stall";
 
 /// Tunables of the simulated system.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// DRAM timing/geometry.
     pub dram: DramConfig,
@@ -215,12 +215,21 @@ impl SmacheSystem {
 
     /// Checks whether this system's control plane is a pure function of
     /// the spec, i.e. whether a control schedule captured from it would be
-    /// sound to replay. Anything that perturbs timing or observes the
-    /// datapath mid-run (fault injection, stall schedules, tracers,
-    /// telemetry, result taps) makes the answer "no", with a typed reason.
+    /// sound to replay. Anything that perturbs timing data-dependently or
+    /// observes the datapath mid-run (corrupting fault injection, stall
+    /// schedules, tracers, telemetry, result taps) makes the answer "no",
+    /// with a typed reason.
+    ///
+    /// A **latency-only** fault plan (jitter, stall storms, slow drain —
+    /// see [`smache_mem::FaultPlan::is_replayable`]) is eligible: its
+    /// chaos draws are a pure function of (chaos-seed, cycle), so with the
+    /// chaos seed folded into the schedule key the perturbed control plane
+    /// is still a deterministic function of the spec. Plans that corrupt
+    /// data (bit flips, dropped or duplicated beats) still refuse — their
+    /// *outputs* depend on which words the faults land on.
     pub fn replay_eligibility(&self) -> Result<(), smache_sim::ReplayUnsupported> {
         use smache_sim::ReplayUnsupported as R;
-        if self.config.fault_plan.is_active() {
+        if self.config.fault_plan.is_active() && !self.config.fault_plan.is_replayable() {
             return Err(R::FaultPlan);
         }
         if self.stall.is_some() {

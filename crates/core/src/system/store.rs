@@ -5,7 +5,7 @@
 //! replay), but until this module it died with the process. The
 //! [`ScheduleStore`] persists schedules to disk in a versioned,
 //! checksummed format so a restarted `smache serve --store <dir>` (or a
-//! fresh `run_batch_replay` sweep) **warm-starts**: previously captured
+//! fresh `run_batch` sweep) **warm-starts**: previously captured
 //! specs replay straight from disk, no recapture.
 //!
 //! Design contract, in order of importance:

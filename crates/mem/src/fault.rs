@@ -335,6 +335,17 @@ impl FaultPlan {
         self.profile.is_active()
     }
 
+    /// True when an *active* plan is still a pure function of
+    /// (seed, cycle) — i.e. every enabled fault is latency-only. Such a
+    /// plan's control-plane perturbations are deterministic per chaos
+    /// seed, so a control schedule captured under it can be replayed
+    /// across data seeds. Corrupting plans (bit flips, dropped or
+    /// duplicated beats) are never replayable: the fault's *effect*
+    /// depends on the data words it lands on.
+    pub fn is_replayable(&self) -> bool {
+        self.profile.is_latency_only()
+    }
+
     /// Derives the deterministic per-component random stream.
     ///
     /// The `seed ^ fnv1a(name)` rule is the shared

@@ -20,7 +20,9 @@
 //!
 //! Every run request has a [canonical text](RunRequest::canonical) built
 //! from the spec's canonical form plus the run parameters that affect the
-//! result — and nothing else (`id` and `deadline_ms` are excluded).
+//! result — and nothing else (`id`, `deadline_ms` and `replay` are
+//! excluded; schedule replay is bit-exact, so the replay mode never
+//! changes the report).
 //! Equivalent spellings canonicalise identically, and the 128-bit
 //! [`fingerprint`](RunRequest::cache_key) of that text is the result-cache
 //! key. This is sound because runs are deterministic: a `(spec, seed,
@@ -31,7 +33,7 @@ use std::sync::Arc;
 use smache::arch::kernel::AverageKernel;
 use smache::error::CoreError;
 use smache::spec::{seeded_input, ProblemSpec, SPEC_KEYS};
-use smache::system::ControlSchedule;
+use smache::system::{ControlSchedule, ReplayMode};
 use smache::SmacheSystem;
 use smache_mem::{ChaosProfile, FaultPlan};
 use smache_sim::hash::fingerprint128;
@@ -82,6 +84,13 @@ pub struct RunRequest {
     pub profile: String,
     /// Fault-plan seed (chaos runs only).
     pub chaos_seed: u64,
+    /// How the server may use cached control schedules for this request,
+    /// mirroring the CLI's `--replay` flag: `Auto` (default) replays when
+    /// a sound schedule exists, `On` demands replay eligibility (a refusal
+    /// is an error, not a silent fallback), `Off` always runs the full
+    /// simulation. Replay is bit-exact, so this knob never changes the
+    /// result — it is excluded from [`canonical`](Self::canonical).
+    pub replay: ReplayMode,
     /// Per-request deadline in milliseconds, measured from admission: if
     /// no worker has picked the job up when it expires, the server
     /// responds `rejected`/`deadline` instead of running it.
@@ -116,6 +125,7 @@ const TOP_KEYS: &[&str] = &[
     "instances",
     "profile",
     "chaos-seed",
+    "replay",
     "deadline_ms",
 ];
 
@@ -168,6 +178,15 @@ impl Request {
         }
         let deadline_ms = opt_u64(&doc, "deadline_ms")?;
 
+        let replay = match doc.get("replay") {
+            None => ReplayMode::Auto,
+            Some(v) => {
+                let name = v.as_str().ok_or("`replay` must be a string")?;
+                ReplayMode::from_label(name)
+                    .ok_or_else(|| format!("unknown replay mode `{name}` (auto|on|off)"))?
+            }
+        };
+
         let (profile, chaos_seed) = if kind == RunKind::Chaos {
             let name = doc.get("profile").and_then(Json::as_str).unwrap_or("heavy");
             if ChaosProfile::from_name(name).is_none() {
@@ -197,6 +216,7 @@ impl Request {
                 instances,
                 profile,
                 chaos_seed,
+                replay,
                 deadline_ms,
             })),
         })
@@ -303,19 +323,35 @@ impl RunRequest {
     }
 
     /// The canonical text of the control *schedule* this request would
-    /// exercise: the spec plus the instance count, **no seed** — that is
-    /// what lets differing-seed requests for one spec share a schedule.
-    /// `Some` only for plain `simulate` runs; plan requests have no
-    /// schedule, and chaos/trace runs are not replay-eligible.
+    /// exercise: the spec plus the instance count, **no data seed** — that
+    /// is what lets differing-seed requests for one spec share a schedule.
+    /// `Some` for plain `simulate` runs and for `chaos` runs whose profile
+    /// is latency-only (faults that stretch timing without corrupting
+    /// data leave the control plane a pure function of the spec and the
+    /// chaos seed, so the chaos suffix joins the key and the data seed
+    /// still does not). Plan requests have no schedule; trace runs and
+    /// corrupting chaos profiles are not replay-eligible.
     pub fn schedule_canonical(&self) -> Option<String> {
-        if self.kind != RunKind::Simulate {
-            return None;
-        }
-        Some(format!(
+        let chaos_active = match self.kind {
+            RunKind::Simulate => false,
+            RunKind::Chaos => {
+                let profile = ChaosProfile::from_name(&self.profile)?;
+                if !profile.is_latency_only() {
+                    return None;
+                }
+                FaultPlan::new(self.chaos_seed, profile).is_active()
+            }
+            _ => return None,
+        };
+        let mut text = format!(
             "sched-v{PROTOCOL_VERSION};spec={};instances={}",
             self.spec.canonical(),
             self.instances
-        ))
+        );
+        if chaos_active {
+            text.push_str(&format!(";chaos={}:{}", self.profile, self.chaos_seed));
+        }
+        Some(text)
     }
 
     /// The schedule-cache key: the 128-bit fingerprint of
@@ -327,17 +363,29 @@ impl RunRequest {
 
     /// Like [`execute`](Self::execute), but additionally captures the
     /// run's [`ControlSchedule`] so later same-spec requests can replay it.
-    /// A typed capture refusal falls back to the plain run internally and
-    /// returns `None` for the schedule; only genuine run failures error.
+    /// Applies to every request with a
+    /// [`schedule_canonical`](Self::schedule_canonical) — plain `simulate`
+    /// runs and latency-only `chaos` runs. A typed capture refusal falls
+    /// back to the plain run internally and returns `None` for the
+    /// schedule (unless the request forces `replay: on`, which surfaces
+    /// the refusal as an error); only genuine run failures error.
     pub fn execute_capture(&self) -> Result<(Json, Option<Arc<ControlSchedule>>), String> {
-        if self.kind != RunKind::Simulate {
+        if self.schedule_canonical().is_none() {
             return self.execute().map(|r| (r, None));
         }
-        let mut system: SmacheSystem = self.spec.builder().build().map_err(|e| e.to_string())?;
+        let mut builder = self.spec.builder();
+        if self.kind == RunKind::Chaos {
+            let profile = ChaosProfile::from_name(&self.profile)
+                .ok_or_else(|| format!("unknown chaos profile `{}`", self.profile))?;
+            builder = builder.fault_plan(FaultPlan::new(self.chaos_seed, profile));
+        }
+        let mut system: SmacheSystem = builder.build().map_err(|e| e.to_string())?;
         let input = seeded_input(self.spec.grid.len(), self.seed);
         match system.run_captured(&input, self.instances) {
             Ok((report, schedule)) => Ok((report.to_json(), Some(schedule))),
-            Err(CoreError::ReplayRefused(_)) => self.execute().map(|r| (r, None)),
+            Err(CoreError::ReplayRefused(_)) if self.replay != ReplayMode::On => {
+                self.execute().map(|r| (r, None))
+            }
             Err(e) => Err(e.to_string()),
         }
     }
@@ -546,11 +594,47 @@ mod tests {
         assert_ne!(a.schedule_key(), c.schedule_key(), "instances are keyed");
         for other in [
             run(r#"{"cmd":"plan"}"#),
-            run(r#"{"cmd":"chaos","spec":{"grid":"8x8"}}"#),
+            run(r#"{"cmd":"chaos","spec":{"grid":"8x8"},"profile":"flip:3"}"#),
             run(r#"{"cmd":"trace","spec":{"grid":"8x8"}}"#),
         ] {
             assert_eq!(other.schedule_key(), None, "{:?}", other.kind);
         }
+    }
+
+    #[test]
+    fn latency_only_chaos_schedule_keys_see_the_chaos_seed_not_the_data_seed() {
+        let chaos = |line: &str| {
+            run(line)
+                .schedule_key()
+                .expect("latency-only chaos has a key")
+        };
+        let a = chaos(
+            r#"{"cmd":"chaos","spec":{"grid":"8x8"},"profile":"jitter","chaos-seed":3,"seed":1,"instances":2}"#,
+        );
+        let b = chaos(
+            r#"{"cmd":"chaos","spec":{"grid":"8x8"},"profile":"jitter","chaos-seed":3,"seed":42,"instances":2}"#,
+        );
+        assert_eq!(a, b, "the data seed is not part of a chaos schedule key");
+
+        let other_chaos_seed = chaos(
+            r#"{"cmd":"chaos","spec":{"grid":"8x8"},"profile":"jitter","chaos-seed":4,"seed":1,"instances":2}"#,
+        );
+        assert_ne!(a, other_chaos_seed, "the chaos seed forks the key");
+        let other_profile = chaos(
+            r#"{"cmd":"chaos","spec":{"grid":"8x8"},"profile":"storms","chaos-seed":3,"seed":1,"instances":2}"#,
+        );
+        assert_ne!(a, other_profile, "the profile forks the key");
+
+        let plain = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":1,"instances":2}"#)
+            .schedule_key()
+            .expect("simulate has a key");
+        assert_ne!(a, plain, "an active chaos plan never shares a plain key");
+        // An inactive plan (`profile: off`) is byte-identical to plain
+        // simulation, so it legitimately shares the plain schedule key.
+        let off = chaos(
+            r#"{"cmd":"chaos","spec":{"grid":"8x8"},"profile":"off","seed":1,"instances":2}"#,
+        );
+        assert_eq!(off, plain, "an inactive plan shares the plain key");
     }
 
     #[test]
@@ -578,6 +662,57 @@ mod tests {
         let (doc_t, none) = t.execute_capture().expect("trace capture");
         assert!(none.is_none());
         assert!(doc_t.get("telemetry").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn latency_only_chaos_captures_and_replays_across_data_seeds() {
+        let chaos = |seed: u64| {
+            run(&format!(
+                r#"{{"cmd":"chaos","spec":{{"grid":"8x8"}},"profile":"jitter","chaos-seed":3,"seed":{seed},"instances":2}}"#,
+            ))
+        };
+        let (doc_a, schedule) = chaos(1).execute_capture().expect("capture");
+        let schedule = schedule.expect("latency-only chaos captures a schedule");
+        assert_eq!(
+            doc_a.get("output"),
+            chaos(1).execute().expect("run").get("output")
+        );
+
+        // A different data seed replayed through the captured chaotic
+        // schedule matches a fresh chaotic full simulation, word for word
+        // — including the fault metrics.
+        let replayed = chaos(42).execute_replay(&schedule).expect("replay");
+        let full = chaos(42).execute().expect("run");
+        assert_eq!(replayed.get("output"), full.get("output"));
+        assert_eq!(replayed.get("stats"), full.get("stats"));
+        assert_eq!(replayed.get("metrics"), full.get("metrics"));
+        assert_eq!(
+            replayed.get("engine").and_then(Json::as_str),
+            Some("replay")
+        );
+    }
+
+    #[test]
+    fn replay_mode_parses_and_never_touches_the_cache_key() {
+        let r = run(r#"{"cmd":"simulate","seed":7,"replay":"off"}"#);
+        assert_eq!(r.replay, ReplayMode::Off);
+        assert_eq!(
+            run(r#"{"cmd":"simulate","seed":7}"#).replay,
+            ReplayMode::Auto
+        );
+        // Replay is bit-exact, so the mode is excluded from the canonical
+        // text: all three spellings share one result-cache entry.
+        let base = run(r#"{"cmd":"simulate","seed":7}"#);
+        for mode in ["auto", "on", "off"] {
+            let other = run(&format!(
+                r#"{{"cmd":"simulate","seed":7,"replay":"{mode}"}}"#
+            ));
+            assert_eq!(base.cache_key(), other.cache_key(), "replay={mode}");
+        }
+        let err = Request::parse_line(r#"{"cmd":"simulate","replay":"maybe"}"#).unwrap_err();
+        assert!(err.contains("auto|on|off"), "{err}");
+        let err = Request::parse_line(r#"{"cmd":"simulate","replay":1}"#).unwrap_err();
+        assert!(err.contains("string"), "{err}");
     }
 
     #[test]

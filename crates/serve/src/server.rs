@@ -18,7 +18,8 @@
 //! typed `deadline` rejection), executes, populates the cache, and
 //! writes the response to the owning connection.
 //!
-//! Behind the result cache sit two more levels for `simulate` runs: an
+//! Behind the result cache sit two more levels for replay-eligible runs
+//! (`simulate`, and `chaos` with a latency-only profile): an
 //! in-memory [`ScheduleCache`] of captured control schedules, and — with
 //! [`ServeConfig::store_dir`] set — a persistent
 //! [`ScheduleStore`] on disk, so a restarted server replays previously
@@ -41,7 +42,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smache::system::store::ScheduleStore;
-use smache::system::ControlSchedule;
+use smache::system::{ControlSchedule, ReplayMode};
 use smache_sim::ScheduleCache;
 
 use crate::cache::ResultCache;
@@ -411,7 +412,11 @@ fn handle_run(request: RunRequest, id: Option<String>, writer: &ConnWriter, shar
 }
 
 /// Executes a run on a worker. After the (already-missed) result-cache
-/// lookup, `simulate` runs walk the rest of the cache hierarchy: an
+/// lookup, replay-eligible runs — `simulate`, and `chaos` with a
+/// latency-only profile (keyed on the chaos seed) — walk the rest of the
+/// cache hierarchy, honouring the request's `replay` mode (`off` skips
+/// the hierarchy entirely; `on` turns every silent fallback into a typed
+/// error): an
 /// in-memory schedule-cache hit replays the captured control plane over
 /// this request's seeded input (bit-exact, seed-independent key); a miss
 /// consults the persistent store, where a sound on-disk entry also
@@ -424,8 +429,18 @@ fn handle_run(request: RunRequest, id: Option<String>, writer: &ConnWriter, shar
 /// and the request recaptures: corruption degrades to a cache miss, never
 /// to a wrong or failed response.
 fn run_job(request: &RunRequest, shared: &Arc<Shared>) -> Result<smache_sim::Json, String> {
+    if request.replay == ReplayMode::Off {
+        return request.execute(); // the client opted out of replay
+    }
     let Some(key) = request.schedule_key() else {
-        return request.execute(); // plan/chaos/trace: no schedule applies
+        // Plan/trace/corrupting-chaos runs have no replayable schedule.
+        if request.replay == ReplayMode::On {
+            return Err(format!(
+                "replay=on, but `{}` runs have no replayable control schedule",
+                request.kind.label()
+            ));
+        }
+        return request.execute();
     };
     let (disabled, hit) = {
         let mut schedules = shared.schedules.lock().expect("schedules poisoned");
@@ -443,10 +458,13 @@ fn run_job(request: &RunRequest, shared: &Arc<Shared>) -> Result<smache_sim::Jso
     }
     if let Some(schedule) = hit {
         // A stale or mismatched schedule refuses cleanly; fall back to the
-        // full simulation rather than failing the request.
-        return request
-            .execute_replay(&schedule)
-            .or_else(|_| request.execute());
+        // full simulation rather than failing the request — unless the
+        // client forced `replay: on`, which surfaces the refusal.
+        return match request.execute_replay(&schedule) {
+            Err(e) if request.replay == ReplayMode::On => Err(e),
+            Err(_) => request.execute(),
+            ok => ok,
+        };
     }
 
     // Third level: the persistent store.
@@ -464,9 +482,11 @@ fn run_job(request: &RunRequest, shared: &Arc<Shared>) -> Result<smache_sim::Jso
                         .schedule_cache_state(schedules.bytes() as u64);
                 }
                 shared.publish_store_state();
-                return request
-                    .execute_replay(&schedule)
-                    .or_else(|_| request.execute());
+                return match request.execute_replay(&schedule) {
+                    Err(e) if request.replay == ReplayMode::On => Err(e),
+                    Err(_) => request.execute(),
+                    ok => ok,
+                };
             }
             Ok(None) => shared.metrics.store_lookup(false),
             Err(_) => {

@@ -102,7 +102,7 @@ pub mod trace;
 pub use error::SimError;
 pub use json::{Json, JsonError};
 pub use module::{Module, Sensitivity};
-pub use parallel::run_batch;
+pub use parallel::{run_batch, run_scatter};
 pub use replay::{
     ControlTrace, CycleRecord, GatherTable, ReplayUnsupported, ScheduleCache, SlotSource,
     TraceTotals,

@@ -75,11 +75,70 @@ where
         .collect()
 }
 
+/// Runs work units that each resolve *several* indexed results and
+/// scatters them into one dense, `total`-sized result vector.
+///
+/// This is the shape of a lane-blocked batch: a unit may be a single lane
+/// or a block of lanes replayed together, and either way it reports
+/// `(lane index, result)` pairs. Units shard across the pool exactly like
+/// [`run_batch`] jobs; the scatter restores submission order, so the
+/// output is independent of `threads` and of how lanes were blocked.
+///
+/// Every index in `0..total` must be resolved exactly once across all
+/// units — a missing or duplicated index is a caller bug and panics.
+pub fn run_scatter<T, R, F>(units: Vec<T>, threads: usize, total: usize, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Vec<(usize, R)> + Sync,
+{
+    let resolved = run_batch(units, threads, run);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    for (idx, result) in resolved.into_iter().flatten() {
+        assert!(
+            slots[idx].replace(result).is_none(),
+            "scatter index {idx} resolved twice"
+        );
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("scatter index {i} never resolved")))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::signal::Reg;
     use crate::{Module, ResourceUsage, Simulator};
+
+    #[test]
+    fn scatter_restores_order_across_uneven_units() {
+        // Units of very different sizes, indices deliberately shuffled.
+        let units: Vec<Vec<usize>> = vec![vec![3], vec![0, 5, 1], vec![4, 2]];
+        let out = run_scatter(units, 3, 6, |unit| {
+            unit.into_iter().map(|i| (i, i * 10)).collect()
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved twice")]
+    fn scatter_rejects_duplicate_indices() {
+        run_scatter(vec![vec![0usize, 0]], 1, 1, |unit| {
+            unit.into_iter().map(|i| (i, ())).collect()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "never resolved")]
+    fn scatter_rejects_missing_indices() {
+        run_scatter(vec![vec![0usize]], 1, 2, |unit| {
+            unit.into_iter().map(|i| (i, ())).collect()
+        });
+    }
 
     #[test]
     fn results_preserve_job_order() {

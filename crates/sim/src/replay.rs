@@ -85,6 +85,14 @@ impl GatherTable {
         &self.sources[self.starts[e] as usize..self.starts[e + 1] as usize]
     }
 
+    /// The full gather row of element `e`: slot sources plus kernel mask,
+    /// fetched together — the one decode a lane-batched replay performs
+    /// per element before fanning out across lanes.
+    #[inline]
+    pub fn row(&self, e: usize) -> (&[SlotSource], u64) {
+        (self.slots(e), self.masks[e])
+    }
+
     /// Approximate heap footprint in bytes (cache accounting).
     pub fn approx_bytes(&self) -> usize {
         self.starts.len() * 4
@@ -216,7 +224,8 @@ impl ControlTrace {
 /// silently diverges.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplayUnsupported {
-    /// An active fault-injection plan perturbs timing and data.
+    /// An active *corrupting* fault-injection plan couples the outcome to
+    /// the data (latency-only plans are data-independent and replayable).
     FaultPlan,
     /// An external stall schedule (stall fuzzing) drives backpressure.
     StallSchedule,
@@ -280,7 +289,7 @@ impl std::fmt::Display for ReplayUnsupported {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReplayUnsupported::FaultPlan => {
-                write!(f, "replay unsupported: active fault-injection plan")
+                write!(f, "replay unsupported: active corrupting fault-injection plan")
             }
             ReplayUnsupported::StallSchedule => {
                 write!(f, "replay unsupported: external stall schedule attached")

@@ -63,6 +63,32 @@ grep -q '"fingerprints_match": true' "$replay_json" || {
 rm -f "$replay_json"
 grep -q '"artefact": "replay"' BENCH_replay.json || {
   echo "committed BENCH_replay.json is missing or malformed"; exit 1; }
+# The committed artefact must keep the 64-lane sweep above the
+# pre-lane-batching floor (19.3x, the last per-lane-replay measurement).
+speedup64=$(awk '/"lanes": 64/{f=1} f && /"speedup"/{gsub(/[",]/,""); print $2; exit}' BENCH_replay.json)
+awk -v s="$speedup64" 'BEGIN { exit (s + 0 > 19.3) ? 0 : 1 }' || {
+  echo "committed 64-lane replay speedup regressed: ${speedup64:-missing} (floor 19.3x)"; exit 1; }
+
+echo "== chaos-replay smoke (latency-only plan, fixed chaos seed, replay vs full sim) =="
+chaos_fast=$(cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 3 \
+  --chaos-seed 7 --chaos-profile storms --batch 4 --jobs 2 --replay on --verify)
+echo "$chaos_fast" | grep -q 'engine=replay' || {
+  echo "chaos batch with --replay on did not replay"; exit 1; }
+chaos_full=$(cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 3 \
+  --chaos-seed 7 --chaos-profile storms --batch 4 --jobs 2 --replay off --verify)
+# --verify golden-checks every lane's output; the per-lane cycle/beat and
+# fault-counter lines must also agree between the two engines.
+[ "$(echo "$chaos_fast" | grep -E 'seed|chaos:' | sed 's/engine=.*//')" = \
+  "$(echo "$chaos_full" | grep -E 'seed|chaos:' | sed 's/engine=.*//')" ] || {
+  echo "chaos replay diverged from the full simulation"; exit 1; }
+chaos_sweep_json=$(mktemp)
+cargo run -p smache-bench --bin chaos --release -- --sweep 4 --chaos-seed 7 \
+  --instances 5 --jobs 2 --replay on --json "$chaos_sweep_json" >/dev/null
+grep -q '"artefact": "chaos_replay_sweep"' "$chaos_sweep_json" || {
+  echo "chaos sweep artefact is missing"; exit 1; }
+grep -Eq '"replayed_lanes": [1-9]' "$chaos_sweep_json" || {
+  echo "chaos sweep served no lane by replay"; exit 1; }
+rm -f "$chaos_sweep_json"
 
 echo "== serve smoke (unix socket: cache hit, malformed request, clean drain) =="
 serve_sock="/tmp/smache-ci-$$.sock"

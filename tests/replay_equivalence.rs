@@ -8,14 +8,17 @@
 //! modes, instance counts).
 //!
 //! The negative half pins the safety property: whenever the control plane
-//! stops being data-independent (fault plans, stall fuzzing, tracing,
-//! telemetry, result taps), capture *refuses* with a typed
+//! stops being data-independent (corrupting fault plans, stall fuzzing,
+//! tracing, telemetry, result taps), capture *refuses* with a typed
 //! [`ReplayUnsupported`] reason and the auto mode falls back to the full
-//! simulation — never a silently divergent replay.
+//! simulation — never a silently divergent replay. Latency-only fault
+//! plans are the deliberate exception: their chaos draws are a pure
+//! function of (chaos-seed, cycle), so they capture and replay across
+//! data seeds.
 
 use proptest::prelude::*;
 use smache::arch::kernel::{AverageKernel, Kernel, MaxKernel, SumKernel};
-use smache::system::batch::BatchJob;
+use smache::system::batch::{BatchJob, BatchOptions};
 use smache::system::{ReplayMode, RunEngine, SmacheSystem};
 use smache::{CoreError, HybridMode, SmacheBuilder};
 use smache_mem::{ChaosProfile, FaultPlan};
@@ -70,14 +73,24 @@ fn nine_case_grid_replays_bit_exactly() {
             "seed {seed}: DRAM traffic"
         );
         assert_eq!(replayed.engine, RunEngine::Replay);
+
+        // The lane-batched engine agrees with the per-lane one, element
+        // for element, over the same nine-case grid.
+        let batched = schedule
+            .replay_lanes(&AverageKernel, &[input.as_slice()])
+            .expect("lanes");
+        assert_eq!(batched[0].output, replayed.output, "seed {seed}: lanes");
+        assert_eq!(batched[0].stats, replayed.stats, "seed {seed}: lanes");
     }
 }
 
-/// The batched sweep path: `run_batch_replay` in auto mode captures once,
-/// replays the rest, and agrees with `run_batch` lane for lane.
+/// The batched sweep path: the unified `run_batch` in auto mode captures
+/// once, lane-batch-replays the rest, and agrees with full simulation
+/// lane for lane — at every lane-block size.
 #[test]
 fn batch_replay_matches_batch_full_sim() {
     let jobs = |n: u64| -> Vec<BatchJob> {
+        let kernel: smache::system::KernelFactory = Arc::new(|| Box::new(AverageKernel));
         (0..n)
             .map(|s| {
                 BatchJob::new(
@@ -85,26 +98,34 @@ fn batch_replay_matches_batch_full_sim() {
                         .boundaries(BoundarySpec::paper_case())
                         .plan()
                         .expect("plan"),
-                    Arc::new(|| Box::new(AverageKernel)),
+                    Arc::clone(&kernel),
                     seeded(W * W, s),
                     2,
                 )
             })
             .collect()
     };
-    let full = SmacheSystem::run_batch(jobs(6), 3);
-    let fast = SmacheSystem::run_batch_replay(jobs(6), 3, ReplayMode::Auto);
-    assert_eq!(full.aggregate, fast.aggregate);
-    let mut replayed = 0;
-    for (a, b) in full.lanes.iter().zip(&fast.lanes) {
-        let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("fast"));
-        assert_eq!(a.output, b.output);
-        assert_eq!(a.stats, b.stats);
-        if b.engine == RunEngine::Replay {
-            replayed += 1;
+    let full = SmacheSystem::run_batch(
+        jobs(6),
+        BatchOptions::new().threads(3).replay(ReplayMode::Off),
+    );
+    for lane_block in [1, 2, 16] {
+        let fast = SmacheSystem::run_batch(
+            jobs(6),
+            BatchOptions::new().threads(3).lane_block(lane_block),
+        );
+        assert_eq!(full.aggregate, fast.aggregate, "block {lane_block}");
+        let mut replayed = 0;
+        for (a, b) in full.lanes.iter().zip(&fast.lanes) {
+            let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("fast"));
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.stats, b.stats);
+            if b.engine == RunEngine::Replay {
+                replayed += 1;
+            }
         }
+        assert_eq!(replayed, 5, "one capture lane, five replayed lanes");
     }
-    assert_eq!(replayed, 5, "one capture lane, five replayed lanes");
 }
 
 fn arb_boundary() -> impl Strategy<Value = Boundary> {
@@ -191,30 +212,37 @@ proptest! {
         prop_assert_eq!(replayed.metrics.cycles, full.metrics.cycles);
         prop_assert_eq!(replayed.warmup_cycles, full.warmup_cycles);
         prop_assert_eq!(replayed.engine, RunEngine::Replay);
+
+        // The structure-of-arrays engine agrees with both, lane for lane.
+        let second = seeded(n, seed.wrapping_mul(0x2545_F491));
+        let lanes = schedule
+            .replay_lanes(kernel_of(kernel_id).as_ref(), &[&fresh, &second])
+            .expect("replay_lanes");
+        prop_assert_eq!(&lanes[0].output, &full.output);
+        prop_assert_eq!(lanes[0].stats, full.stats);
+        let single = schedule
+            .replay(kernel_of(kernel_id).as_ref(), &second)
+            .expect("replay");
+        prop_assert_eq!(&lanes[1].output, &single.output);
     }
 }
 
 /// Every data-dependent control-plane feature refuses capture with its
-/// own typed reason — no silent divergence possible.
+/// own typed reason — no silent divergence possible. Latency-only chaos
+/// is *not* on that list any more: it captures (covered below).
 #[test]
 fn capture_refuses_each_ineligible_feature() {
     let input = seeded(W * W, 1);
 
-    for profile in [
-        ChaosProfile::jitter(),
-        ChaosProfile::storms(),
-        ChaosProfile::drain(),
-        ChaosProfile::heavy(),
-    ] {
-        let mut chaotic = SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
-            .fault_plan(FaultPlan::new(9, profile))
-            .build()
-            .expect("build");
-        assert!(matches!(
-            chaotic.run_captured(&input, 1),
-            Err(CoreError::ReplayRefused(ReplayUnsupported::FaultPlan))
-        ));
-    }
+    // Corrupting plans: the fault's effect depends on the data it hits.
+    let mut corrupting = SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+        .fault_plan(FaultPlan::new(9, ChaosProfile::flip(30)))
+        .build()
+        .expect("build");
+    assert!(matches!(
+        corrupting.run_captured(&input, 1),
+        Err(CoreError::ReplayRefused(ReplayUnsupported::FaultPlan))
+    ));
 
     let mut fuzzed = paper_system();
     fuzzed.set_stall_schedule(Box::new(|c| c % 3 == 0));
@@ -245,47 +273,135 @@ fn capture_refuses_each_ineligible_feature() {
     ));
 }
 
-/// Auto mode falls back to the full simulation under chaos (the lanes run
-/// and their outputs match plain `run_batch`); forced mode surfaces the
-/// refusal as a typed error on every lane of the refused key.
-#[test]
-fn auto_falls_back_and_forced_mode_errors_under_chaos() {
-    let chaotic_jobs = || -> Vec<BatchJob> {
-        (0..3u64)
-            .map(|s| {
-                BatchJob::new(
-                    SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
-                        .plan()
-                        .expect("plan"),
-                    Arc::new(|| Box::new(AverageKernel)),
-                    seeded(W * W, s),
-                    2,
-                )
-                .with_config(smache::system::smache_system::SystemConfig {
-                    // Latency-only chaos: the runs themselves succeed.
-                    fault_plan: FaultPlan::new(5, ChaosProfile::jitter()),
-                    ..Default::default()
-                })
+fn chaotic_jobs(n: u64, chaos_seed: u64, profile: ChaosProfile) -> Vec<BatchJob> {
+    let kernel: smache::system::KernelFactory = Arc::new(|| Box::new(AverageKernel));
+    (0..n)
+        .map(|s| {
+            BatchJob::new(
+                SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+                    .plan()
+                    .expect("plan"),
+                Arc::clone(&kernel),
+                seeded(W * W, s),
+                2,
+            )
+            .with_config(smache::system::smache_system::SystemConfig {
+                fault_plan: FaultPlan::new(chaos_seed, profile),
+                ..Default::default()
             })
-            .collect()
-    };
+        })
+        .collect()
+}
 
-    let full = SmacheSystem::run_batch(chaotic_jobs(), 2);
-    let auto = SmacheSystem::run_batch_replay(chaotic_jobs(), 2, ReplayMode::Auto);
-    assert_eq!(auto.succeeded(), 3);
-    for (a, b) in full.lanes.iter().zip(&auto.lanes) {
-        let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("auto"));
-        assert_eq!(a.output, b.output, "auto fallback stays bit-exact");
-        assert_eq!(b.engine, RunEngine::FullSim, "fallback lanes ran full sim");
+/// Latency-only chaos captures and replays: even under forced replay every
+/// lane succeeds, bit-exact with the chaotic full simulation — one capture
+/// per (spec, chaos-seed), replayed across the data seeds.
+#[test]
+fn latency_only_chaos_replays_bit_exactly_across_data_seeds() {
+    let full = SmacheSystem::run_batch(
+        chaotic_jobs(8, 5, ChaosProfile::heavy()),
+        BatchOptions::new().threads(2).replay(ReplayMode::Off),
+    );
+    let forced = SmacheSystem::run_batch(
+        chaotic_jobs(8, 5, ChaosProfile::heavy()),
+        BatchOptions::new().threads(2).replay(ReplayMode::On),
+    );
+    assert_eq!(forced.succeeded(), 8);
+    let mut replayed = 0;
+    for (a, b) in full.lanes.iter().zip(&forced.lanes) {
+        let (a, b) = (a.as_ref().expect("full"), b.as_ref().expect("forced"));
+        assert_eq!(a.output, b.output, "chaos replay stays bit-exact");
+        assert_eq!(a.stats, b.stats, "chaotic cycle accounting replays too");
+        if b.engine == RunEngine::Replay {
+            replayed += 1;
+        }
     }
+    assert_eq!(replayed, 7, "one capture lane, seven replayed lanes");
 
-    let forced = SmacheSystem::run_batch_replay(chaotic_jobs(), 2, ReplayMode::On);
+    // A different chaos seed is a different schedule: nothing is shared,
+    // and the runs come out different (storms land elsewhere).
+    let other = SmacheSystem::run_batch(
+        chaotic_jobs(2, 6, ChaosProfile::heavy()),
+        BatchOptions::new().replay(ReplayMode::On),
+    );
+    assert_eq!(other.succeeded(), 2);
+    let (a, b) = (
+        forced.lanes[0].as_ref().expect("ok"),
+        other.lanes[0].as_ref().expect("ok"),
+    );
+    assert_ne!(a.stats.stall_cycles, b.stats.stall_cycles, "distinct chaos");
+}
+
+/// Corrupting chaos still refuses forced replay with typed provenance;
+/// auto mode falls back to the full simulation and reproduces its result
+/// exactly (here: the typed FaultDetected diagnosis of the bit flip).
+#[test]
+fn corrupting_chaos_refuses_with_typed_provenance() {
+    let forced = SmacheSystem::run_batch(
+        chaotic_jobs(3, 5, ChaosProfile::flip(30)),
+        BatchOptions::new().threads(2).replay(ReplayMode::On),
+    );
     assert_eq!(forced.succeeded(), 0);
     for lane in &forced.lanes {
         match lane {
             Err(CoreError::ReplayRefused(r)) => assert_eq!(r.label(), "fault_plan"),
             other => panic!("expected a typed refusal, got {other:?}"),
         }
+    }
+
+    let auto = SmacheSystem::run_batch(
+        chaotic_jobs(3, 5, ChaosProfile::flip(30)),
+        BatchOptions::new().threads(2),
+    );
+    let full = SmacheSystem::run_batch(
+        chaotic_jobs(3, 5, ChaosProfile::flip(30)),
+        BatchOptions::new().threads(2).replay(ReplayMode::Off),
+    );
+    for (a, f) in auto.lanes.iter().zip(&full.lanes) {
+        match (a, f) {
+            (Ok(a), Ok(f)) => assert_eq!(a.output, f.output),
+            (Err(a), Err(f)) => assert_eq!(a.to_string(), f.to_string()),
+            _ => panic!("auto fallback diverged from the full simulation"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chaos-replay equivalence: for any latency-only profile and chaos
+    /// seed, a schedule captured under the plan replays fresh data seeds
+    /// bit-exactly against the chaotic full simulation — outputs, cycle
+    /// stats and fault accounting alike.
+    #[test]
+    fn latency_only_chaos_replay_equals_full_sim(
+        profile_id in 0usize..4,
+        chaos_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let profile = [
+            ChaosProfile::jitter(),
+            ChaosProfile::storms(),
+            ChaosProfile::drain(),
+            ChaosProfile::heavy(),
+        ][profile_id];
+        let builder = || SmacheBuilder::new(GridSpec::d2(W, W).expect("grid"))
+            .fault_plan(FaultPlan::new(chaos_seed, profile));
+
+        let mut capture_sys = builder().build().expect("build");
+        let (_, schedule) = capture_sys
+            .run_captured(&seeded(W * W, data_seed), 2)
+            .expect("latency-only chaos must capture");
+
+        let fresh = seeded(W * W, data_seed.wrapping_add(0x9E37_79B9));
+        let replayed = schedule.replay(&AverageKernel, &fresh).expect("replay");
+        let mut full_sys = builder().build().expect("build");
+        let full = full_sys.run(&fresh, 2).expect("run");
+
+        prop_assert_eq!(&replayed.output, &full.output);
+        prop_assert_eq!(replayed.stats, full.stats);
+        prop_assert_eq!(replayed.metrics.faults, full.metrics.faults);
+        prop_assert_eq!(replayed.engine, RunEngine::Replay);
     }
 }
 

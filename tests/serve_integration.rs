@@ -358,6 +358,108 @@ fn restarted_server_warm_starts_from_the_schedule_store() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Latency-only chaos runs are replay-eligible on the server too: their
+/// schedule is keyed on the chaos seed (not the data seed), so a second
+/// data seed under the same fault plan is served by replay, bit-exact
+/// against a direct chaotic simulation. The request's `replay` field
+/// mirrors the CLI flag: `off` opts out per request, and `on` against a
+/// kind with no schedule is a typed error.
+#[test]
+fn latency_only_chaos_is_served_by_replay_across_data_seeds() {
+    use smache_mem::{ChaosProfile, FaultPlan};
+
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock("chaos-replay")),
+        workers: 1,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 4 << 20,
+        store_dir: None,
+        store_bytes: 0,
+        default_deadline_ms: None,
+    })
+    .expect("server starts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+
+    let chaos_request = |id: &str, seed: u64, replay: Option<&str>| {
+        let mut pairs = vec![
+            ("id", Json::str(id)),
+            ("cmd", Json::str("chaos")),
+            ("spec", Json::obj(vec![("grid", Json::str("8x8"))])),
+            ("profile", Json::str("jitter")),
+            ("chaos-seed", Json::Int(3)),
+            ("seed", Json::Int(seed as i64)),
+            ("instances", Json::Int(2)),
+        ];
+        if let Some(mode) = replay {
+            pairs.push(("replay", Json::str(mode)));
+        }
+        Json::obj(pairs)
+    };
+    // Direct chaotic run of the same (spec, fault plan, data seed).
+    let reference = |seed: u64| {
+        let mut src = BTreeMap::new();
+        src.insert("grid".to_string(), "8x8".to_string());
+        let spec = ProblemSpec::from_source(&src).expect("spec parses");
+        let mut system = spec
+            .builder()
+            .fault_plan(FaultPlan::new(3, ChaosProfile::jitter()))
+            .build()
+            .expect("system builds");
+        let input = seeded_input(spec.grid.len(), seed);
+        let report = system.run(&input, 2).expect("chaotic reference run");
+        report.to_json().compact()
+    };
+
+    // First data seed: captures (a full run).
+    let first = conn.call(&chaos_request("c1", 1, None)).expect("first");
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+    let served = first.get("report").expect("report").compact();
+    assert!(served.contains("\"engine\":\"full_sim\""), "{served}");
+    assert_eq!(served, reference(1));
+
+    // Second data seed, same chaos seed: served by replay, bit-exact.
+    let second = conn.call(&chaos_request("c2", 42, None)).expect("second");
+    assert_eq!(second.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(false));
+    let served = second.get("report").expect("report").compact();
+    assert!(
+        served.contains("\"engine\":\"replay\""),
+        "same-plan chaos must replay: {served}"
+    );
+    assert_eq!(engine_blind(&served), reference(42));
+    assert_eq!(handle.metrics().counter("serve.schedule_cache.hits"), 1);
+
+    // `replay: off` opts this request out of the schedule hierarchy.
+    let off = conn
+        .call(&chaos_request("c3", 43, Some("off")))
+        .expect("off");
+    assert_eq!(off.get("status").and_then(Json::as_str), Some("ok"));
+    let served = off.get("report").expect("report").compact();
+    assert!(served.contains("\"engine\":\"full_sim\""), "{served}");
+    assert_eq!(served, reference(43));
+
+    // `replay: on` against a kind with no replayable schedule is a typed
+    // error, not a silent full simulation.
+    let forced = conn
+        .call(&Json::obj(vec![
+            ("id", Json::str("c4")),
+            ("cmd", Json::str("trace")),
+            ("spec", Json::obj(vec![("grid", Json::str("8x8"))])),
+            ("replay", Json::str("on")),
+        ]))
+        .expect("forced");
+    assert_eq!(forced.get("status").and_then(Json::as_str), Some("error"));
+    assert!(
+        forced
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("no replayable")),
+        "{forced:?}"
+    );
+    handle.shutdown();
+}
+
 #[test]
 fn client_initiated_shutdown_drains_queued_work_then_exits() {
     let path = sock("drain");

@@ -31,7 +31,7 @@ use smache::functional::golden::golden_run;
 use smache::system::smache_system::SystemConfig;
 use smache::system::{RunEngine, SmacheSystem};
 use smache::HybridMode;
-use smache_bench::flags::{arg_value, BatchFlags};
+use smache_bench::flags::{arg_value, pipeline_args, BatchFlags};
 use smache_bench::json::Json;
 use smache_bench::report::{bar, Table};
 use smache_bench::workloads::paper_problem;
@@ -76,6 +76,21 @@ fn main() {
         );
     }
     let trace_out = arg_value(&args, "--trace-out");
+    // `--timesteps T [--channels C]`: run the ladder through the temporal
+    // pipeline instead of the single-step system — chaos is absorbed (and
+    // attributed per channel) exactly the same way.
+    let pipe_geometry = pipeline_args(&args);
+    if let Some((depth, _)) = pipe_geometry {
+        assert!(
+            trace_fmt.is_none(),
+            "--trace drives the single-step system; drop it for --timesteps runs"
+        );
+        assert_eq!(
+            instances % depth as u64,
+            0,
+            "--timesteps must divide --instances ({instances})"
+        );
+    }
 
     let workload = paper_problem(11, 11, instances);
     let input = workload.ramp_input();
@@ -122,13 +137,38 @@ fn main() {
     let n_points = points.len();
     for (point_ix, (label, profile)) in points.iter().enumerate() {
         let plan = FaultPlan::new(seed, *profile);
-        let mut system = workload.smache_with(
-            HybridMode::default(),
-            SystemConfig {
-                fault_plan: plan,
-                ..SystemConfig::default()
-            },
-        );
+        let config = SystemConfig {
+            fault_plan: plan,
+            ..SystemConfig::default()
+        };
+        if let Some((depth, channels)) = pipe_geometry {
+            let mut pipe = workload.pipeline(
+                HybridMode::default(),
+                smache::PipelineConfig {
+                    depth,
+                    channels,
+                    system: config,
+                    ..Default::default()
+                },
+            );
+            pipe.attach_telemetry(smache_sim::TelemetryConfig::default());
+            if let Some(tel) = pipe.telemetry_mut() {
+                tel.probes.set_enabled(false);
+            }
+            let report = pipe
+                .run(&input, instances / depth as u64)
+                .expect("latency-only chaos must be absorbed");
+            push_point(
+                label,
+                &report,
+                &golden,
+                &mut baseline_cycles,
+                &mut t,
+                &mut rows,
+            );
+            continue;
+        }
+        let mut system = workload.smache_with(HybridMode::default(), config);
         // Counters (stall attribution per fault kind) are always recorded;
         // the per-cycle probe event stream only when a trace was requested.
         system.attach_telemetry(smache_sim::TelemetryConfig::default());
@@ -140,58 +180,14 @@ fn main() {
         let report = system
             .run(&input, instances)
             .expect("latency-only chaos must be absorbed");
-        assert_eq!(report.output, golden, "{label}: chaos corrupted the output");
-        if baseline_cycles == 0 {
-            baseline_cycles = report.metrics.cycles;
-        }
-        let slowdown = report.metrics.cycles as f64 / baseline_cycles as f64;
-        let throughput = 1.0 / slowdown;
-        t.row(vec![
-            label.clone(),
-            report.metrics.cycles.to_string(),
-            format!("{:.3}", report.stall_fraction()),
-            report.metrics.faults.storm_cycles.to_string(),
-            format!("{slowdown:.3}x"),
-            bar(throughput, 1.0, 28),
-        ]);
-        let tel = report.telemetry.as_ref().expect("telemetry attached");
-        let counters_obj = |pairs: Vec<(String, u64)>| {
-            Json::Obj(
-                pairs
-                    .into_iter()
-                    .map(|(name, v)| (name, Json::Int(v as i64)))
-                    .collect(),
-            )
-        };
-        rows.push(Json::obj(vec![
-            ("profile", Json::str(label.clone())),
-            ("cycles", Json::Int(report.metrics.cycles as i64)),
-            ("stall_fraction", Json::Num(report.stall_fraction())),
-            (
-                "storm_cycles",
-                Json::Int(report.metrics.faults.storm_cycles as i64),
-            ),
-            (
-                "jitter_events",
-                Json::Int(report.metrics.faults.jitter_events as i64),
-            ),
-            (
-                "slow_drain_cycles",
-                Json::Int(report.metrics.faults.slow_drain_cycles as i64),
-            ),
-            ("slowdown", Json::Num(slowdown)),
-            ("output_matches_golden", Json::Bool(true)),
-            (
-                "telemetry",
-                Json::obj(vec![
-                    // Per-fault-kind stall attribution (cycles the datapath
-                    // froze, keyed by cause) straight from the counters.
-                    ("stall_attribution", counters_obj(tel.with_prefix("stall"))),
-                    ("chaos_counters", counters_obj(tel.with_prefix("chaos"))),
-                    ("fsm2_residency", counters_obj(tel.residency("fsm2"))),
-                ]),
-            ),
-        ]));
+        push_point(
+            label,
+            &report,
+            &golden,
+            &mut baseline_cycles,
+            &mut t,
+            &mut rows,
+        );
         if let (Some(fmt), true) = (&trace_fmt, point_ix + 1 == n_points) {
             let artifact = system
                 .export_trace(fmt, "smache")
@@ -224,6 +220,71 @@ fn main() {
     ]);
     std::fs::write(&path, doc.pretty()).expect("write json");
     println!("wrote {path}");
+}
+
+/// One ladder point: golden check, slowdown vs the clean first point, a
+/// table row and a JSON row (with the telemetry stall attribution). The
+/// single-step system and the temporal pipeline report identically.
+fn push_point(
+    label: &str,
+    report: &smache::system::RunReport,
+    golden: &[u64],
+    baseline_cycles: &mut u64,
+    t: &mut Table,
+    rows: &mut Vec<Json>,
+) {
+    assert_eq!(report.output, golden, "{label}: chaos corrupted the output");
+    if *baseline_cycles == 0 {
+        *baseline_cycles = report.metrics.cycles;
+    }
+    let slowdown = report.metrics.cycles as f64 / *baseline_cycles as f64;
+    let throughput = 1.0 / slowdown;
+    t.row(vec![
+        label.to_string(),
+        report.metrics.cycles.to_string(),
+        format!("{:.3}", report.stall_fraction()),
+        report.metrics.faults.storm_cycles.to_string(),
+        format!("{slowdown:.3}x"),
+        bar(throughput, 1.0, 28),
+    ]);
+    let tel = report.telemetry.as_ref().expect("telemetry attached");
+    let counters_obj = |pairs: Vec<(String, u64)>| {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(name, v)| (name, Json::Int(v as i64)))
+                .collect(),
+        )
+    };
+    rows.push(Json::obj(vec![
+        ("profile", Json::str(label)),
+        ("cycles", Json::Int(report.metrics.cycles as i64)),
+        ("stall_fraction", Json::Num(report.stall_fraction())),
+        (
+            "storm_cycles",
+            Json::Int(report.metrics.faults.storm_cycles as i64),
+        ),
+        (
+            "jitter_events",
+            Json::Int(report.metrics.faults.jitter_events as i64),
+        ),
+        (
+            "slow_drain_cycles",
+            Json::Int(report.metrics.faults.slow_drain_cycles as i64),
+        ),
+        ("slowdown", Json::Num(slowdown)),
+        ("output_matches_golden", Json::Bool(true)),
+        (
+            "telemetry",
+            Json::obj(vec![
+                // Per-fault-kind stall attribution (cycles the datapath
+                // froze, keyed by cause) straight from the counters.
+                ("stall_attribution", counters_obj(tel.with_prefix("stall"))),
+                ("chaos_counters", counters_obj(tel.with_prefix("chaos"))),
+                ("fsm2_residency", counters_obj(tel.residency("fsm2"))),
+            ]),
+        ),
+    ]));
 }
 
 /// The chaos-replay sweep (`--sweep N`): a fixed `(chaos_seed, profile)`

@@ -29,7 +29,7 @@ use smache::system::metrics::DesignMetrics;
 use smache::system::SmacheSystem;
 use smache::HybridMode;
 use smache_baseline::BaselineConfig;
-use smache_bench::flags::{arg_value, BatchFlags};
+use smache_bench::flags::{arg_value, pipeline_args, BatchFlags};
 use smache_bench::json::Json;
 use smache_bench::parallel_map;
 use smache_bench::report::{bar, Table};
@@ -162,6 +162,47 @@ fn main() {
         norm.speedup(),
         171.6 / 59.7
     );
+
+    // --- Temporal pipeline (beyond the paper) ------------------------------
+    // With `--timesteps T [--channels C]`, chain T Smache stages so the
+    // same `instances` grid updates take `instances / T` DRAM passes —
+    // bit-exact with the single-step run, at a fraction of the traffic.
+    if let Some((depth, channels)) = pipeline_args(&args) {
+        assert_eq!(
+            workload.instances % depth as u64,
+            0,
+            "--timesteps must divide the instance count ({})",
+            workload.instances
+        );
+        let passes = workload.instances / depth as u64;
+        let mut pipe = workload.pipeline(
+            HybridMode::default(),
+            smache::PipelineConfig {
+                depth,
+                channels,
+                system: smache::system::smache_system::SystemConfig {
+                    fault_plan: chaos,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let pipe_report = pipe.run(&input, passes).expect("pipeline run");
+        assert_eq!(
+            pipe_report.output, golden,
+            "temporal pipeline output mismatch"
+        );
+        println!(
+            "== Temporal pipeline: {depth} stage(s) x {passes} pass(es), {channels} channel(s) =="
+        );
+        println!("{}", DesignMetrics::table_header());
+        println!("{}", sm_report.metrics.table_row());
+        println!("{}", pipe_report.metrics.table_row());
+        println!(
+            "traffic vs single-step Smache: {:.2}x; output bit-exact with golden\n",
+            pipe_report.metrics.traffic_kb() / sm_report.metrics.traffic_kb()
+        );
+    }
 
     // --- §IV resource prose ------------------------------------------------
     println!("== §IV resource comparison ==");

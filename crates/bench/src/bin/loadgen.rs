@@ -7,7 +7,7 @@
 //! * **closed loop** — C client threads (sharded with the same
 //!   [`run_batch`] primitive the simulator uses),
 //!   each holding one connection and issuing requests in lockstep;
-//!   per-request latencies give p50/p99.
+//!   per-request latencies give p50/p95/p99.
 //! * **open loop** — one connection pipelines every request before
 //!   reading any response; wall time gives peak throughput unthrottled
 //!   by client think-time.
@@ -185,7 +185,7 @@ fn main() {
     );
 
     let mut table = Table::new(vec![
-        "Repeat", "Mode", "req/s", "p50 us", "p99 us", "hit rate", "rejected",
+        "Repeat", "Mode", "req/s", "p50 us", "p95 us", "p99 us", "hit rate", "rejected",
     ]);
     let mut rows = Vec::new();
     let mut closed_rps = std::collections::BTreeMap::new();
@@ -225,24 +225,25 @@ fn main() {
             } else {
                 r.hits as f64 / r.oks as f64
             };
-            let (p50, p99) = (
+            let (p50, p95, p99) = (
                 percentile(&r.latencies_us, 0.50),
+                percentile(&r.latencies_us, 0.95),
                 percentile(&r.latencies_us, 0.99),
             );
+            let cell = |v: u64| {
+                if r.latencies_us.is_empty() {
+                    "-".into()
+                } else {
+                    v.to_string()
+                }
+            };
             table.row(vec![
                 format!("{repeat_pct}%"),
                 mode.to_string(),
                 format!("{rps:.0}"),
-                if r.latencies_us.is_empty() {
-                    "-".into()
-                } else {
-                    p50.to_string()
-                },
-                if r.latencies_us.is_empty() {
-                    "-".into()
-                } else {
-                    p99.to_string()
-                },
+                cell(p50),
+                cell(p95),
+                cell(p99),
                 format!("{:.2}", hit_rate),
                 r.rejected.to_string(),
             ]);
@@ -252,6 +253,7 @@ fn main() {
                 ("requests", Json::Int(r.oks as i64)),
                 ("throughput_rps", Json::Num(rps)),
                 ("p50_us", Json::Int(p50 as i64)),
+                ("p95_us", Json::Int(p95 as i64)),
                 ("p99_us", Json::Int(p99 as i64)),
                 ("hit_rate", Json::Num(hit_rate)),
                 ("rejected", Json::Int(r.rejected as i64)),
@@ -312,6 +314,10 @@ fn main() {
         (
             "p50_us",
             Json::Int(percentile(&sched.latencies_us, 0.50) as i64),
+        ),
+        (
+            "p95_us",
+            Json::Int(percentile(&sched.latencies_us, 0.95) as i64),
         ),
         (
             "p99_us",

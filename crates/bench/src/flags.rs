@@ -30,6 +30,24 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
         })
 }
 
+/// `--timesteps T`/`--channels C` as a pipeline geometry, mirroring the
+/// CLI's spec knobs: `Some((depth, channels))` when either departs from 1
+/// (the workload wants the temporal pipeline), `None` for plain
+/// single-step runs.
+pub fn pipeline_args(args: &[String]) -> Option<(usize, usize)> {
+    let depth: usize = arg_value(args, "--timesteps")
+        .map(|v| v.parse().expect("--timesteps wants a number >= 1"))
+        .unwrap_or(1);
+    let channels: usize = arg_value(args, "--channels")
+        .map(|v| v.parse().expect("--channels wants a number >= 1"))
+        .unwrap_or(1);
+    assert!(
+        depth >= 1 && channels >= 1,
+        "--timesteps/--channels want numbers >= 1"
+    );
+    (depth > 1 || channels > 1).then_some((depth, channels))
+}
+
 /// The parsed batch flag group. Owns the opened [`ScheduleStore`] (if
 /// `--store` was given) so [`options`](Self::options) can lend it to a
 /// [`BatchOptions`] per sweep.

@@ -113,6 +113,18 @@ impl PaperWorkload {
             .collect()
     }
 
+    /// Instantiates a temporal pipeline over this workload (see
+    /// `docs/PIPELINE.md`): `config.depth` chained stages, so one run of
+    /// `instances / depth` passes advances the grid `instances` updates.
+    pub fn pipeline(
+        &self,
+        hybrid: HybridMode,
+        config: smache::PipelineConfig,
+    ) -> smache::TemporalPipeline {
+        smache::TemporalPipeline::new(self.plan(hybrid), Box::new(AverageKernel), config)
+            .expect("valid paper workload")
+    }
+
     /// Instantiates the baseline system for this workload.
     pub fn baseline(&self, config: BaselineConfig) -> BaselineSystem {
         BaselineSystem::new(

@@ -69,6 +69,8 @@ const VALUED: &[&str] = &[
     "strategy",
     "statics",
     "word-bits",
+    "timesteps",
+    "channels",
     "instances",
     "seed",
     "design",
@@ -127,6 +129,10 @@ PROBLEM OPTIONS (all commands):
   --strategy global|greedy|exact                    [global]
   --statics bram|reg       static-buffer placement  [bram]
   --word-bits N            logical word width       [32]
+  --timesteps T            temporal pipeline depth: chain T Smache stages
+                           so T grid updates cost one DRAM pass [1]
+  --channels C             independent DRAM channels feeding the
+                           pipeline (word-interleaved address map) [1]
 
 SIMULATE OPTIONS:
   --instances N            work-instances           [100]
@@ -427,6 +433,16 @@ fn export_trace(
 /// the probe trace, and optionally print the bottleneck analysis.
 fn cmd_trace(args: &Args) -> Result<String, CliError> {
     let spec = spec_from_args(args)?;
+    if spec.pipelined() {
+        return Err(ArgError::BadValue {
+            key: "timesteps".into(),
+            value: format!("{} (channels {})", spec.timesteps, spec.channels),
+            expected: "a single-stage spec (`trace` drives the single-step system; \
+                       pipelined runs go through `simulate`)"
+                .into(),
+        }
+        .into());
+    }
     let instances: u64 = args.get_num("instances", 1)?;
     let seed: u64 = args.get_num("seed", 1)?;
     let top: usize = args.get_num("top", 5)?;
@@ -516,6 +532,9 @@ fn output_fp(output: &[u64]) -> String {
 
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let spec = spec_from_args(args)?;
+    if spec.pipelined() {
+        return cmd_simulate_pipeline(args, &spec);
+    }
     let instances: u64 = args.get_num("instances", 100)?;
     let seed: u64 = args.get_num("seed", 1)?;
     let design = args.get_or("design", "smache");
@@ -679,6 +698,126 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
                 }
                 .into());
             }
+        }
+    }
+    Ok(out)
+}
+
+/// `simulate` for a pipelined spec (`--timesteps`/`--channels`): the
+/// temporal pipeline advances `timesteps` grid updates per DRAM pass, so
+/// `--instances` must be a multiple of the depth. Verification and replay
+/// work exactly as for the single-step system; `--batch`, `--lanes`,
+/// `--trace` and non-Smache designs are single-step-only.
+fn cmd_simulate_pipeline(args: &Args, spec: &ProblemSpec) -> Result<String, CliError> {
+    let instances: u64 = args.get_num("instances", 100)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let depth = spec.timesteps.max(1);
+    for (key, unsupported) in [
+        ("batch", args.get("batch").is_some()),
+        ("lanes", args.get_num::<usize>("lanes", 1)? > 1),
+        ("trace", args.get("trace").is_some()),
+        ("design", args.get_or("design", "smache") != "smache"),
+    ] {
+        if unsupported {
+            return Err(ArgError::BadValue {
+                key: key.into(),
+                value: args.get_or(key, "").into(),
+                expected: "a single-step spec (pipelined --timesteps/--channels runs \
+                           the Smache temporal pipeline only)"
+                    .into(),
+            }
+            .into());
+        }
+    }
+    if !instances.is_multiple_of(depth) {
+        return Err(ArgError::BadValue {
+            key: "instances".into(),
+            value: instances.to_string(),
+            expected: format!("a multiple of --timesteps {depth} (each DRAM pass advances the grid {depth} updates)"),
+        }
+        .into());
+    }
+    let passes = instances / depth;
+
+    let chaos = chaos_plan(args)?;
+    let mode = replay_mode(args)?;
+    let plan = spec.builder().plan()?;
+    let config = smache::PipelineConfig {
+        depth: depth as usize,
+        channels: spec.channels,
+        system: smache::system::smache_system::SystemConfig {
+            fault_plan: chaos,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut pipe = smache::TemporalPipeline::new(plan, Box::new(AverageKernel), config)?;
+
+    let n = spec.grid.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect();
+
+    use smache::system::ReplayMode;
+    let (report, engine_note): (_, String) = match mode {
+        ReplayMode::Off => (pipe.run(&input, passes)?, "engine=full_sim".into()),
+        ReplayMode::Auto | ReplayMode::On => match pipe.run_captured(&input, passes) {
+            Ok((_, schedule)) => {
+                let replayed = schedule
+                    .replay(&AverageKernel, &input)
+                    .map_err(|e| CliError::Core(smache::CoreError::ReplayRefused(e)))?;
+                (replayed, "engine=replay".into())
+            }
+            Err(smache::CoreError::ReplayRefused(r)) if mode == ReplayMode::Auto => {
+                let report = pipe.run(&input, passes)?;
+                (report, format!("engine=full_sim fallback={}", r.label()))
+            }
+            Err(e) => return Err(e.into()),
+        },
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pipeline: {depth} stage(s) x {passes} pass(es) = {instances} timestep(s), {} channel(s)",
+        spec.channels
+    );
+    let _ = writeln!(out, "{}", report.metrics);
+    let _ = writeln!(
+        out,
+        "  warm-up {} cycles; resources: {}",
+        report.warmup_cycles, report.metrics.resources
+    );
+    let _ = writeln!(out, "  {engine_note} fp={}", output_fp(&report.output));
+    if chaos.is_active() {
+        let _ = writeln!(
+            out,
+            "  chaos (seed {}): {}",
+            chaos.seed, report.metrics.faults
+        );
+    }
+    if args.flag("verify") {
+        let golden = golden_run(
+            &spec.grid,
+            &spec.bounds,
+            &spec.shape,
+            &AverageKernel,
+            &input,
+            instances,
+        )?;
+        if report.output == golden {
+            let _ = writeln!(out, "  verified against golden reference");
+        } else {
+            return Err(smache::CoreError::Mismatch {
+                index: report
+                    .output
+                    .iter()
+                    .zip(&golden)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0),
+                expected: 0,
+                actual: 0,
+            }
+            .into());
         }
     }
     Ok(out)
@@ -1125,6 +1264,76 @@ mod tests {
         let b = run_str("simulate --grid 8x8 --instances 2 --batch 5 --lane-block 64").unwrap();
         assert_eq!(per_lane(&a), per_lane(&b), "lane blocking is invisible");
         assert_eq!(a.matches("engine=replay").count(), 4, "{a}");
+    }
+
+    #[test]
+    fn pipelined_simulate_replays_and_verifies() {
+        let out = run_str("simulate --grid 8x8 --timesteps 4 --channels 2 --instances 8 --verify")
+            .unwrap();
+        assert!(out.contains("pipeline: 4 stage(s) x 2 pass(es)"), "{out}");
+        assert!(out.contains("Smache-pipe4x2"), "{out}");
+        assert!(out.contains("engine=replay"), "{out}");
+        assert!(out.contains("verified against golden reference"), "{out}");
+    }
+
+    #[test]
+    fn pipelined_simulate_full_sim_matches_replay_fingerprint() {
+        let fp = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("fp="))
+                .and_then(|l| l.split("fp=").nth(1))
+                .unwrap()
+                .to_string()
+        };
+        let sim = run_str("simulate --grid 8x8 --timesteps 2 --instances 4 --replay off").unwrap();
+        let rep = run_str("simulate --grid 8x8 --timesteps 2 --instances 4 --replay on").unwrap();
+        assert!(sim.contains("engine=full_sim"), "{sim}");
+        assert!(rep.contains("engine=replay"), "{rep}");
+        assert_eq!(fp(&sim), fp(&rep), "replay is bit-exact");
+    }
+
+    #[test]
+    fn pipelined_simulate_validates_its_flags() {
+        // Timesteps must divide the instance count.
+        assert!(matches!(
+            run_str("simulate --grid 8x8 --timesteps 3 --instances 8"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        // Batch, lanes, trace and other designs are single-step-only.
+        for argv in [
+            "simulate --grid 8x8 --timesteps 2 --instances 4 --batch 2",
+            "simulate --grid 8x8 --timesteps 2 --instances 4 --lanes 2",
+            "simulate --grid 8x8 --timesteps 2 --instances 4 --trace vcd",
+            "simulate --grid 8x8 --timesteps 2 --instances 4 --design both",
+            "trace --grid 8x8 --timesteps 2",
+        ] {
+            assert!(
+                matches!(
+                    run_str(argv),
+                    Err(CliError::Args(ArgError::BadValue { .. }))
+                ),
+                "{argv}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_chaos_verifies_or_faults() {
+        // Latency-only chaos: absorbed, replayed, still golden.
+        let out = run_str(
+            "simulate --grid 8x8 --timesteps 2 --channels 2 --instances 4 \
+             --chaos-profile storms --chaos-seed 7 --verify",
+        )
+        .unwrap();
+        assert!(out.contains("engine=replay"), "{out}");
+        assert!(out.contains("verified against golden reference"), "{out}");
+        // Corrupting chaos: refused capture, auto falls back, fault surfaces.
+        let err = run_str("simulate --grid 8x8 --timesteps 2 --instances 2 --chaos-profile flip:5")
+            .unwrap_err();
+        assert!(
+            matches!(err, CliError::Core(smache::CoreError::FaultDetected(_))),
+            "{err}"
+        );
     }
 
     #[test]

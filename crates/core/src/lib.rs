@@ -24,6 +24,7 @@
 //! | [`cost`] | the memory-utilisation cost model (Table I estimates), the simulated-synthesis "actual" model, and the Fmax model |
 //! | [`arch`] | §III — stream buffer (Case-R/Case-H), static buffers, kernel, the 3-FSM controller |
 //! | [`system`] | the full cycle-accurate Smache system (DRAM → Smache → kernel → DRAM), its metrics, and the batched sweep driver [`SmacheSystem::run_batch`](system::SmacheSystem::run_batch) |
+//! | [`pipeline`] | beyond the paper: temporal blocking — `depth` chained Smache stages over multi-channel DRAM ([`pipeline::TemporalPipeline`]) |
 //! | [`functional`] | the fast golden/functional models used for verification |
 //! | [`builder`] | the high-level public API: [`builder::SmacheBuilder`] |
 //! | [`spec`] | the textual problem schema shared by the CLI and `smache serve` |
@@ -55,12 +56,14 @@ pub mod config;
 pub mod cost;
 pub mod error;
 pub mod functional;
+pub mod pipeline;
 pub mod spec;
 pub mod system;
 
 pub use builder::SmacheBuilder;
 pub use config::{Algorithm1, BufferPlan, HybridMode, PlanStrategy};
 pub use error::CoreError;
+pub use pipeline::{PipelineConfig, TemporalPipeline};
 pub use spec::{ProblemSpec, SpecError, SpecSource};
 pub use system::{DesignMetrics, SmacheSystem};
 
@@ -88,6 +91,7 @@ pub mod prelude {
     pub use crate::config::{BufferPlan, HybridMode, PlanStrategy};
     pub use crate::error::{CoreError, FaultDiagnostic};
     pub use crate::functional::golden::golden_run;
+    pub use crate::pipeline::{PipelineConfig, TemporalPipeline};
     pub use crate::system::{
         ControlSchedule, DesignMetrics, ReplayMode, RunEngine, RunReport, SmacheSystem,
         SystemConfig,

@@ -81,6 +81,8 @@ pub const SPEC_KEYS: &[&str] = &[
     "strategy",
     "statics",
     "word-bits",
+    "timesteps",
+    "channels",
 ];
 
 /// A fully parsed problem specification.
@@ -100,6 +102,11 @@ pub struct ProblemSpec {
     pub static_kind: MemKind,
     /// Word width in bits.
     pub word_bits: u32,
+    /// Temporal-pipeline depth: chained Smache stages, i.e. timesteps
+    /// advanced per DRAM pass (1 = the single-step system).
+    pub timesteps: u64,
+    /// Independent DRAM channels feeding the design (1 = single-channel).
+    pub channels: usize,
 }
 
 /// Parses `HxW` (e.g. `11x11`) or a single `N` for 1D grids.
@@ -244,6 +251,20 @@ impl ProblemSpec {
         if word_bits == 0 || word_bits > 64 {
             return Err(bad("word-bits", &word_bits.to_string(), "1..=64"));
         }
+        let timesteps: u64 = match src.get_value("timesteps") {
+            None => 1,
+            Some(v) => v.parse().map_err(|_| bad("timesteps", v, "a number"))?,
+        };
+        if timesteps == 0 || timesteps > 64 {
+            return Err(bad("timesteps", &timesteps.to_string(), "1..=64"));
+        }
+        let channels: usize = match src.get_value("channels") {
+            None => 1,
+            Some(v) => v.parse().map_err(|_| bad("channels", v, "a number"))?,
+        };
+        if channels == 0 || channels > 64 {
+            return Err(bad("channels", &channels.to_string(), "1..=64"));
+        }
 
         Ok(ProblemSpec {
             grid,
@@ -253,6 +274,8 @@ impl ProblemSpec {
             strategy,
             static_kind,
             word_bits,
+            timesteps,
+            channels,
         })
     }
 
@@ -312,10 +335,27 @@ impl ProblemSpec {
             MemKind::Bram => "bram",
             MemKind::Reg => "reg",
         };
-        format!(
+        let mut text = format!(
             "grid={grid};shape={shape};bounds={bounds};hybrid={hybrid};strategy={strategy};statics={statics};word-bits={}",
             self.word_bits
-        )
+        );
+        // The pipeline knobs appear only when non-default, so every
+        // canonical string (and therefore every content-addressed cache
+        // key) minted before they existed stays byte-identical — the same
+        // treatment the schedule key gives an inactive chaos plan.
+        if self.pipelined() {
+            text.push_str(&format!(
+                ";timesteps={};channels={}",
+                self.timesteps, self.channels
+            ));
+        }
+        text
+    }
+
+    /// True when the spec asks for the temporal pipeline — more than one
+    /// timestep per pass and/or more than one DRAM channel.
+    pub fn pipelined(&self) -> bool {
+        self.timesteps > 1 || self.channels > 1
     }
 }
 
@@ -460,6 +500,39 @@ mod tests {
         assert!(text.contains("hybrid=h:4"));
         assert!(text.contains("word-bits=16"));
         assert_eq!(text, spec.canonical());
+    }
+
+    #[test]
+    fn pipeline_knobs_default_off_and_keep_canonical_stable() {
+        let plain = ProblemSpec::from_source(&src(&[])).unwrap();
+        assert_eq!(plain.timesteps, 1);
+        assert_eq!(plain.channels, 1);
+        assert!(!plain.pipelined());
+        assert!(
+            !plain.canonical().contains("timesteps"),
+            "default canonical stays byte-identical to pre-pipeline keys"
+        );
+
+        let piped =
+            ProblemSpec::from_source(&src(&[("timesteps", "4"), ("channels", "2")])).unwrap();
+        assert!(piped.pipelined());
+        assert!(piped.canonical().ends_with(";timesteps=4;channels=2"));
+        // Either knob alone is enough to fork the canonical form.
+        let t_only = ProblemSpec::from_source(&src(&[("timesteps", "4")])).unwrap();
+        assert!(t_only.canonical().ends_with(";timesteps=4;channels=1"));
+        let c_only = ProblemSpec::from_source(&src(&[("channels", "2")])).unwrap();
+        assert!(c_only.canonical().ends_with(";timesteps=1;channels=2"));
+        assert_ne!(piped.canonical(), plain.canonical());
+        assert_ne!(t_only.canonical(), c_only.canonical());
+    }
+
+    #[test]
+    fn bad_pipeline_knobs_rejected() {
+        assert!(ProblemSpec::from_source(&src(&[("timesteps", "0")])).is_err());
+        assert!(ProblemSpec::from_source(&src(&[("timesteps", "65")])).is_err());
+        assert!(ProblemSpec::from_source(&src(&[("channels", "0")])).is_err());
+        assert!(ProblemSpec::from_source(&src(&[("channels", "65")])).is_err());
+        assert!(ProblemSpec::from_source(&src(&[("channels", "x")])).is_err());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! [`ScheduleStore`], and the replay lane-block size all live on one
 //! builder-style options struct, so new batch knobs grow there instead of
 //! spawning new entry points. (The former `run_batch_replay` /
-//! `run_batch_replay_stored` remain one release as `#[deprecated]` shims.)
+//! `run_batch_replay_stored` shims served their one-release deprecation
+//! window and are gone.)
 //!
 //! Results come back in job order regardless of which worker finished
 //! first, so a batched sweep is bit-identical to a serial one — the same
@@ -399,34 +400,6 @@ impl SmacheSystem {
         });
         BatchReport::collect(lanes)
     }
-
-    /// Former replay entry point; forwards to [`SmacheSystem::run_batch`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_batch(jobs, BatchOptions::new().threads(n).replay(mode))`"
-    )]
-    pub fn run_batch_replay(jobs: Vec<BatchJob>, threads: usize, mode: ReplayMode) -> BatchReport {
-        Self::run_batch(jobs, BatchOptions::new().threads(threads).replay(mode))
-    }
-
-    /// Former store-backed replay entry point; forwards to
-    /// [`SmacheSystem::run_batch`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_batch(jobs, BatchOptions::new().threads(n).replay(mode).store(store))`"
-    )]
-    pub fn run_batch_replay_stored(
-        jobs: Vec<BatchJob>,
-        threads: usize,
-        mode: ReplayMode,
-        store: Option<&mut ScheduleStore>,
-    ) -> BatchReport {
-        let options = BatchOptions::new().threads(threads).replay(mode);
-        match store {
-            Some(store) => Self::run_batch(jobs, options.store(store)),
-            None => Self::run_batch(jobs, options),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -637,33 +610,6 @@ mod tests {
             assert_eq!(w.stats, f.stats, "lane {i}");
         }
         std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_entry_point() {
-        let unified = SmacheSystem::run_batch(jobs(&[1, 2, 3]), BatchOptions::new().threads(2));
-        let shim = SmacheSystem::run_batch_replay(jobs(&[1, 2, 3]), 2, ReplayMode::Auto);
-        let shim_stored =
-            SmacheSystem::run_batch_replay_stored(jobs(&[1, 2, 3]), 2, ReplayMode::Auto, None);
-        assert_eq!(unified.aggregate, shim.aggregate);
-        assert_eq!(unified.aggregate, shim_stored.aggregate);
-        for ((a, b), c) in unified
-            .lanes
-            .iter()
-            .zip(&shim.lanes)
-            .zip(&shim_stored.lanes)
-        {
-            let (a, b, c) = (
-                a.as_ref().expect("ok"),
-                b.as_ref().expect("ok"),
-                c.as_ref().expect("ok"),
-            );
-            assert_eq!(a.output, b.output);
-            assert_eq!(a.output, c.output);
-            assert_eq!(a.engine, b.engine);
-            assert_eq!(a.engine, c.engine);
-        }
     }
 
     #[test]

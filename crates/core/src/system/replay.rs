@@ -384,7 +384,7 @@ impl ControlSchedule {
 /// position `p` serves offset `lookahead + 1 − p`, i.e. grid index
 /// `e + o`; a static-bank slot holds grid index `region_start + slot` of
 /// the current input (the previous instance's captured output).
-fn build_gather_table(plan: &BufferPlan) -> CoreResult<GatherTable> {
+pub(crate) fn build_gather_table(plan: &BufferPlan) -> CoreResult<GatherTable> {
     let n = plan.grid.len();
     let mut table = GatherTable {
         starts: Vec::with_capacity(n + 1),

@@ -64,7 +64,7 @@ use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 use smache_sim::hash::fingerprint128;
 use smache_sim::{ControlTrace, CycleRecord, GatherTable, Json, SlotSource};
@@ -258,7 +258,7 @@ impl ScheduleStore {
     /// Opens (creating if needed) the store rooted at `dir` with an LRU
     /// disk budget of `budget` bytes (`0` = unbounded). Existing entries
     /// are indexed by file modification time so LRU order survives a
-    /// restart; leftover temp files from crashed writers are removed.
+    /// restart; stale leftover temp files from crashed writers are removed.
     pub fn open(dir: impl AsRef<Path>, budget: u64) -> Result<ScheduleStore, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| io_err("open", &dir, e))?;
@@ -272,8 +272,19 @@ impl ScheduleStore {
             let name = name.to_string_lossy();
             if name.ends_with(".tmp") {
                 // A writer died mid-publish; the rename never happened,
-                // so the debris is invisible to readers. Clean it up.
-                std::fs::remove_file(&path).ok();
+                // so the debris is invisible to readers. Only *stale*
+                // debris, though: a fresh temp file may be a live writer
+                // an instant from its rename, and deleting it under them
+                // fails their publish. Crashed-writer leftovers are old
+                // by the time anything reopens the store.
+                let age = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| SystemTime::now().duration_since(mtime).ok());
+                if age.is_some_and(|age| age > Duration::from_secs(60)) {
+                    std::fs::remove_file(&path).ok();
+                }
                 continue;
             }
             let Some(key) = parse_entry_name(&name) else {

@@ -28,6 +28,9 @@
 //!
 //! The [`fault`] module adds seed-reproducible chaos wrappers around the
 //! substrates ([`FaultyDram`], [`FaultyFifo`]) — see `docs/RESILIENCE.md`.
+//! The [`multichannel`] module stripes the flat address space across `N`
+//! independent HBM-like [`FaultyDram`] channels behind one in-order port
+//! ([`MultiChannelDram`]) — see `docs/PIPELINE.md`.
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod double_buffer;
 pub mod dram;
 pub mod fault;
 pub mod fifo;
+pub mod multichannel;
 pub mod regfile;
 pub mod shift;
 
@@ -47,6 +51,7 @@ pub use fault::{
     FaultyFifo, StormGen, DRAM_COMPONENT, FIFO_COMPONENT,
 };
 pub use fifo::{BramFifo, RegFifo};
+pub use multichannel::{MultiChannelConfig, MultiChannelDram};
 pub use regfile::RegFile;
 pub use shift::ShiftReg;
 

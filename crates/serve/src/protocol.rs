@@ -176,6 +176,20 @@ impl Request {
         if instances == 0 {
             return Err("`instances` must be >= 1".to_string());
         }
+        if spec.pipelined() {
+            if kind == RunKind::Trace {
+                return Err(
+                    "`trace` does not support pipelined specs (`timesteps`/`channels`)".to_string(),
+                );
+            }
+            if kind != RunKind::Plan && instances % spec.timesteps != 0 {
+                return Err(format!(
+                    "`instances` ({instances}) must be a multiple of `timesteps` ({}): \
+                     each DRAM pass of the pipeline advances the grid that many updates",
+                    spec.timesteps
+                ));
+            }
+        }
         let deadline_ms = opt_u64(&doc, "deadline_ms")?;
 
         let replay = match doc.get("replay") {
@@ -305,21 +319,54 @@ impl RunRequest {
             ]));
         }
 
+        let input = seeded_input(self.spec.grid.len(), self.seed);
+        if self.spec.pipelined() {
+            let mut pipe = self.build_pipeline()?;
+            let report = pipe
+                .run(&input, self.instances / self.spec.timesteps)
+                .map_err(|e| e.to_string())?;
+            return Ok(report.to_json());
+        }
         let mut builder = self.spec.builder();
         if self.kind == RunKind::Chaos {
-            let profile = ChaosProfile::from_name(&self.profile)
-                .ok_or_else(|| format!("unknown chaos profile `{}`", self.profile))?;
-            builder = builder.fault_plan(FaultPlan::new(self.chaos_seed, profile));
+            builder = builder.fault_plan(self.fault_plan()?);
         }
         if self.kind == RunKind::Trace {
             builder = builder.telemetry(TelemetryConfig::default());
         }
         let mut system: SmacheSystem = builder.build().map_err(|e| e.to_string())?;
-        let input = seeded_input(self.spec.grid.len(), self.seed);
         let report = system
             .run(&input, self.instances)
             .map_err(|e| e.to_string())?;
         Ok(report.to_json())
+    }
+
+    /// The request's fault plan (inactive unless `kind` is `Chaos`).
+    fn fault_plan(&self) -> Result<FaultPlan, String> {
+        if self.kind != RunKind::Chaos {
+            return Ok(FaultPlan::default());
+        }
+        let profile = ChaosProfile::from_name(&self.profile)
+            .ok_or_else(|| format!("unknown chaos profile `{}`", self.profile))?;
+        Ok(FaultPlan::new(self.chaos_seed, profile))
+    }
+
+    /// Builds the temporal pipeline a pipelined spec asks for (parse-time
+    /// validation guarantees `instances % timesteps == 0` by the time this
+    /// runs).
+    fn build_pipeline(&self) -> Result<smache::TemporalPipeline, String> {
+        let plan = self.spec.builder().plan().map_err(|e| e.to_string())?;
+        let config = smache::PipelineConfig {
+            depth: self.spec.timesteps as usize,
+            channels: self.spec.channels,
+            system: smache::system::SystemConfig {
+                fault_plan: self.fault_plan()?,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        smache::TemporalPipeline::new(plan, Box::new(AverageKernel), config)
+            .map_err(|e| e.to_string())
     }
 
     /// The canonical text of the control *schedule* this request would
@@ -373,14 +420,22 @@ impl RunRequest {
         if self.schedule_canonical().is_none() {
             return self.execute().map(|r| (r, None));
         }
+        let input = seeded_input(self.spec.grid.len(), self.seed);
+        if self.spec.pipelined() {
+            let mut pipe = self.build_pipeline()?;
+            return match pipe.run_captured(&input, self.instances / self.spec.timesteps) {
+                Ok((report, schedule)) => Ok((report.to_json(), Some(schedule))),
+                Err(CoreError::ReplayRefused(_)) if self.replay != ReplayMode::On => {
+                    self.execute().map(|r| (r, None))
+                }
+                Err(e) => Err(e.to_string()),
+            };
+        }
         let mut builder = self.spec.builder();
         if self.kind == RunKind::Chaos {
-            let profile = ChaosProfile::from_name(&self.profile)
-                .ok_or_else(|| format!("unknown chaos profile `{}`", self.profile))?;
-            builder = builder.fault_plan(FaultPlan::new(self.chaos_seed, profile));
+            builder = builder.fault_plan(self.fault_plan()?);
         }
         let mut system: SmacheSystem = builder.build().map_err(|e| e.to_string())?;
-        let input = seeded_input(self.spec.grid.len(), self.seed);
         match system.run_captured(&input, self.instances) {
             Ok((report, schedule)) => Ok((report.to_json(), Some(schedule))),
             Err(CoreError::ReplayRefused(_)) if self.replay != ReplayMode::On => {
@@ -690,6 +745,54 @@ mod tests {
             replayed.get("engine").and_then(Json::as_str),
             Some("replay")
         );
+    }
+
+    #[test]
+    fn pipelined_requests_validate_fork_keys_and_replay() {
+        // Parse-time validation: instances must divide by timesteps, and
+        // trace has no pipelined mode.
+        let err = Request::parse_line(
+            r#"{"cmd":"simulate","spec":{"grid":"8x8","timesteps":3},"instances":8}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("multiple of `timesteps`"), "{err}");
+        let err = Request::parse_line(r#"{"cmd":"trace","spec":{"grid":"8x8","timesteps":2}}"#)
+            .unwrap_err();
+        assert!(err.contains("does not support pipelined"), "{err}");
+
+        // The pipeline knobs fork both the result and the schedule key.
+        let plain = run(r#"{"cmd":"simulate","spec":{"grid":"8x8"},"seed":1,"instances":4}"#);
+        let piped = run(
+            r#"{"cmd":"simulate","spec":{"grid":"8x8","timesteps":2,"channels":2},"seed":1,"instances":4}"#,
+        );
+        assert_ne!(plain.cache_key(), piped.cache_key());
+        assert_ne!(plain.schedule_key(), piped.schedule_key());
+
+        // Execute, capture, and cross-seed replay — all bit-exact. The
+        // pipelined output equals the single-step output for the same
+        // total timestep count (the very point of temporal blocking).
+        let full = piped.execute().expect("pipelined run");
+        assert_eq!(
+            full.get("output"),
+            plain.execute().expect("run").get("output")
+        );
+        assert_eq!(
+            full.get("metrics")
+                .unwrap()
+                .get("name")
+                .and_then(Json::as_str),
+            Some("Smache-pipe2x2")
+        );
+        let (doc, schedule) = piped.execute_capture().expect("capture");
+        let schedule = schedule.expect("pipelined simulate captures");
+        assert_eq!(doc.get("output"), full.get("output"));
+        let other = run(
+            r#"{"cmd":"simulate","spec":{"grid":"8x8","timesteps":2,"channels":2},"seed":9,"instances":4}"#,
+        );
+        let replayed = other.execute_replay(&schedule).expect("replay");
+        let fresh = other.execute().expect("run");
+        assert_eq!(replayed.get("output"), fresh.get("output"));
+        assert_eq!(replayed.get("stats"), fresh.get("stats"));
     }
 
     #[test]

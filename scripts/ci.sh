@@ -34,6 +34,29 @@ cargo run -p smache-bench --bin chaos --release -- --chaos-seed 7 --instances 5 
 grep -q '"stall_attribution"' BENCH_chaos.json || {
   echo "BENCH_chaos.json is missing the telemetry stall attribution"; exit 1; }
 
+echo "== temporal smoke (T=4 pipeline bit-exact vs 4 sequential single-step runs) =="
+pipe_out=$(cargo run -p smache-cli --release -- simulate --grid 11x11 --timesteps 4 \
+  --instances 4 --seed 7 --verify)
+echo "$pipe_out" | grep -q 'pipeline: 4 stage(s)' || {
+  echo "--timesteps 4 did not engage the temporal pipeline"; exit 1; }
+echo "$pipe_out" | grep -q 'verified against golden' || {
+  echo "pipelined run failed golden verification"; exit 1; }
+pipe_fp=$(echo "$pipe_out" | grep -o 'fp=[0-9a-f]*' | head -n1)
+seq_fp=$(cargo run -p smache-cli --release -- simulate --grid 11x11 --instances 4 --seed 7 \
+  --replay off | grep -o 'fp=[0-9a-f]*' | head -n1)
+[ -n "$pipe_fp" ] && [ "$pipe_fp" = "$seq_fp" ] || {
+  echo "T=4 pipeline diverged from 4 sequential single-step runs: $pipe_fp vs $seq_fp"; exit 1; }
+# Regenerate the temporal artefact at a temp path (the committed
+# BENCH_temporal.json documents one measured run; the bench itself
+# asserts traffic falls with depth and cycles fall with channels).
+temporal_json=$(mktemp)
+cargo run -p smache-bench --bin temporal --release -- --json "$temporal_json" >/dev/null
+grep -q '"artefact": "temporal_sweep"' "$temporal_json" || {
+  echo "temporal artefact is missing or malformed"; exit 1; }
+rm -f "$temporal_json"
+grep -q '"artefact": "temporal_sweep"' BENCH_temporal.json || {
+  echo "committed BENCH_temporal.json is missing or malformed"; exit 1; }
+
 echo "== cli smoke =="
 cargo run -p smache-cli --release -- plan >/dev/null
 cargo run -p smache-cli --release -- cost --grid 64x64 >/dev/null

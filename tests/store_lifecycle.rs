@@ -191,3 +191,68 @@ fn concurrent_readers_never_observe_half_written_entries() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Same-second publishes leave identical mtimes, so restart-time LRU
+/// reconstruction cannot order entries by age alone; the tie breaks by
+/// key. Two simulated restarts of the same over-budget directory must
+/// therefore evict the *same* victims — deployments that share a store
+/// across workers rely on every reopen converging on one survivor set.
+#[test]
+fn restart_eviction_is_deterministic_when_mtimes_tie() {
+    use std::time::{Duration, SystemTime};
+
+    let schedule = capture(8, 8);
+    let entry_bytes = encode_entry((0, 0), &schedule).len() as u64;
+    // Room for two entries and spare change — never three.
+    let budget = entry_bytes * 5 / 2;
+
+    let survivors = |tag: &str| -> Vec<(u64, u64)> {
+        let dir = tmp_dir(tag);
+        {
+            // Publish five entries unbounded, in scrambled order so any
+            // surviving insertion-order signal would differ from key order.
+            let mut store = ScheduleStore::open(&dir, 0).expect("open unbounded");
+            for key in [(3u64, 3u64), (0, 0), (4, 4), (1, 1), (2, 2)] {
+                store.save(key, &schedule).expect("save");
+            }
+        }
+        // Squash every mtime to one timestamp: five same-second publishes.
+        let stamp = SystemTime::UNIX_EPOCH + Duration::from_secs(1_700_000_000);
+        for entry in std::fs::read_dir(&dir).expect("read dir") {
+            let path = entry.expect("entry").path();
+            let file = std::fs::File::options()
+                .write(true)
+                .open(&path)
+                .expect("open entry");
+            file.set_modified(stamp).expect("set mtime");
+        }
+        // Simulated restart under byte-budget pressure: open() evicts.
+        let store = ScheduleStore::open(&dir, budget).expect("reopen");
+        let kept: Vec<(u64, u64)> = (0..5u64)
+            .map(|k| (k, k))
+            .filter(|&k| store.contains(k))
+            .collect();
+        let on_disk = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter(|e| {
+                e.as_ref()
+                    .is_ok_and(|e| e.file_name().to_string_lossy().ends_with(".sched"))
+            })
+            .count();
+        assert_eq!(on_disk, kept.len(), "index and directory agree");
+        std::fs::remove_dir_all(&dir).ok();
+        kept
+    };
+
+    let first = survivors("tie-a");
+    let second = survivors("tie-b");
+    assert_eq!(
+        first, second,
+        "restarts with tied mtimes must pick identical eviction victims"
+    );
+    assert_eq!(
+        first,
+        vec![(3, 3), (4, 4)],
+        "the tie breaks by key order: highest keys rank most-recently-used"
+    );
+}

@@ -1,8 +1,10 @@
 //! Load generator for `smache serve`: throughput, latency percentiles,
-//! and cache effectiveness versus request repeat ratio.
+//! and cache effectiveness versus request repeat ratio — plus a
+//! concurrency-ramp mode that stress-tests the epoll reactor.
 //!
-//! For each repeat ratio (0% / 50% / 100%) a fresh server is started on a
-//! Unix socket and driven two ways:
+//! **Repeat-ratio sweep** (the default): for each repeat ratio
+//! (0% / 50% / 100%) a fresh server is started on a Unix socket and
+//! driven two ways:
 //!
 //! * **closed loop** — C client threads (sharded with the same
 //!   [`run_batch`] primitive the simulator uses),
@@ -23,11 +25,28 @@
 //! control schedule instead of simulating.
 //! Results land in `BENCH_serve.json` (`--json PATH` overrides).
 //!
+//! **Concurrency ramp** (`--ramp`): one server (adaptive admission on,
+//! small queue) is driven by open-loop client rungs of 16 → 4096
+//! connections (capped by `--max-clients`). Every rung is half
+//! *replay-class* clients (the warm hot spec with fresh seeds — the
+//! schedule cache is resident, so admission classifies them cheap) and
+//! half *capture-class* clients (a never-repeated spec per request — a
+//! cold capture every time). Each client pipelines its requests and then
+//! drains responses, so at high rungs the queue saturates and admission
+//! control decides who gets rejected. Per rung and class the ramp
+//! records p50/p95/p99 latency, reject rates, and process RSS, and
+//! asserts that at overload (>= 1024 clients) the schedule-resident
+//! class sees a lower reject rate and lower p99 than cold captures.
+//! Results land in `BENCH_loadgen.json` (`--ramp-json PATH` overrides).
+//!
 //! ```text
 //! cargo run -p smache-bench --bin loadgen --release
+//! cargo run -p smache-bench --bin loadgen --release -- --ramp
 //! ```
 
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use smache_bench::json::Json;
 use smache_bench::report::Table;
@@ -166,8 +185,390 @@ fn open_loop(addr: &str, total: usize, repeat_pct: u32) -> LoopResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Concurrency ramp (--ramp)
+// ---------------------------------------------------------------------------
+
+/// Open-loop concurrency rungs; `--max-clients` truncates the list.
+const RAMP_RUNGS: &[usize] = &[16, 64, 256, 1024, 2048, 4096];
+/// A rung this size or larger counts as "overload" for the
+/// class-separation assertions.
+const OVERLOAD_RUNG: usize = 1024;
+/// The hot spec's warm-up seed; also reused for the byte-identity probe.
+const WARM_SEED: u64 = 31_337;
+
+/// Fresh seeds for ramp traffic: globally unique, so the *result* cache
+/// never hits and replay-class wins come from the schedule cache alone.
+static NEXT_SEED: AtomicU64 = AtomicU64::new(10_000_000);
+/// Fresh `(grid, instances)` combos for capture-class traffic: every
+/// request carries a schedule key the server has never seen.
+static NEXT_COMBO: AtomicU64 = AtomicU64::new(0);
+
+fn replay_request(id: &str) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(id)),
+        ("cmd", Json::str("simulate")),
+        ("spec", Json::obj(vec![("grid", Json::str(GRID))])),
+        (
+            "seed",
+            Json::Int(NEXT_SEED.fetch_add(1, Ordering::Relaxed) as i64),
+        ),
+        ("instances", Json::Int(INSTANCES as i64)),
+    ])
+}
+
+fn capture_request(id: &str) -> Json {
+    let n = NEXT_COMBO.fetch_add(1, Ordering::Relaxed);
+    let w = 8 + (n % 57);
+    let h = 8 + ((n / 57) % 57);
+    let instances = 1 + n / (57 * 57);
+    Json::obj(vec![
+        ("id", Json::str(id)),
+        ("cmd", Json::str("simulate")),
+        (
+            "spec",
+            Json::obj(vec![("grid", Json::str(format!("{w}x{h}")))]),
+        ),
+        (
+            "seed",
+            Json::Int(NEXT_SEED.fetch_add(1, Ordering::Relaxed) as i64),
+        ),
+        ("instances", Json::Int(instances as i64)),
+    ])
+}
+
+/// Connect with retries: at a 2048-client rung the listener backlog
+/// overflows transiently while the reactor drains its accept loop.
+fn connect_retry(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    panic!("connect {addr}: {e}");
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct ClassStats {
+    sent: u64,
+    oks: u64,
+    rejected: u64,
+    /// Latency of *ok* responses only; rejects return fast and would
+    /// flatter the overloaded class.
+    latencies_us: Vec<u64>,
+}
+
+impl ClassStats {
+    fn merge(&mut self, other: ClassStats) {
+        self.sent += other.sent;
+        self.oks += other.oks;
+        self.rejected += other.rejected;
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    fn reject_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.sent as f64
+        }
+    }
+
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("sent", Json::Int(self.sent as i64)),
+            ("ok", Json::Int(self.oks as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
+            ("reject_rate", Json::Num(self.reject_rate())),
+            (
+                "p50_us",
+                Json::Int(percentile(&self.latencies_us, 0.50) as i64),
+            ),
+            (
+                "p95_us",
+                Json::Int(percentile(&self.latencies_us, 0.95) as i64),
+            ),
+            (
+                "p99_us",
+                Json::Int(percentile(&self.latencies_us, 0.99) as i64),
+            ),
+        ])
+    }
+}
+
+/// One open-loop ramp client: pipeline every request, then drain every
+/// response, correlating latency by request id (responses interleave).
+fn ramp_client(addr: &str, client: usize, per_client: usize, replay: bool) -> ClassStats {
+    let mut conn = connect_retry(addr);
+    let mut sent_at: HashMap<String, Instant> = HashMap::with_capacity(per_client);
+    for j in 0..per_client {
+        let id = format!("c{client}r{j}");
+        let req = if replay {
+            replay_request(&id)
+        } else {
+            capture_request(&id)
+        };
+        sent_at.insert(id, Instant::now());
+        conn.send(&req).expect("send");
+    }
+    let mut stats = ClassStats {
+        sent: per_client as u64,
+        ..ClassStats::default()
+    };
+    for _ in 0..per_client {
+        let resp = conn.recv().expect("recv");
+        let latency = resp
+            .get("id")
+            .and_then(Json::as_str)
+            .and_then(|id| sent_at.get(id))
+            .map(|t0| t0.elapsed().as_micros() as u64);
+        match resp.get("status").and_then(Json::as_str) {
+            Some("ok") => {
+                stats.oks += 1;
+                if let Some(us) = latency {
+                    stats.latencies_us.push(us);
+                }
+            }
+            Some("rejected") => stats.rejected += 1,
+            other => panic!("unexpected response status {other:?}"),
+        }
+    }
+    stats
+}
+
+fn vm_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Raw wire-level call over the Unix socket: returns the response line
+/// verbatim (the typed [`Client`] would re-serialise and mask byte-level
+/// differences).
+fn raw_call(path: &std::path::Path, line: &str) -> String {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::os::unix::net::UnixStream::connect(path).expect("raw connect");
+    stream.write_all(line.as_bytes()).expect("raw write");
+    stream.write_all(b"\n").expect("raw write");
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("raw read");
+    resp
+}
+
+fn run_ramp(max_clients: usize, workers: usize, path: &str) {
+    // One server for the whole ramp: the schedule cache stays warm
+    // across rungs, which is exactly what the replay class relies on.
+    // The queue is deliberately tiny relative to the top rungs so the
+    // admission policy — not the OS — decides who gets rejected.
+    let queue_cap = 64;
+    let max_conns = 8192;
+    let sock =
+        std::env::temp_dir().join(format!("smache-loadgen-ramp-{}.sock", std::process::id()));
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock.clone()),
+        workers,
+        queue_cap,
+        cache_bytes: 64 << 20,
+        schedule_cache_bytes: 32 << 20,
+        max_conns,
+        adaptive: true,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Warm-up: capture the hot spec's schedule (first call) and park one
+    // result-cache entry (same seed) for the byte-identity probe below.
+    let mut warm = Client::connect(&addr).expect("connect");
+    for tag in ["warm0", "warm1"] {
+        let req = Json::obj(vec![
+            ("id", Json::str(tag)),
+            ("cmd", Json::str("simulate")),
+            ("spec", Json::obj(vec![("grid", Json::str(GRID))])),
+            ("seed", Json::Int(WARM_SEED as i64)),
+            ("instances", Json::Int(INSTANCES as i64)),
+        ]);
+        let resp = warm.call(&req).expect("warm call");
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "warm-up failed: {}",
+            resp.compact()
+        );
+    }
+    drop(warm);
+
+    println!(
+        "== serve ramp: hot {GRID} x{INSTANCES} vs cold captures, {workers} workers, queue {queue_cap}, adaptive on ==\n"
+    );
+
+    let mut table = Table::new(vec![
+        "Clients", "Class", "sent", "ok", "rejected", "rej rate", "p50 us", "p95 us", "p99 us",
+    ]);
+    let mut rungs_json = Vec::new();
+
+    for &clients in RAMP_RUNGS.iter().filter(|&&c| c <= max_clients) {
+        // Fewer requests per client at high rungs keeps each rung's total
+        // bounded; the point up there is concurrent connections, not volume.
+        let per_client = (2048 / clients).clamp(2, 32);
+        let started = Instant::now();
+        let shards = run_batch((0..clients).collect(), clients, |client| {
+            let replay = client % 2 == 0;
+            (replay, ramp_client(&addr, client, per_client, replay))
+        });
+        let wall_s = started.elapsed().as_secs_f64();
+        let (mut replay, mut capture) = (ClassStats::default(), ClassStats::default());
+        for (is_replay, stats) in shards {
+            if is_replay {
+                replay.merge(stats);
+            } else {
+                capture.merge(stats);
+            }
+        }
+        replay.latencies_us.sort_unstable();
+        capture.latencies_us.sort_unstable();
+        let rss_kb = vm_rss_kb();
+
+        for (class, s) in [("replay", &replay), ("capture", &capture)] {
+            table.row(vec![
+                clients.to_string(),
+                class.to_string(),
+                s.sent.to_string(),
+                s.oks.to_string(),
+                s.rejected.to_string(),
+                format!("{:.2}", s.reject_rate()),
+                percentile(&s.latencies_us, 0.50).to_string(),
+                percentile(&s.latencies_us, 0.95).to_string(),
+                percentile(&s.latencies_us, 0.99).to_string(),
+            ]);
+        }
+        rungs_json.push(Json::obj(vec![
+            ("clients", Json::Int(clients as i64)),
+            ("requests_per_client", Json::Int(per_client as i64)),
+            ("wall_s", Json::Num(wall_s)),
+            ("vm_rss_kb", Json::Int(rss_kb as i64)),
+            ("replay", replay.json()),
+            ("capture", capture.json()),
+        ]));
+
+        // RSS must stay bounded: thousands of connections cost fds and
+        // pooled buffers, not gigabytes.
+        assert!(
+            rss_kb < 2 << 20,
+            "RSS exceeded 2 GiB at {clients} clients: {rss_kb} kB"
+        );
+
+        if clients >= OVERLOAD_RUNG {
+            assert!(
+                capture.rejected > 0,
+                "{clients} pipelining clients over a {queue_cap}-slot queue must overload"
+            );
+            assert!(
+                replay.reject_rate() < capture.reject_rate(),
+                "schedule-resident class must see a lower reject rate at {clients} clients: \
+                 replay {:.3} vs capture {:.3}",
+                replay.reject_rate(),
+                capture.reject_rate()
+            );
+            if replay.latencies_us.len() >= 5 && capture.latencies_us.len() >= 5 {
+                let (rp99, cp99) = (
+                    percentile(&replay.latencies_us, 0.99),
+                    percentile(&capture.latencies_us, 0.99),
+                );
+                assert!(
+                    rp99 < cp99,
+                    "schedule-resident class must see a lower p99 at {clients} clients: \
+                     replay {rp99}us vs capture {cp99}us"
+                );
+            }
+        }
+    }
+
+    println!("{table}");
+
+    // Byte-identity probe: two raw wire-level calls of the warmed hot
+    // request must produce byte-identical response lines.
+    let probe = Json::obj(vec![
+        ("id", Json::str("probe")),
+        ("cmd", Json::str("simulate")),
+        ("spec", Json::obj(vec![("grid", Json::str(GRID))])),
+        ("seed", Json::Int(WARM_SEED as i64)),
+        ("instances", Json::Int(INSTANCES as i64)),
+    ])
+    .compact();
+    let first = raw_call(&sock, &probe);
+    let second = raw_call(&sock, &probe);
+    assert_eq!(
+        first, second,
+        "cached responses must be byte-identical across connections"
+    );
+    assert!(
+        first.contains("\"status\":\"ok\""),
+        "byte-identity probe must succeed, got: {first}"
+    );
+    println!(
+        "byte-identity probe: two raw cached responses identical ({} bytes)",
+        first.len()
+    );
+
+    let metrics = handle.metrics();
+    let doc = Json::obj(vec![
+        ("bench", Json::str("serve_ramp")),
+        ("grid", Json::str(GRID)),
+        ("instances", Json::Int(INSTANCES as i64)),
+        ("workers", Json::Int(workers as i64)),
+        ("queue_cap", Json::Int(queue_cap as i64)),
+        ("max_conns", Json::Int(max_conns as i64)),
+        ("adaptive", Json::Bool(true)),
+        ("max_clients", Json::Int(max_clients as i64)),
+        ("byte_identical_repeat", Json::Bool(true)),
+        (
+            "admitted_replay",
+            Json::Int(metrics.counter("serve.admission.replay") as i64),
+        ),
+        (
+            "admitted_capture",
+            Json::Int(metrics.counter("serve.admission.capture") as i64),
+        ),
+        (
+            "conns_opened",
+            Json::Int(metrics.counter("serve.conn.opened") as i64),
+        ),
+        ("rungs", Json::Arr(rungs_json)),
+    ]);
+    handle.shutdown();
+    std::fs::write(path, doc.pretty()).expect("write json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--ramp") {
+        let max_clients: usize = arg_value(&args, "--max-clients")
+            .map(|v| v.parse().expect("--max-clients wants a number"))
+            .unwrap_or(2048);
+        let workers: usize = arg_value(&args, "--workers")
+            .map(|v| v.parse().expect("--workers wants a number"))
+            .unwrap_or(2);
+        let path = arg_value(&args, "--ramp-json").unwrap_or_else(|| "BENCH_loadgen.json".into());
+        run_ramp(max_clients, workers, &path);
+        return;
+    }
+
     let clients: usize = arg_value(&args, "--clients")
         .map(|v| v.parse().expect("--clients wants a number"))
         .unwrap_or(4);
@@ -207,9 +608,7 @@ fn main() {
             // (Enabled, it would replay every unique-seed request of the
             // same spec and flatten the very ratio being measured.)
             schedule_cache_bytes: 0,
-            store_dir: None,
-            store_bytes: 0,
-            default_deadline_ms: None,
+            ..ServeConfig::default()
         })
         .expect("server starts");
         let addr = handle.addr().to_string();
@@ -285,9 +684,7 @@ fn main() {
         queue_cap: clients * 2 + total,
         cache_bytes: 64 << 20,
         schedule_cache_bytes: 4 << 20,
-        store_dir: None,
-        store_bytes: 0,
-        default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let sched = closed_loop(handle.addr(), clients, per_client, 0);

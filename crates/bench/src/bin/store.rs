@@ -76,6 +76,7 @@ fn run_pass(tag: &str, store_dir: &std::path::Path, workers: usize, seed_base: u
         store_dir: Some(store_dir.to_path_buf()),
         store_bytes: 256 << 20,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
 

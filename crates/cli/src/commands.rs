@@ -92,13 +92,16 @@ const VALUED: &[&str] = &[
     "queue",
     "cache-kb",
     "deadline-ms",
+    "max-conns",
+    "buffer-pool-kb",
+    "conn-idle-ms",
     "to",
     "json",
     "store",
     "store-mb",
     "from",
 ];
-const FLAGS: &[&str] = &["verify", "quiet", "analyze"];
+const FLAGS: &[&str] = &["verify", "quiet", "analyze", "adaptive"];
 
 /// Usage text.
 pub fn usage() -> String {
@@ -182,6 +185,14 @@ SERVE OPTIONS (see docs/SERVING.md for the protocol):
                            back (third level; see docs/DEPLOYMENT.md) [off]
   --store-mb MB            store disk byte budget, LRU-evicted [64]
   --deadline-ms MS         default per-request deadline [none]
+  --max-conns N            open connections the reactor holds; further
+                           accepts get a typed error [1024]
+  --adaptive               drive the admission limit with an AIMD
+                           controller (deadline misses shrink it,
+                           on-time completions regrow it) [off]
+  --buffer-pool-kb KB      recycled connection-buffer pool budget [1024]
+  --conn-idle-ms MS        close connections idle this long with no job
+                           in flight (typed `idle_timeout`) [off]
 
 CALL OPTIONS:
   --to ADDR                server address (unix:... | tcp:...)
@@ -983,6 +994,17 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             None => None,
             Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
                 key: "deadline-ms".into(),
+                value: v.into(),
+                expected: "milliseconds".into(),
+            })?),
+        },
+        max_conns: args.get_num("max-conns", 1024usize)?,
+        adaptive: args.flag("adaptive"),
+        buffer_pool_bytes: args.get_num("buffer-pool-kb", 1024usize)? * 1024,
+        conn_idle_ms: match args.get("conn-idle-ms") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
+                key: "conn-idle-ms".into(),
                 value: v.into(),
                 expected: "milliseconds".into(),
             })?),

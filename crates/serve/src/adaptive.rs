@@ -1,0 +1,193 @@
+//! AIMD adaptive concurrency control for the serve admission limit.
+//!
+//! A fixed `--queue-cap` is tuned for one workload: set it for fast
+//! replay traffic and a burst of cold captures blows every deadline
+//! before admission pushes back; set it for captures and replay traffic
+//! is rejected while workers sit idle. The controller turns the cap
+//! into a *signal-driven* limit, borrowing TCP's additive-increase /
+//! multiplicative-decrease shape:
+//!
+//! * a job finishing **within** its deadline nudges the limit up by
+//!   `increase / limit` (one whole step per limit's-worth of
+//!   successes — the additive increase);
+//! * a **deadline miss** (at dequeue or at completion) cuts the limit
+//!   by the factor `decrease` — the multiplicative decrease — at most
+//!   once per `decrease_cooldown`, so a burst of misses from the same
+//!   overload episode counts once rather than collapsing the limit to
+//!   the floor.
+//!
+//! The limit is clamped to `[min, max]`; `max` is the configured queue
+//! capacity, so the controller can only ever tighten admission, never
+//! exceed what the operator allowed.
+
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`AimdController`].
+#[derive(Debug, Clone, Copy)]
+pub struct AimdConfig {
+    /// Floor the limit never drops below (≥ 1).
+    pub min: usize,
+    /// Ceiling, normally the configured queue capacity.
+    pub max: usize,
+    /// Additive step credited per limit's-worth of on-time completions.
+    pub increase: f64,
+    /// Multiplicative factor applied on a deadline miss (0 < f < 1).
+    pub decrease: f64,
+    /// Minimum spacing between multiplicative decreases.
+    pub decrease_cooldown: Duration,
+}
+
+impl AimdConfig {
+    /// Defaults for a queue capacity of `max`: floor 1, one-step
+    /// additive increase, halving decrease, 50 ms cooldown.
+    pub fn for_capacity(max: usize) -> AimdConfig {
+        AimdConfig {
+            min: 1,
+            max: max.max(1),
+            increase: 1.0,
+            decrease: 0.5,
+            decrease_cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The AIMD state machine. Callers hold it behind a mutex and feed it
+/// completion outcomes; [`limit`](AimdController::limit) is the current
+/// admission bound.
+#[derive(Debug)]
+pub struct AimdController {
+    cfg: AimdConfig,
+    /// Fractional limit; `limit()` floors it. Kept as f64 so sub-step
+    /// additive credit accumulates instead of truncating to zero.
+    level: f64,
+    last_decrease: Option<Instant>,
+    increases: u64,
+    decreases: u64,
+}
+
+impl AimdController {
+    /// Starts at the ceiling: the controller only backs off once the
+    /// workload shows it must.
+    pub fn new(cfg: AimdConfig) -> AimdController {
+        let cfg = AimdConfig {
+            min: cfg.min.max(1),
+            max: cfg.max.max(cfg.min.max(1)),
+            ..cfg
+        };
+        AimdController {
+            level: cfg.max as f64,
+            cfg,
+            last_decrease: None,
+            increases: 0,
+            decreases: 0,
+        }
+    }
+
+    /// The current admission limit, in `[min, max]`.
+    pub fn limit(&self) -> usize {
+        (self.level.floor() as usize).clamp(self.cfg.min, self.cfg.max)
+    }
+
+    /// A job completed within its deadline: additive increase.
+    pub fn on_success(&mut self) {
+        if self.level >= self.cfg.max as f64 {
+            return;
+        }
+        let before = self.limit();
+        self.level =
+            (self.level + self.cfg.increase / self.level.max(1.0)).min(self.cfg.max as f64);
+        if self.limit() > before {
+            self.increases += 1;
+        }
+    }
+
+    /// A job missed its deadline at `now`: multiplicative decrease,
+    /// rate-limited by the cooldown.
+    pub fn on_miss(&mut self, now: Instant) {
+        if let Some(last) = self.last_decrease {
+            if now.duration_since(last) < self.cfg.decrease_cooldown {
+                return;
+            }
+        }
+        self.last_decrease = Some(now);
+        self.level = (self.level * self.cfg.decrease).max(self.cfg.min as f64);
+        self.decreases += 1;
+    }
+
+    /// Whole-step increases applied so far (the `serve.adaptive.increases`
+    /// counter).
+    pub fn increases(&self) -> u64 {
+        self.increases
+    }
+
+    /// Multiplicative decreases applied so far (the
+    /// `serve.adaptive.decreases` counter).
+    pub fn decreases(&self) -> u64 {
+        self.decreases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max: usize) -> AimdConfig {
+        AimdConfig {
+            decrease_cooldown: Duration::ZERO,
+            ..AimdConfig::for_capacity(max)
+        }
+    }
+
+    #[test]
+    fn starts_at_the_ceiling() {
+        let ctl = AimdController::new(cfg(64));
+        assert_eq!(ctl.limit(), 64);
+    }
+
+    #[test]
+    fn misses_halve_the_limit_down_to_the_floor() {
+        let mut ctl = AimdController::new(cfg(64));
+        let t = Instant::now();
+        ctl.on_miss(t);
+        assert_eq!(ctl.limit(), 32);
+        for _ in 0..20 {
+            ctl.on_miss(t);
+        }
+        assert_eq!(ctl.limit(), 1, "clamped at the floor");
+        assert!(ctl.decreases() >= 7);
+    }
+
+    #[test]
+    fn successes_recover_the_limit_additively() {
+        let mut ctl = AimdController::new(cfg(8));
+        ctl.on_miss(Instant::now());
+        assert_eq!(ctl.limit(), 4);
+        // Additive increase needs ~limit successes per step: bounded work.
+        for _ in 0..200 {
+            ctl.on_success();
+        }
+        assert_eq!(ctl.limit(), 8, "recovers all the way to max");
+        assert!(ctl.increases() >= 4);
+    }
+
+    #[test]
+    fn cooldown_coalesces_a_burst_of_misses() {
+        let mut ctl = AimdController::new(AimdConfig::for_capacity(64));
+        let t = Instant::now();
+        ctl.on_miss(t);
+        ctl.on_miss(t + Duration::from_millis(1));
+        ctl.on_miss(t + Duration::from_millis(2));
+        assert_eq!(ctl.limit(), 32, "one episode, one decrease");
+        assert_eq!(ctl.decreases(), 1);
+        ctl.on_miss(t + Duration::from_millis(60));
+        assert_eq!(ctl.limit(), 16, "a later episode counts again");
+    }
+
+    #[test]
+    fn success_at_the_ceiling_is_a_no_op() {
+        let mut ctl = AimdController::new(cfg(16));
+        ctl.on_success();
+        assert_eq!(ctl.limit(), 16);
+        assert_eq!(ctl.increases(), 0);
+    }
+}

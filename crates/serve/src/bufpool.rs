@@ -1,0 +1,159 @@
+//! A reusable byte-buffer pool bounding per-connection memory.
+//!
+//! Every reactor connection owns two buffers (read accumulation, write
+//! queue). With thousands of connections churning, allocating them per
+//! connection — or worse, per line — fragments the heap and makes peak
+//! RSS proportional to the *lifetime* connection count. The pool
+//! recycles buffers instead: [`get`](BufferPool::get) hands out a
+//! previously-used buffer when one is free, and [`put`](BufferPool::put)
+//! returns a cleared buffer subject to two bounds:
+//!
+//! * a **per-buffer cap** — a buffer that grew past
+//!   [`MAX_POOLED_BUF`] (a pathological client sent a huge line) is
+//!   dropped rather than pooled, so one spike never pins memory;
+//! * a **pool byte budget** (`--buffer-pool-kb`) — returns beyond the
+//!   budget are dropped, so the free list itself is bounded.
+//!
+//! The pool is a plain mutex-guarded free list: get/put are two pointer
+//! moves under an uncontended lock, far below the cost of the I/O they
+//! wrap.
+
+use std::sync::Mutex;
+
+/// Buffers that grew beyond this capacity are never pooled.
+pub const MAX_POOLED_BUF: usize = 64 * 1024;
+
+/// The capacity new buffers start with (one typical request line).
+const INITIAL_BUF: usize = 4 * 1024;
+
+/// Running totals the `stats` command reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufPoolStats {
+    /// Buffers handed out from the free list (allocation avoided).
+    pub reused: u64,
+    /// Buffers freshly allocated (free list empty).
+    pub allocated: u64,
+    /// Returned buffers dropped (over the per-buffer cap or the budget).
+    pub dropped: u64,
+    /// Bytes currently parked in the free list.
+    pub pooled_bytes: u64,
+}
+
+struct PoolState {
+    free: Vec<Vec<u8>>,
+    pooled_bytes: usize,
+    stats: BufPoolStats,
+}
+
+/// A bounded free list of reusable `Vec<u8>` buffers.
+pub struct BufferPool {
+    state: Mutex<PoolState>,
+    budget: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool parking at most `budget` bytes of free buffers.
+    /// A `0` budget disables pooling: every `get` allocates, every `put`
+    /// drops.
+    pub fn new(budget: usize) -> BufferPool {
+        BufferPool {
+            state: Mutex::new(PoolState {
+                free: Vec::new(),
+                pooled_bytes: 0,
+                stats: BufPoolStats::default(),
+            }),
+            budget,
+        }
+    }
+
+    /// Takes a cleared buffer — recycled when one is free, freshly
+    /// allocated otherwise.
+    pub fn get(&self) -> Vec<u8> {
+        let mut state = self.state.lock().expect("bufpool poisoned");
+        match state.free.pop() {
+            Some(buf) => {
+                state.pooled_bytes -= buf.capacity();
+                state.stats.reused += 1;
+                state.stats.pooled_bytes = state.pooled_bytes as u64;
+                buf
+            }
+            None => {
+                state.stats.allocated += 1;
+                drop(state);
+                Vec::with_capacity(INITIAL_BUF)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared here; callers hand it back
+    /// as-is). Oversized buffers and returns beyond the byte budget are
+    /// dropped.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut state = self.state.lock().expect("bufpool poisoned");
+        if buf.capacity() > MAX_POOLED_BUF || state.pooled_bytes + buf.capacity() > self.budget {
+            state.stats.dropped += 1;
+            return;
+        }
+        state.pooled_bytes += buf.capacity();
+        state.stats.pooled_bytes = state.pooled_bytes as u64;
+        state.free.push(buf);
+    }
+
+    /// The running reuse/allocation/drop totals.
+    pub fn stats(&self) -> BufPoolStats {
+        self.state.lock().expect("bufpool poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_not_reallocated() {
+        let pool = BufferPool::new(1 << 20);
+        let mut a = pool.get();
+        a.extend_from_slice(b"hello");
+        let cap = a.capacity();
+        pool.put(a);
+
+        let b = pool.get();
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "same allocation came back");
+        let s = pool.stats();
+        assert_eq!((s.allocated, s.reused, s.dropped), (1, 1, 0));
+    }
+
+    #[test]
+    fn oversized_buffers_are_never_pooled() {
+        let pool = BufferPool::new(1 << 30);
+        let mut big = pool.get();
+        big.reserve(MAX_POOLED_BUF + 1);
+        pool.put(big);
+        assert_eq!(pool.stats().dropped, 1);
+        assert_eq!(pool.stats().pooled_bytes, 0);
+    }
+
+    #[test]
+    fn the_byte_budget_bounds_the_free_list() {
+        let pool = BufferPool::new(INITIAL_BUF); // room for exactly one
+        let a = pool.get();
+        let b = pool.get();
+        pool.put(a);
+        pool.put(b);
+        let s = pool.stats();
+        assert_eq!(s.dropped, 1, "second return exceeded the budget");
+        assert_eq!(s.pooled_bytes, INITIAL_BUF as u64);
+    }
+
+    #[test]
+    fn zero_budget_disables_pooling() {
+        let pool = BufferPool::new(0);
+        pool.put(pool.get());
+        assert_eq!(pool.stats().dropped, 1);
+        let _ = pool.get();
+        assert_eq!(pool.stats().allocated, 2);
+        assert_eq!(pool.stats().reused, 0);
+    }
+}

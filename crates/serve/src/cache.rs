@@ -11,8 +11,13 @@
 //! inserts evict the lowest-stamped entries until the budget holds. The
 //! policy is fully deterministic — same operation sequence, same
 //! evictions — which the eviction-order test pins.
+//!
+//! Entries are held as `Arc<str>`: a hit hands out a reference-counted
+//! view of the cached text instead of copying it, so the reactor thread
+//! serves hot results in O(1) regardless of response size.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Running totals the server's `stats` command reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,7 +36,7 @@ pub struct CacheStats {
 
 #[derive(Debug)]
 struct Entry {
-    text: String,
+    text: Arc<str>,
     last_used: u64,
 }
 
@@ -58,14 +63,15 @@ impl ResultCache {
         }
     }
 
-    /// Looks `key` up, refreshing its recency on a hit.
-    pub fn get(&mut self, key: (u64, u64)) -> Option<String> {
+    /// Looks `key` up, refreshing its recency on a hit. The returned
+    /// `Arc<str>` shares the cached allocation — no copy, O(1) per hit.
+    pub fn get(&mut self, key: (u64, u64)) -> Option<Arc<str>> {
         self.tick += 1;
         match self.entries.get_mut(&key) {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(entry.text.clone())
+                Some(Arc::clone(&entry.text))
             }
             None => {
                 self.stats.misses += 1;
@@ -87,7 +93,7 @@ impl ResultCache {
             key,
             Entry {
                 last_used: self.tick,
-                text,
+                text: Arc::from(text),
             },
         ) {
             self.bytes -= old.text.len();

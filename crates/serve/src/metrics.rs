@@ -39,11 +39,29 @@ struct Registry {
     store_bytes: CounterId,
     store_entries: CounterId,
     queue_depth: CounterId,
+    queue_depth_replay: CounterId,
+    queue_depth_capture: CounterId,
+    conn_opened: CounterId,
+    conn_closed: CounterId,
+    conn_open: CounterId,
+    conn_idle_closed: CounterId,
+    conn_max_rejected: CounterId,
+    rejected_idle: CounterId,
+    deadline_dequeue: CounterId,
+    deadline_completion: CounterId,
+    adaptive_limit: CounterId,
+    adaptive_increases: CounterId,
+    adaptive_decreases: CounterId,
+    admission_replay: CounterId,
+    admission_capture: CounterId,
+    bufpool_pooled_bytes: CounterId,
+    bufpool_reused: CounterId,
+    bufpool_allocated: CounterId,
     latency_us: HistogramId,
 }
 
 /// The rejection reasons [`ServerMetrics::rejected`] recognises.
-const REASONS: &[&str] = &["overloaded", "deadline", "draining"];
+const REASONS: &[&str] = &["overloaded", "deadline", "draining", "idle_timeout"];
 
 impl ServerMetrics {
     /// Creates a zeroed metrics registry.
@@ -71,6 +89,24 @@ impl ServerMetrics {
         let store_bytes = counters.counter("serve.store.bytes");
         let store_entries = counters.counter("serve.store.entries");
         let queue_depth = counters.counter("serve.queue.depth");
+        let queue_depth_replay = counters.counter("serve.queue.depth_replay");
+        let queue_depth_capture = counters.counter("serve.queue.depth_capture");
+        let conn_opened = counters.counter("serve.conn.opened");
+        let conn_closed = counters.counter("serve.conn.closed");
+        let conn_open = counters.counter("serve.conn.open");
+        let conn_idle_closed = counters.counter("serve.conn.idle_closed");
+        let conn_max_rejected = counters.counter("serve.conn.max_conns_rejected");
+        let rejected_idle = counters.counter("serve.rejected.idle_timeout");
+        let deadline_dequeue = counters.counter("serve.deadline.dequeue");
+        let deadline_completion = counters.counter("serve.deadline.completion");
+        let adaptive_limit = counters.counter("serve.adaptive.limit");
+        let adaptive_increases = counters.counter("serve.adaptive.increases");
+        let adaptive_decreases = counters.counter("serve.adaptive.decreases");
+        let admission_replay = counters.counter("serve.admission.replay");
+        let admission_capture = counters.counter("serve.admission.capture");
+        let bufpool_pooled_bytes = counters.counter("serve.bufpool.pooled_bytes");
+        let bufpool_reused = counters.counter("serve.bufpool.reused");
+        let bufpool_allocated = counters.counter("serve.bufpool.allocated");
         let latency_us = counters.histogram("serve.latency_us");
         ServerMetrics {
             reg: Mutex::new(Registry {
@@ -97,6 +133,24 @@ impl ServerMetrics {
                 store_bytes,
                 store_entries,
                 queue_depth,
+                queue_depth_replay,
+                queue_depth_capture,
+                conn_opened,
+                conn_closed,
+                conn_open,
+                conn_idle_closed,
+                conn_max_rejected,
+                rejected_idle,
+                deadline_dequeue,
+                deadline_completion,
+                adaptive_limit,
+                adaptive_increases,
+                adaptive_decreases,
+                admission_replay,
+                admission_capture,
+                bufpool_pooled_bytes,
+                bufpool_reused,
+                bufpool_allocated,
                 latency_us,
             }),
         }
@@ -122,13 +176,15 @@ impl ServerMetrics {
         });
     }
 
-    /// Counts a typed rejection (`overloaded` / `deadline` / `draining`).
+    /// Counts a typed rejection (`overloaded` / `deadline` / `draining` /
+    /// `idle_timeout`).
     pub fn rejected(&self, reason: &str) {
         debug_assert!(REASONS.contains(&reason), "unknown reason {reason}");
         self.with(|r| {
             let id = match reason {
                 "deadline" => r.rejected_deadline,
                 "draining" => r.rejected_draining,
+                "idle_timeout" => r.rejected_idle,
                 _ => r.rejected_overload,
             };
             r.counters.inc(id);
@@ -202,9 +258,81 @@ impl ServerMetrics {
         });
     }
 
-    /// Publishes the queue depth gauge.
-    pub fn queue_depth(&self, depth: u64) {
-        self.with(|r| r.counters.set(r.queue_depth, depth));
+    /// Publishes the queue depth gauges (total plus per-lane).
+    pub fn queue_depth(&self, replay: u64, capture: u64) {
+        self.with(|r| {
+            r.counters.set(r.queue_depth, replay + capture);
+            r.counters.set(r.queue_depth_replay, replay);
+            r.counters.set(r.queue_depth_capture, capture);
+        });
+    }
+
+    /// Counts one accepted connection and publishes the open gauge.
+    pub fn conn_opened(&self, open_now: u64) {
+        self.with(|r| {
+            r.counters.inc(r.conn_opened);
+            r.counters.set(r.conn_open, open_now);
+        });
+    }
+
+    /// Counts one closed connection and publishes the open gauge.
+    /// `idle` marks closes forced by the idle/read timeout.
+    pub fn conn_closed(&self, open_now: u64, idle: bool) {
+        self.with(|r| {
+            r.counters.inc(r.conn_closed);
+            r.counters.set(r.conn_open, open_now);
+            if idle {
+                r.counters.inc(r.conn_idle_closed);
+            }
+        });
+    }
+
+    /// Counts one connection turned away at accept because
+    /// `--max-conns` was reached.
+    pub fn conn_max_rejected(&self) {
+        self.with(|r| r.counters.inc(r.conn_max_rejected));
+    }
+
+    /// Counts one deadline miss; `at_dequeue` distinguishes jobs that
+    /// expired waiting in the queue from jobs that expired while
+    /// running (detected at completion write-back).
+    pub fn deadline_miss(&self, at_dequeue: bool) {
+        self.with(|r| {
+            r.counters.inc(if at_dequeue {
+                r.deadline_dequeue
+            } else {
+                r.deadline_completion
+            });
+        });
+    }
+
+    /// Publishes the adaptive controller's limit gauge and step totals.
+    pub fn adaptive_state(&self, limit: u64, increases: u64, decreases: u64) {
+        self.with(|r| {
+            r.counters.set(r.adaptive_limit, limit);
+            r.counters.set(r.adaptive_increases, increases);
+            r.counters.set(r.adaptive_decreases, decreases);
+        });
+    }
+
+    /// Counts one admitted job by class (`replay` = schedule resident).
+    pub fn admitted(&self, replay: bool) {
+        self.with(|r| {
+            r.counters.inc(if replay {
+                r.admission_replay
+            } else {
+                r.admission_capture
+            });
+        });
+    }
+
+    /// Publishes the buffer pool's totals.
+    pub fn bufpool_state(&self, pooled_bytes: u64, reused: u64, allocated: u64) {
+        self.with(|r| {
+            r.counters.set(r.bufpool_pooled_bytes, pooled_bytes);
+            r.counters.set(r.bufpool_reused, reused);
+            r.counters.set(r.bufpool_allocated, allocated);
+        });
     }
 
     /// Records one served request's admission→response latency.
@@ -282,9 +410,11 @@ mod tests {
     #[test]
     fn gauges_set_rather_than_add() {
         let m = ServerMetrics::new();
-        m.queue_depth(7);
-        m.queue_depth(3);
+        m.queue_depth(4, 3);
+        m.queue_depth(1, 2);
         assert_eq!(m.counter("serve.queue.depth"), 3);
+        assert_eq!(m.counter("serve.queue.depth_replay"), 1);
+        assert_eq!(m.counter("serve.queue.depth_capture"), 2);
         m.cache_state(2, 4096, 9);
         assert_eq!(m.counter("serve.cache.bytes"), 4096);
         assert_eq!(m.counter("serve.cache.entries"), 9);
@@ -319,6 +449,51 @@ mod tests {
         m.store_state(4096, 2);
         assert_eq!(m.counter("serve.store.bytes"), 4096);
         assert_eq!(m.counter("serve.store.entries"), 2);
+    }
+
+    #[test]
+    fn connection_lifecycle_counters_track_the_open_gauge() {
+        let m = ServerMetrics::new();
+        m.conn_opened(1);
+        m.conn_opened(2);
+        m.conn_closed(1, false);
+        m.conn_closed(0, true);
+        assert_eq!(m.counter("serve.conn.opened"), 2);
+        assert_eq!(m.counter("serve.conn.closed"), 2);
+        assert_eq!(m.counter("serve.conn.open"), 0);
+        assert_eq!(m.counter("serve.conn.idle_closed"), 1);
+        m.conn_max_rejected();
+        assert_eq!(m.counter("serve.conn.max_conns_rejected"), 1);
+        m.rejected("idle_timeout");
+        assert_eq!(m.counter("serve.rejected.idle_timeout"), 1);
+    }
+
+    #[test]
+    fn deadline_misses_split_by_detection_point() {
+        let m = ServerMetrics::new();
+        m.deadline_miss(true);
+        m.deadline_miss(false);
+        m.deadline_miss(false);
+        assert_eq!(m.counter("serve.deadline.dequeue"), 1);
+        assert_eq!(m.counter("serve.deadline.completion"), 2);
+    }
+
+    #[test]
+    fn adaptive_and_admission_counters_publish() {
+        let m = ServerMetrics::new();
+        m.adaptive_state(12, 5, 2);
+        assert_eq!(m.counter("serve.adaptive.limit"), 12);
+        assert_eq!(m.counter("serve.adaptive.increases"), 5);
+        assert_eq!(m.counter("serve.adaptive.decreases"), 2);
+        m.admitted(true);
+        m.admitted(true);
+        m.admitted(false);
+        assert_eq!(m.counter("serve.admission.replay"), 2);
+        assert_eq!(m.counter("serve.admission.capture"), 1);
+        m.bufpool_state(8192, 10, 4);
+        assert_eq!(m.counter("serve.bufpool.pooled_bytes"), 8192);
+        assert_eq!(m.counter("serve.bufpool.reused"), 10);
+        assert_eq!(m.counter("serve.bufpool.allocated"), 4);
     }
 
     #[test]

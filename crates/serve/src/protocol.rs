@@ -13,8 +13,12 @@
 //! `ok` / `rejected` / `error`, and for successful runs the versioned
 //! [`RunReport`](smache::system::RunReport) JSON under `report` plus a
 //! `cached` flag. Rejections are *typed*: `reason` is `overloaded`
-//! (admission control), `deadline` (expired before a worker picked it
-//! up), or `draining` (server shutting down).
+//! (admission control), `deadline` (expired waiting in the queue, or
+//! the run itself overran — checked again at completion write-back),
+//! `draining` (server shutting down), or `idle_timeout` (the server
+//! closed a connection with no traffic and no job in flight for longer
+//! than its `--conn-idle-ms`; sent with `id: null` just before the
+//! close).
 //!
 //! ## Content addressing
 //!
@@ -91,9 +95,11 @@ pub struct RunRequest {
     /// simulation. Replay is bit-exact, so this knob never changes the
     /// result — it is excluded from [`canonical`](Self::canonical).
     pub replay: ReplayMode,
-    /// Per-request deadline in milliseconds, measured from admission: if
-    /// no worker has picked the job up when it expires, the server
-    /// responds `rejected`/`deadline` instead of running it.
+    /// Per-request deadline in milliseconds, measured from admission.
+    /// Checked twice: at dequeue (expired jobs are dropped before
+    /// burning a worker) and again at completion write-back (a run that
+    /// overran its promise is answered `rejected`/`deadline`, though its
+    /// result still populates the cache for the next request).
     pub deadline_ms: Option<u64>,
 }
 

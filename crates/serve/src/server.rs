@@ -3,52 +3,73 @@
 //! ## Architecture
 //!
 //! ```text
-//!  clients ──► acceptor ──► connection threads ──┬─► cache hit ─► respond
-//!                                                └─► BoundedQueue ─► workers ─► respond
+//!              ┌───────────────── reactor thread (epoll) ─────────────────┐
+//!  clients ──► │ accept ─► per-conn state machine ─┬─► cache hit ─► wbuf  │
+//!              │   ▲   (rbuf ─► line ─► dispatch)  └─► AdmissionQueue ────┼──► workers
+//!              │   └──────── completions ◄── wake pipe ◄──────────────────┼──── results
+//!              └───────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! One thread accepts connections (Unix socket or TCP); each connection
-//! gets a reader thread that parses newline-delimited requests. Run
-//! requests are first checked against the content-addressed
-//! [`ResultCache`] — a hit responds immediately, byte-identical to the
-//! run that populated it. Misses go through admission control: a
-//! [`BoundedQueue`] that either accepts the job or refuses it *right
-//! now* with a typed `overloaded` rejection. A fixed pool of worker
-//! threads pulls jobs, checks each job's deadline at dequeue (expired →
-//! typed `deadline` rejection), executes, populates the cache, and
-//! writes the response to the owning connection.
+//! One **reactor thread** owns every socket: it accepts connections
+//! (Unix or TCP), reads request bytes into per-connection buffers,
+//! frames newline-delimited requests, and writes responses — all
+//! non-blocking, driven by a level-triggered epoll loop (the vendored
+//! [`epoll`] shim). Thousands of idle connections cost one registered
+//! fd each, not a parked thread each.
+//!
+//! CPU-bound work stays on the **worker pool**: run requests that miss
+//! the content-addressed [`ResultCache`] are classified by their
+//! seed-blind schedule key (resident schedule → cheap replay, cold →
+//! full capture) and pushed into the two-class
+//! [`AdmissionQueue`], which admits
+//! replays ahead of captures under overload and refuses the rest
+//! *right now* with a typed `overloaded` rejection. Workers pop jobs
+//! (replay lane first), check deadlines at dequeue **and again at
+//! completion write-back**, execute through the cache hierarchy, and
+//! hand the finished response line back to the reactor through a
+//! completion list plus a [`WakePipe`] — workers never touch sockets.
+//!
+//! With [`--adaptive`](ServeConfig::adaptive) the admission limit is no
+//! longer the fixed queue capacity but an AIMD controller
+//! ([`AimdController`]): on-time completions grow it additively,
+//! deadline misses halve it (with a cooldown), so the server sheds load
+//! before queues turn into deadline graveyards.
 //!
 //! Behind the result cache sit two more levels for replay-eligible runs
-//! (`simulate`, and `chaos` with a latency-only profile): an
-//! in-memory [`ScheduleCache`] of captured control schedules, and — with
-//! [`ServeConfig::store_dir`] set — a persistent
-//! [`ScheduleStore`] on disk, so a restarted server replays previously
-//! captured specs instead of recapturing them (see `docs/DEPLOYMENT.md`).
+//! (`simulate`, and `chaos` with a latency-only profile): an in-memory
+//! [`ScheduleCache`] of captured control schedules, and — with
+//! [`ServeConfig::store_dir`] set — a persistent [`ScheduleStore`] on
+//! disk, so a restarted server replays previously captured specs
+//! instead of recapturing them (see `docs/DEPLOYMENT.md`).
 //!
 //! `shutdown` begins a **graceful drain**: admission stops (`draining`
 //! rejections), queued jobs still run to completion and their responses
-//! are delivered, then workers and the acceptor exit.
+//! are delivered through the reactor, pending write buffers get a
+//! bounded grace period to flush, then workers and the reactor exit.
 //!
 //! Responses may interleave across a connection in any order when
 //! multiple requests are in flight — clients correlate by `id`.
 
-use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use epoll::WakePipe;
 use smache::system::store::ScheduleStore;
 use smache::system::{ControlSchedule, ReplayMode};
 use smache_sim::ScheduleCache;
 
+use crate::adaptive::{AimdConfig, AimdController};
+use crate::bufpool::BufferPool;
 use crate::cache::ResultCache;
 use crate::metrics::ServerMetrics;
-use crate::pool::BoundedQueue;
-use crate::protocol::{error_line, ok_line, rejected_line, Request, RequestBody, RunRequest};
+use crate::pool::AdmissionQueue;
+use crate::protocol::{ok_line, rejected_line, RunRequest};
+use crate::reactor::Reactor;
 
 /// Where the server listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,7 +102,9 @@ pub struct ServeConfig {
     pub listen: Listen,
     /// Worker threads executing runs.
     pub workers: usize,
-    /// Admission-queue capacity (jobs waiting for a worker).
+    /// Admission-queue capacity (jobs waiting for a worker). With
+    /// [`adaptive`](Self::adaptive) on, this is the AIMD controller's
+    /// ceiling rather than a fixed limit.
     pub queue_cap: usize,
     /// Result-cache byte budget.
     pub cache_bytes: usize,
@@ -99,6 +122,18 @@ pub struct ServeConfig {
     pub store_bytes: u64,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Open connections the reactor holds at once; further accepts are
+    /// turned away with a typed error line.
+    pub max_conns: usize,
+    /// Drive the admission limit with the AIMD controller instead of the
+    /// fixed [`queue_cap`](Self::queue_cap).
+    pub adaptive: bool,
+    /// Byte budget for the recycled connection-buffer pool.
+    pub buffer_pool_bytes: usize,
+    /// Close connections with no read/write progress and no job in
+    /// flight for this long (typed `idle_timeout` notice). `None`
+    /// disables the sweep.
+    pub conn_idle_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -112,54 +147,132 @@ impl Default for ServeConfig {
             store_dir: None,
             store_bytes: 64 << 20,
             default_deadline_ms: None,
+            max_conns: 1024,
+            adaptive: false,
+            buffer_pool_bytes: 1 << 20,
+            conn_idle_ms: None,
         }
     }
 }
 
-type ConnWriter = Arc<Mutex<Box<dyn Write + Send>>>;
-
-struct Job {
-    request: RunRequest,
-    id: Option<String>,
-    writer: ConnWriter,
-    admitted: Instant,
-    deadline: Option<Duration>,
+/// A job admitted to the queue: the parsed request plus the reactor
+/// token of the connection awaiting the response.
+pub(crate) struct Job {
+    pub(crate) request: RunRequest,
+    pub(crate) id: Option<String>,
+    pub(crate) token: u64,
+    pub(crate) admitted: Instant,
+    pub(crate) deadline: Option<Duration>,
 }
 
-struct Shared {
-    queue: BoundedQueue<Job>,
-    cache: Mutex<ResultCache>,
-    schedules: Mutex<ScheduleCache<ControlSchedule>>,
-    store: Option<Mutex<ScheduleStore>>,
-    metrics: ServerMetrics,
-    shutdown: AtomicBool,
-    default_deadline: Option<Duration>,
+/// A finished response line travelling worker → reactor.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) line: String,
+}
+
+/// The listening socket, handed to the reactor.
+pub(crate) enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+pub(crate) struct Shared {
+    pub(crate) queue: AdmissionQueue<Job>,
+    pub(crate) cache: Mutex<ResultCache>,
+    pub(crate) schedules: Mutex<ScheduleCache<ControlSchedule>>,
+    pub(crate) store: Option<Mutex<ScheduleStore>>,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) default_deadline: Option<Duration>,
+    /// The configured ceiling; the effective limit when not adaptive.
+    pub(crate) queue_cap: usize,
+    pub(crate) adaptive: Option<Mutex<AimdController>>,
+    /// Finished response lines awaiting the reactor (paired with `wake`).
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    pub(crate) wake: WakePipe,
+    /// Jobs admitted whose completion the reactor has not yet consumed —
+    /// the drain-exit condition.
+    pub(crate) jobs_inflight: AtomicUsize,
+    pub(crate) bufpool: BufferPool,
 }
 
 impl Shared {
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.drain();
+        self.wake.wake();
     }
 
-    fn publish_cache_state(&self) {
+    /// The admission limit in force right now: the AIMD controller's
+    /// output when adaptive, the fixed queue capacity otherwise.
+    pub(crate) fn effective_limit(&self) -> usize {
+        match &self.adaptive {
+            Some(ctl) => ctl.lock().expect("adaptive poisoned").limit(),
+            None => self.queue_cap,
+        }
+    }
+
+    fn note_deadline_miss(&self, at_dequeue: bool) {
+        self.metrics.deadline_miss(at_dequeue);
+        self.metrics.rejected("deadline");
+        if let Some(ctl) = &self.adaptive {
+            ctl.lock()
+                .expect("adaptive poisoned")
+                .on_miss(Instant::now());
+        }
+        self.publish_adaptive_state();
+    }
+
+    fn note_success(&self) {
+        if let Some(ctl) = &self.adaptive {
+            let mut ctl = ctl.lock().expect("adaptive poisoned");
+            ctl.on_success();
+        }
+        self.publish_adaptive_state();
+    }
+
+    pub(crate) fn publish_adaptive_state(&self) {
+        if let Some(ctl) = &self.adaptive {
+            let ctl = ctl.lock().expect("adaptive poisoned");
+            self.metrics
+                .adaptive_state(ctl.limit() as u64, ctl.increases(), ctl.decreases());
+        }
+    }
+
+    pub(crate) fn publish_queue_depth(&self) {
+        let (replay, capture) = self.queue.depth_by_class();
+        self.metrics.queue_depth(replay as u64, capture as u64);
+    }
+
+    pub(crate) fn publish_cache_state(&self) {
         let cache = self.cache.lock().expect("cache poisoned");
         let stats = cache.stats();
         self.metrics
             .cache_state(stats.evictions, cache.bytes() as u64, cache.len() as u64);
     }
 
-    fn publish_store_state(&self) {
+    pub(crate) fn publish_store_state(&self) {
         if let Some(store) = &self.store {
             let store = store.lock().expect("store poisoned");
             self.metrics.store_state(store.bytes(), store.len() as u64);
         }
     }
-}
 
-enum Acceptor {
-    Unix(UnixListener),
-    Tcp(TcpListener),
+    pub(crate) fn publish_bufpool_state(&self) {
+        let stats = self.bufpool.stats();
+        self.metrics
+            .bufpool_state(stats.pooled_bytes, stats.reused, stats.allocated);
+    }
+
+    /// Hands a finished response line back to the reactor.
+    fn complete(&self, token: u64, line: String) {
+        self.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion { token, line });
+        self.wake.wake();
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -167,7 +280,7 @@ enum Acceptor {
 pub struct ServerHandle {
     addr: String,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     unix_path: Option<PathBuf>,
 }
@@ -197,8 +310,8 @@ impl ServerHandle {
     }
 
     fn join_inner(&mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -211,7 +324,7 @@ impl ServerHandle {
 
 /// Starts the server and returns its handle.
 ///
-/// Binds the listen address, spawns the acceptor and `workers` worker
+/// Binds the listen address, spawns the reactor and `workers` worker
 /// threads, and returns immediately; the handle reports the actual bound
 /// address.
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
@@ -222,18 +335,35 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         )),
         None => None,
     };
+    let queue_cap = config.queue_cap.max(1);
+    // With replay serving off entirely, every job is a capture — a
+    // reserved replay band would only shrink the usable queue.
+    let replay_possible = config.schedule_cache_bytes > 0 || config.store_dir.is_some();
     let shared = Arc::new(Shared {
-        queue: BoundedQueue::new(config.queue_cap),
+        queue: if replay_possible {
+            AdmissionQueue::new()
+        } else {
+            AdmissionQueue::unbanded()
+        },
         cache: Mutex::new(ResultCache::new(config.cache_bytes)),
         schedules: Mutex::new(ScheduleCache::new(config.schedule_cache_bytes)),
         store,
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         default_deadline: config.default_deadline_ms.map(Duration::from_millis),
+        queue_cap,
+        adaptive: config
+            .adaptive
+            .then(|| Mutex::new(AimdController::new(AimdConfig::for_capacity(queue_cap)))),
+        completions: Mutex::new(Vec::new()),
+        wake: WakePipe::new()?,
+        jobs_inflight: AtomicUsize::new(0),
+        bufpool: BufferPool::new(config.buffer_pool_bytes),
     });
     shared.publish_store_state();
+    shared.publish_adaptive_state();
 
-    let (acceptor, addr, unix_path) = match &config.listen {
+    let (listener, addr, unix_path) = match &config.listen {
         Listen::Unix(path) => {
             // A stale socket file from a killed process would fail the
             // bind; remove it (connect() distinguishes live servers).
@@ -243,7 +373,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
             (
-                Acceptor::Unix(listener),
+                Listener::Unix(listener),
                 format!("unix:{}", path.display()),
                 Some(path.clone()),
             )
@@ -252,7 +382,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
             let listener = TcpListener::bind(hostport)?;
             listener.set_nonblocking(true)?;
             let local = listener.local_addr()?;
-            (Acceptor::Tcp(listener), format!("tcp:{local}"), None)
+            (Listener::Tcp(listener), format!("tcp:{local}"), None)
         }
     };
 
@@ -263,152 +393,23 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         })
         .collect();
 
-    let accept_shared = Arc::clone(&shared);
-    let acceptor = std::thread::spawn(move || accept_loop(acceptor, &accept_shared));
+    let reactor = Reactor::new(
+        Arc::clone(&shared),
+        listener,
+        config.max_conns.max(1),
+        config.conn_idle_ms.map(Duration::from_millis),
+    )?;
+    let reactor = std::thread::Builder::new()
+        .name("serve-reactor".to_string())
+        .spawn(move || reactor.run())?;
 
     Ok(ServerHandle {
         addr,
         shared,
-        acceptor: Some(acceptor),
+        reactor: Some(reactor),
         workers,
         unix_path,
     })
-}
-
-type ConnPair = (Box<dyn std::io::Read + Send>, Box<dyn Write + Send>);
-
-fn accept_loop(acceptor: Acceptor, shared: &Arc<Shared>) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        // The listener is nonblocking (so this loop can notice shutdown);
-        // accepted connections are flipped back to blocking I/O.
-        let accepted: std::io::Result<ConnPair> = match &acceptor {
-            Acceptor::Unix(l) => l.accept().and_then(|(s, _)| {
-                s.set_nonblocking(false)?;
-                let reader = s.try_clone()?;
-                Ok((Box::new(reader) as _, Box::new(s) as _))
-            }),
-            Acceptor::Tcp(l) => l.accept().and_then(|(s, _)| {
-                s.set_nonblocking(false)?;
-                let reader = s.try_clone()?;
-                Ok((Box::new(reader) as _, Box::new(s) as _))
-            }),
-        };
-        match accepted {
-            Ok((reader, writer)) => {
-                let shared = Arc::clone(shared);
-                std::thread::spawn(move || {
-                    serve_connection(reader, Arc::new(Mutex::new(writer)), &shared)
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn id_text(id: &Option<String>) -> String {
-    match id {
-        Some(s) => smache_sim::Json::str(s.as_str()).compact(),
-        None => "null".to_string(),
-    }
-}
-
-fn write_line(writer: &ConnWriter, line: &str) {
-    let mut w = writer.lock().expect("writer poisoned");
-    // A vanished client is not a server error; drop the response.
-    let _ = w.write_all(line.as_bytes());
-    let _ = w.write_all(b"\n");
-    let _ = w.flush();
-}
-
-fn serve_connection(
-    reader: Box<dyn std::io::Read + Send>,
-    writer: ConnWriter,
-    shared: &Arc<Shared>,
-) {
-    let mut reader = BufReader::new(reader);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(_) => return,
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        shared.metrics.request();
-        match Request::parse_line(trimmed) {
-            Err(msg) => {
-                shared.metrics.error();
-                write_line(&writer, &error_line(None, &msg));
-            }
-            Ok(Request { id, body }) => match body {
-                RequestBody::Stats => {
-                    shared.metrics.queue_depth(shared.queue.depth() as u64);
-                    shared.publish_cache_state();
-                    let stats = shared.metrics.to_json().compact();
-                    write_line(
-                        &writer,
-                        &format!(
-                            "{{\"id\":{},\"status\":\"ok\",\"stats\":{stats}}}",
-                            id_text(&id)
-                        ),
-                    );
-                }
-                RequestBody::Shutdown => {
-                    write_line(
-                        &writer,
-                        &format!(
-                            "{{\"id\":{},\"status\":\"ok\",\"draining\":true}}",
-                            id_text(&id)
-                        ),
-                    );
-                    shared.begin_shutdown();
-                }
-                RequestBody::Run(request) => {
-                    handle_run(*request, id, &writer, shared);
-                }
-            },
-        }
-    }
-}
-
-fn handle_run(request: RunRequest, id: Option<String>, writer: &ConnWriter, shared: &Arc<Shared>) {
-    let key = request.cache_key();
-    let hit = shared.cache.lock().expect("cache poisoned").get(key);
-    shared.metrics.cache_lookup(hit.is_some());
-    if let Some(text) = hit {
-        shared.metrics.ok(true);
-        write_line(writer, &ok_line(id.as_deref(), true, &text));
-        return;
-    }
-
-    let deadline = request
-        .deadline_ms
-        .map(Duration::from_millis)
-        .or(shared.default_deadline);
-    let job = Job {
-        request,
-        id,
-        writer: Arc::clone(writer),
-        admitted: Instant::now(),
-        deadline,
-    };
-    if let Err(refused) = shared.queue.try_push(job) {
-        let reason = refused.reason();
-        let job = refused.into_inner();
-        shared.metrics.rejected(reason);
-        write_line(&job.writer, &rejected_line(job.id.as_deref(), reason));
-    }
-    shared.metrics.queue_depth(shared.queue.depth() as u64);
 }
 
 /// Executes a run on a worker. After the (already-missed) result-cache
@@ -520,31 +521,51 @@ fn run_job(request: &RunRequest, shared: &Arc<Shared>) -> Result<smache_sim::Jso
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        shared.metrics.queue_depth(shared.queue.depth() as u64);
+        shared.publish_queue_depth();
+        // First deadline checkpoint: the job expired while queued — a
+        // worker picking it up now would only burn CPU on a response the
+        // client has already written off.
         if let Some(deadline) = job.deadline {
             if job.admitted.elapsed() >= deadline {
-                shared.metrics.rejected("deadline");
-                write_line(&job.writer, &rejected_line(job.id.as_deref(), "deadline"));
+                shared.note_deadline_miss(true);
+                shared.complete(job.token, rejected_line(job.id.as_deref(), "deadline"));
                 continue;
             }
         }
         match run_job(&job.request, shared) {
             Ok(result) => {
                 let text = result.compact();
+                // The result is computed either way: cache it so the next
+                // same-key request hits, even when *this* response misses
+                // its deadline below.
                 shared
                     .cache
                     .lock()
                     .expect("cache poisoned")
                     .insert(job.request.cache_key(), text.clone());
                 shared.publish_cache_state();
-                shared.metrics.ok(false);
-                let us = job.admitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                shared.metrics.observe_latency_us(us);
-                write_line(&job.writer, &ok_line(job.id.as_deref(), false, &text));
+                // Second deadline checkpoint: the run itself overran. The
+                // dequeue-time check can't see this — a job admitted with
+                // 1 ms left passes it, runs for 50 ms, and would be
+                // delivered long past its promise.
+                let overran = job.deadline.is_some_and(|d| job.admitted.elapsed() >= d);
+                if overran {
+                    shared.note_deadline_miss(false);
+                    shared.complete(job.token, rejected_line(job.id.as_deref(), "deadline"));
+                } else {
+                    shared.metrics.ok(false);
+                    let us = job.admitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    shared.metrics.observe_latency_us(us);
+                    shared.note_success();
+                    shared.complete(job.token, ok_line(job.id.as_deref(), false, &text));
+                }
             }
             Err(msg) => {
                 shared.metrics.error();
-                write_line(&job.writer, &error_line(job.id.as_deref(), &msg));
+                shared.complete(
+                    job.token,
+                    crate::protocol::error_line(job.id.as_deref(), &msg),
+                );
             }
         }
     }
@@ -573,5 +594,8 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.queue_cap >= 1);
         assert!(c.cache_bytes > 0);
+        assert!(c.max_conns >= 1);
+        assert!(!c.adaptive);
+        assert!(c.conn_idle_ms.is_none());
     }
 }

@@ -386,6 +386,15 @@ impl<V> ScheduleCache<V> {
         }
     }
 
+    /// True when `key` is resident, *without* refreshing its recency or
+    /// counting a lookup — a pure probe. The serve reactor uses it to
+    /// classify requests at admission (a resident schedule means the job
+    /// is a cheap replay) without the classification itself perturbing
+    /// the LRU order or the hit/miss statistics.
+    pub fn contains(&self, key: (u64, u64)) -> bool {
+        self.entries.contains_key(&key)
+    }
+
     /// Stores `value` under `key` with an explicit byte cost, evicting
     /// least-recently-used entries until the budget holds. A value larger
     /// than the entire budget is not stored.

@@ -59,7 +59,8 @@ done
 # Flags the docs may mention that are not smache's own: cargo's, and the
 # bench binaries' (fig2 / loadgen / store / chaos / replay).
 foreign_flags="--release --offline --workspace --bin --example --no-deps --all-targets
---check --all --sweep --profile --clients --requests --top-n --bench --test --nocapture"
+--check --all --sweep --profile --clients --requests --top-n --bench --test --nocapture
+--ramp --max-clients --ramp-json"
 doc_flags=$(grep -hoE -- '--[a-z][a-z-]*' "${doc_files[@]}" | sort -u)
 for flag in $doc_flags; do
   printf '%s\n' "$help_all_flags" | grep -qxF -- "$flag" && continue

@@ -201,6 +201,25 @@ cargo run -p smache-bench --bin loadgen --release >/dev/null
 grep -q '"cache_speedup_closed"' BENCH_serve.json || {
   echo "BENCH_serve.json is missing the cache speedup"; exit 1; }
 
+echo "== serve ramp (256 concurrent reactor clients, byte-identical cached responses) =="
+# The ramp's own assertions cover the hard guarantees: every pipelined
+# request is answered (no hangs), RSS stays bounded, and the wire-level
+# probe checks two cached responses are byte-identical. CI caps the ramp
+# at the 256-client rung and writes to a temp path; the committed
+# BENCH_loadgen.json documents the full 2048-client run.
+ramp_json=$(mktemp)
+cargo run -p smache-bench --bin loadgen --release -- --ramp --max-clients 256 \
+  --ramp-json "$ramp_json" >/dev/null
+grep -q '"byte_identical_repeat": true' "$ramp_json" || {
+  echo "ramp artefact is missing the byte-identity probe"; exit 1; }
+grep -q '"clients": 256' "$ramp_json" || {
+  echo "ramp never reached the 256-client rung"; exit 1; }
+rm -f "$ramp_json"
+grep -q '"bench": "serve_ramp"' BENCH_loadgen.json || {
+  echo "committed BENCH_loadgen.json is missing or malformed"; exit 1; }
+grep -q '"clients": 2048' BENCH_loadgen.json || {
+  echo "committed BENCH_loadgen.json lacks the 2048-client overload rung"; exit 1; }
+
 echo "== trace smoke (artifacts + self-checks + no-trace cycle guard) =="
 # The CLI self-checks every artifact before writing; a non-empty file
 # therefore implies a parseable trace.

@@ -56,6 +56,7 @@ fn concurrent_clients_get_bit_identical_results_to_direct_runs() {
         store_dir: None,
         store_bytes: 0,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let addr = handle.addr().to_string();
@@ -100,6 +101,7 @@ fn repeated_requests_are_cache_hits_with_identical_reports() {
         store_dir: None,
         store_bytes: 0,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let mut conn = Client::connect(handle.addr()).expect("connect");
@@ -137,6 +139,7 @@ fn overload_returns_typed_rejections_and_every_request_gets_a_response() {
         store_dir: None,
         store_bytes: 0,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let addr = handle.addr().to_string();
@@ -205,6 +208,7 @@ fn an_already_expired_deadline_is_rejected_without_running() {
         store_dir: None,
         store_bytes: 0,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let mut conn = Client::connect(handle.addr()).expect("connect");
@@ -241,6 +245,7 @@ fn malformed_requests_get_typed_errors_and_the_connection_survives() {
         store_dir: None,
         store_bytes: 0,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let mut conn = Client::connect(handle.addr()).expect("connect");
@@ -286,6 +291,7 @@ fn restarted_server_warm_starts_from_the_schedule_store() {
         store_dir: Some(dir.clone()),
         store_bytes: 64 << 20,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     };
 
     // Cold server: the first simulate captures and persists its schedule.
@@ -377,6 +383,7 @@ fn latency_only_chaos_is_served_by_replay_across_data_seeds() {
         store_dir: None,
         store_bytes: 0,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let mut conn = Client::connect(handle.addr()).expect("connect");
@@ -472,6 +479,7 @@ fn client_initiated_shutdown_drains_queued_work_then_exits() {
         store_dir: None,
         store_bytes: 0,
         default_deadline_ms: None,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let addr = handle.addr().to_string();
@@ -518,4 +526,334 @@ fn client_initiated_shutdown_drains_queued_work_then_exits() {
         Client::connect(&addr).is_err(),
         "a drained server accepts no new connections"
     );
+}
+
+/// The reactor's framing must not depend on request lines arriving in
+/// whole reads: a client trickling one byte per write and a client
+/// coalescing several requests into a single write both get correct,
+/// bit-exact responses.
+#[test]
+fn byte_at_a_time_and_coalesced_writes_are_framed_correctly() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let path = sock("framing");
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(path.clone()),
+        workers: 2,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 4 << 20,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+
+    // Trickle: one byte per write syscall, with pauses so the reactor
+    // sees many partial reads before the newline lands.
+    let line = format!("{}\n", simulate_request("trickle", "9x9", 77, 2).compact());
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    for (i, b) in line.as_bytes().iter().enumerate() {
+        stream
+            .write_all(std::slice::from_ref(b))
+            .expect("write byte");
+        if i % 16 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response");
+    let resp = Json::parse(&resp).expect("response parses");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let served = resp.get("report").expect("report present").compact();
+    assert_eq!(engine_blind(&served), reference_report_text("9x9", 77, 2));
+
+    // Coalesce: two complete requests in one write; both are answered
+    // (possibly out of order — correlate by id).
+    let two = format!(
+        "{}\n{}\n",
+        simulate_request("p1", "9x9", 78, 2).compact(),
+        simulate_request("p2", "9x9", 79, 2).compact()
+    );
+    stream.write_all(two.as_bytes()).expect("write both");
+    let mut seen = std::collections::BTreeMap::new();
+    for _ in 0..2 {
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        let resp = Json::parse(&resp).expect("response parses");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let id = resp
+            .get("id")
+            .and_then(Json::as_str)
+            .expect("id")
+            .to_string();
+        seen.insert(id, resp.get("report").expect("report").compact());
+    }
+    assert_eq!(
+        engine_blind(&seen["p1"]),
+        reference_report_text("9x9", 78, 2)
+    );
+    assert_eq!(
+        engine_blind(&seen["p2"]),
+        reference_report_text("9x9", 79, 2)
+    );
+    handle.shutdown();
+}
+
+/// Hundreds of idle connections must cost the reactor nothing: active
+/// clients interleaved with them still get bit-exact results, and the
+/// open-connection gauge accounts for everyone.
+#[test]
+fn idle_connections_do_not_disturb_active_clients() {
+    use std::os::unix::net::UnixStream;
+
+    let path = sock("idle-crowd");
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(path.clone()),
+        workers: 2,
+        queue_cap: 16,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 4 << 20,
+        max_conns: 1024,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+
+    const IDLE: usize = 300;
+    let mut parked = Vec::with_capacity(IDLE);
+    for _ in 0..IDLE {
+        parked.push(UnixStream::connect(&path).expect("idle connect"));
+    }
+
+    // The accept counter is cumulative, so once it reaches IDLE every
+    // parked socket has been registered with the reactor.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.metrics().counter("serve.conn.opened") < IDLE as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reactor failed to accept {IDLE} idle connections"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut conn = Client::connect(handle.addr()).expect("active connect");
+    for seed in [500u64, 501, 502] {
+        let resp = conn
+            .call(&simulate_request("act", "11x11", seed, 2))
+            .expect("active call");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let served = resp.get("report").expect("report present").compact();
+        assert_eq!(
+            engine_blind(&served),
+            reference_report_text("11x11", seed, 2),
+            "active client diverged with {IDLE} idle connections parked"
+        );
+    }
+    assert!(
+        handle.metrics().counter("serve.conn.open") > IDLE as u64,
+        "open gauge must count the parked crowd plus the active client"
+    );
+    drop(parked);
+    handle.shutdown();
+}
+
+/// `--conn-idle-ms`: a connection that goes quiet is closed with a typed
+/// `idle_timeout` notice, while a client that keeps talking — each
+/// request resets the clock — outlives many idle windows.
+#[test]
+fn quiet_connections_are_reaped_with_a_typed_idle_timeout() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let path = sock("idle-reap");
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(path.clone()),
+        workers: 1,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 4 << 20,
+        conn_idle_ms: Some(100),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+
+    let quiet = UnixStream::connect(&path).expect("quiet connect");
+    let mut active = Client::connect(handle.addr()).expect("active connect");
+
+    // The active client spans ~4 idle windows, touching the connection
+    // every 60ms — well inside the 100ms budget each time.
+    for seed in 0..7u64 {
+        let resp = active
+            .call(&simulate_request("keep", "8x8", 600 + seed, 1))
+            .expect("active request while idle sweeps run");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    // The quiet connection got the typed notice, then EOF.
+    let mut reader = BufReader::new(quiet);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("idle notice");
+    let notice = Json::parse(&line).expect("notice parses");
+    assert_eq!(
+        notice.get("status").and_then(Json::as_str),
+        Some("rejected")
+    );
+    assert_eq!(
+        notice.get("reason").and_then(Json::as_str),
+        Some("idle_timeout")
+    );
+    let mut rest = String::new();
+    reader.read_line(&mut rest).expect("eof read");
+    assert!(
+        rest.is_empty(),
+        "idle connection must be closed after the notice"
+    );
+
+    assert!(handle.metrics().counter("serve.conn.idle_closed") >= 1);
+    assert!(handle.metrics().counter("serve.rejected.idle_timeout") >= 1);
+    handle.shutdown();
+}
+
+/// `--adaptive`: deadline misses halve the concurrency limit; a stretch
+/// of on-time completions grows it back.
+#[test]
+fn adaptive_limit_shrinks_on_deadline_misses_and_recovers() {
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(sock("adaptive")),
+        workers: 1,
+        queue_cap: 8,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 0,
+        adaptive: true,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut conn = Client::connect(handle.addr()).expect("connect");
+
+    // A 1ms deadline on a multi-millisecond simulation: admitted and
+    // dequeued in time, but the run overruns, so the miss lands at the
+    // completion write-back checkpoint. Unique seeds keep the result
+    // cache from short-circuiting the run. (A heavily loaded host could
+    // in principle burn the deadline in the queue instead — dequeue
+    // checkpoint — so allow a few attempts.)
+    let mut seed = 9_000u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.metrics().counter("serve.deadline.completion") == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no completion-checkpoint miss after repeated overruns"
+        );
+        let mut req = simulate_request("slow", "32x32", seed, 4);
+        seed += 1;
+        if let Json::Obj(pairs) = &mut req {
+            pairs.push(("deadline_ms".to_string(), Json::Int(1)));
+        }
+        let resp = conn.call(&req).expect("call");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(resp.get("reason").and_then(Json::as_str), Some("deadline"));
+    }
+    assert!(
+        handle.metrics().counter("serve.adaptive.decreases") >= 1,
+        "a deadline miss must shrink the adaptive limit"
+    );
+    let shrunk = handle.metrics().counter("serve.adaptive.limit");
+    assert!(
+        shrunk < 8,
+        "limit must drop below the queue capacity, still at {shrunk}"
+    );
+
+    // Recovery: on-time completions (no deadline, fast grid) grow the
+    // limit additively.
+    for j in 0..20u64 {
+        let resp = conn
+            .call(&simulate_request("fast", "8x8", 10_000 + j, 1))
+            .expect("call");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    assert!(
+        handle.metrics().counter("serve.adaptive.increases") >= 1,
+        "on-time completions must grow the adaptive limit"
+    );
+    let recovered = handle.metrics().counter("serve.adaptive.limit");
+    assert!(
+        recovered > shrunk,
+        "limit must recover: shrunk to {shrunk}, now {recovered}"
+    );
+    handle.shutdown();
+}
+
+/// Drain with the reactor mid-flight: pipelined work completes or gets a
+/// typed `draining` rejection, parked idle connections and a half-sent
+/// request line are closed cleanly, and the reactor thread exits.
+#[test]
+fn drain_with_in_flight_reactor_connections_exits_cleanly() {
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    let path = sock("drain-reactor");
+    let handle = start(ServeConfig {
+        listen: Listen::Unix(path.clone()),
+        workers: 1,
+        queue_cap: 16,
+        cache_bytes: 16 << 20,
+        schedule_cache_bytes: 4 << 20,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // A connection with queued work...
+    let mut busy = Client::connect(&addr).expect("connect");
+    const PIPELINED: u64 = 3;
+    for j in 0..PIPELINED {
+        busy.send(&simulate_request("q", "16x16", 700 + j, 2))
+            .expect("send");
+    }
+    let first = busy.recv().expect("first response");
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+
+    // ...two parked idle connections, and one with a half-sent line.
+    let mut idle_a = UnixStream::connect(&path).expect("connect");
+    let mut idle_b = UnixStream::connect(&path).expect("connect");
+    let mut partial = UnixStream::connect(&path).expect("connect");
+    partial
+        .write_all(br#"{"cmd":"simulate","spec"#)
+        .expect("half-sent line");
+
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    let resp = admin
+        .call(&Json::obj(vec![
+            ("id", Json::str("bye")),
+            ("cmd", Json::str("shutdown")),
+        ]))
+        .expect("shutdown acknowledged");
+    assert_eq!(resp.get("draining").and_then(Json::as_bool), Some(true));
+
+    // Admitted work drains: each remaining pipelined request completes
+    // or is rejected as `draining` — never dropped.
+    for _ in 1..PIPELINED {
+        let resp = busy.recv().expect("drained response");
+        match resp.get("status").and_then(Json::as_str) {
+            Some("ok") => {}
+            Some("rejected") => {
+                assert_eq!(resp.get("reason").and_then(Json::as_str), Some("draining"));
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    // The reactor thread and workers exit; if the drain logic leaked the
+    // parked connections this join would hang the test instead.
+    handle.join();
+    assert!(!path.exists(), "socket file is removed on exit");
+
+    // Every parked connection observes EOF, not a hang.
+    for stream in [&mut idle_a, &mut idle_b, &mut partial] {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("set timeout");
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).expect("read to eof");
+    }
 }
